@@ -1,0 +1,52 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace braidio::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << title << '\n'
+            << "================================================================\n";
+}
+
+inline void note(const std::string& text) {
+  std::cout << "  " << text << '\n';
+}
+
+/// "paper: X   measured: Y" one-liner for EXPERIMENTS.md-style checking.
+inline void check_line(const std::string& what, const std::string& paper,
+                       const std::string& measured) {
+  std::printf("  %-44s paper: %-16s ours: %s\n", what.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace braidio::bench
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/table.hpp"
+
+namespace braidio::bench {
+
+/// When BRAIDIO_CSV_DIR is set, dump `table` to <dir>/<name>.csv so plot
+/// scripts can regenerate the figures from the same data the bench prints.
+inline void maybe_export_csv(const std::string& name,
+                             const util::TablePrinter& table) {
+  const char* dir = std::getenv("BRAIDIO_CSV_DIR");
+  if (!dir || !*dir) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream f(path);
+  if (f) {
+    f << table.to_csv();
+    std::cout << "  [csv] wrote " << path << '\n';
+  } else {
+    std::cerr << "  [csv] could not write " << path << '\n';
+  }
+}
+
+}  // namespace braidio::bench

@@ -1,0 +1,74 @@
+// Extension: what Hamming(7,4)+interleaving buys the marginal links.
+//
+// The paper's links are uncoded; coded backscatter is cited related work.
+// For each (mode, bitrate) we compute the uncoded operating range
+// (BER < 1e-2 raw) and the coded range (residual BER < 1e-2 after
+// Hamming(7,4)), at a 4/7 throughput cost.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/coded_candidates.hpp"
+#include "mac/fec.hpp"
+#include "phy/link_budget.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double coded_range(const braidio::phy::LinkBudget& budget,
+                   braidio::phy::LinkMode mode, braidio::phy::Bitrate rate,
+                   double target) {
+  double lo = 0.05, hi = 100.0;
+  auto residual = [&](double d) {
+    return braidio::mac::hamming74_residual_ber(budget.ber(mode, rate, d));
+  };
+  if (residual(hi) <= target) return hi;
+  if (residual(lo) > target) return 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (residual(mid) <= target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+int main() {
+  using namespace braidio;
+  bench::header("Extension", "FEC (Hamming 7,4 + interleaving) range gains");
+
+  phy::LinkBudget budget;
+  util::TablePrinter out({"link", "uncoded range", "coded range",
+                          "range gain", "effective bitrate"});
+  for (phy::LinkMode mode :
+       {phy::LinkMode::Backscatter, phy::LinkMode::PassiveRx}) {
+    for (phy::Bitrate rate : phy::kAllBitrates) {
+      const double uncoded = budget.range_m(mode, rate);
+      const double coded = coded_range(budget, mode, rate, 0.01);
+      out.add_row({std::string(phy::to_string(mode)) + "@" +
+                       phy::to_string(rate),
+                   util::format_fixed(uncoded, 2) + " m",
+                   util::format_fixed(coded, 2) + " m",
+                   util::format_fixed(100.0 * (coded / uncoded - 1.0), 1) +
+                       " %",
+                   util::format_engineering(
+                       phy::bitrate_bps(rate) *
+                           mac::Hamming74::code_rate() / 1e3,
+                       3) +
+                       " kbps"});
+    }
+  }
+  out.print(std::cout);
+
+  core::PowerTable table;
+  core::RegimeMap map(table, budget);
+  bench::check_line("Regime A limit (carrier offloadable to either end)",
+                    "2.4 m uncoded",
+                    util::format_fixed(core::coded_regime_a_limit_m(map), 2) +
+                        " m with coded backscatter");
+  bench::note("Backscatter's d^-4 rolloff turns coding gain into little "
+              "extra range; the passive link's d^-2 slope converts the "
+              "same dB into noticeably more meters. The planner treats "
+              "coded links as extra (mode, rate) candidates, which is what "
+              "extends Regime A.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Extension: battery-free tag operation and FSK subcarrier modulation.
+//
+// (a) RF harvesting: within what range can the tag end run entirely off
+//     the remote carrier (WISP/Moo-style), for several duty cycles?
+// (b) FSK subcarrier: BER of the tone-modulated backscatter link vs the
+//     analytic non-coherent FSK model, and its DC-immunity property.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "circuits/harvester.hpp"
+#include "core/harvest_aware.hpp"
+#include "phy/fsk_subcarrier.hpp"
+#include "rf/constants.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace braidio;
+  bench::header("Extension", "Battery-free tags and FSK subcarriers");
+
+  circuits::Harvester harvester;
+  util::TablePrinter h({"tag load", "duty cycle", "battery-free range"});
+  struct Load {
+    const char* name;
+    double watts;
+    const char* duty;
+  };
+  for (const Load& load :
+       {Load{"tag @10 kbps (16.5 uW)", 16.5e-6, "100 %"},
+        Load{"tag @10 kbps, 10% duty", 1.65e-6, "10 %"},
+        Load{"sensor beacon, 1% duty", 0.165e-6, "1 %"}}) {
+    h.add_row({load.name, load.duty,
+               util::format_fixed(
+                   harvester.battery_free_range_m(
+                       load.watts, rf::kCarrierTxPowerDbm,
+                       rf::kCarrierFrequencyHz, rf::kChipAntennaGainDbi),
+                   2) +
+                   " m"});
+  }
+  h.print(std::cout);
+  bench::note("A 13 dBm carrier can power a continuously backscattering "
+              "tag only at tens of centimeters; duty cycling stretches "
+              "this to room scale — why WISP-class tags are bursty.");
+
+  // Harvest-aware offload: the tag banks carrier energy while modulating.
+  core::PowerTable ptable;
+  phy::LinkBudget budget;
+  core::RegimeMap map(ptable, budget);
+  util::TablePrinter be({"tag bitrate", "break-even distance",
+                         "net tag power at 0.3 m"});
+  const double credit_03 = core::harvested_power_w({}, 0.3);
+  for (phy::Bitrate rate : phy::kAllBitrates) {
+    const auto& tag =
+        ptable.candidate(phy::LinkMode::Backscatter, rate);
+    const double net = std::max(tag.tx_power_w - credit_03, 0.0);
+    be.add_row({phy::to_string(rate),
+                util::format_fixed(
+                    core::tag_break_even_distance_m(map, rate), 2) +
+                    " m",
+                util::format_si_power(net)});
+  }
+  be.print(std::cout);
+  bench::note("Inside the break-even radius the tag end is energy-neutral: "
+              "Eq. 1's achievable drain-ratio span becomes unbounded and a "
+              "dying device can keep transmitting on the peer's energy.");
+
+  std::cout << '\n';
+  phy::FskSubcarrierConfig cfg;  // 100 kbps on 600/900 kHz tones
+  util::TablePrinter f({"SNR/sample [dB]", "measured BER", "analytic BER"});
+  for (double snr_db : {-18.0, -15.0, -12.0, -9.0}) {
+    const double snr = util::db_to_linear(snr_db);
+    const auto r = phy::simulate_fsk_subcarrier(cfg, snr, 60'000, 3);
+    f.add_row({util::format_fixed(snr_db, 0),
+               util::format_scientific(r.measured_ber, 3),
+               util::format_scientific(r.analytic_ber, 3)});
+  }
+  f.print(std::cout);
+
+  // DC immunity: same run with a 5000x background offset.
+  const auto dc = phy::simulate_fsk_subcarrier(
+      cfg, util::db_to_linear(-10.0), 30'000, 5, /*background=*/5000.0);
+  const auto nodc = phy::simulate_fsk_subcarrier(
+      cfg, util::db_to_linear(-10.0), 30'000, 5, /*background=*/0.0);
+  bench::check_line("BER with 5000x DC background vs none",
+                    "tone detection is DC-immune",
+                    util::format_scientific(dc.measured_ber, 3) + " vs " +
+                        util::format_scientific(nodc.measured_ber, 3));
+  bench::note("The subcarrier moves data energy to 600/900 kHz, far above "
+              "the <1 kHz self-interference band — the spectral version of "
+              "the charge pump's DC-rejection trick (Sec. 3.1).");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension: the Sec. 3.1 spectral argument, made visible.
+//
+// PSDs of the candidate tag waveforms against the self-interference band:
+// NRZ OOK piles power near DC where the (slowly varying) carrier
+// self-interference lives; Manchester relocates it above bitrate/2; the
+// FSK subcarrier parks it at its tones. The high-pass corner that rejects
+// self-interference then costs each scheme a very different signal share.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "phy/fsk_subcarrier.hpp"
+#include "phy/modulation.hpp"
+#include "phy/spectrum.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace braidio;
+  bench::header("Extension",
+                "Baseband spectra vs the self-interference band");
+
+  const double fs = 8e6;
+  const auto bits = phy::random_bits(8192, 7);
+
+  phy::OokModulatorConfig mod;
+  mod.samples_per_bit = 8;
+  auto nrz = phy::ook_modulate(bits, mod);
+  mod.samples_per_bit = 4;
+  auto manchester = phy::ook_modulate(phy::manchester_encode(bits), mod);
+  // Compare the information-bearing variation: remove the constant
+  // on-fraction mean (a static offset the detector strips for free).
+  auto remove_mean = [](std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    for (double& x : v) x -= m;
+  };
+  remove_mean(nrz);
+  remove_mean(manchester);
+  phy::FskSubcarrierConfig fsk_cfg;
+  const auto fsk = phy::FskSubcarrierModem(fsk_cfg).modulate(
+      phy::random_bits(1024, 7));
+
+  const auto psd_nrz = phy::welch_psd(nrz, fs);
+  const auto psd_man = phy::welch_psd(manchester, fs);
+  const auto psd_fsk = phy::welch_psd(fsk, fs);
+
+  // Coarse PSD table (log-spaced bands).
+  util::TablePrinter out({"band", "NRZ OOK", "Manchester", "FSK subcarrier"});
+  auto band_power = [](const phy::PsdResult& psd, double lo, double hi) {
+    double p = 0.0, total = 0.0;
+    for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+      const double v = std::pow(10.0, psd.power_db[k] / 10.0);
+      total += v;
+      if (psd.freq_hz[k] >= lo && psd.freq_hz[k] < hi) p += v;
+    }
+    return 100.0 * p / total;
+  };
+  const double bands[][2] = {{0.0, 1e3},     {1e3, 100e3},  {100e3, 500e3},
+                             {500e3, 1e6},   {1e6, 2e6},    {2e6, 4e6}};
+  const char* names[] = {"DC-1 kHz (self-interference)", "1-100 kHz",
+                         "100-500 kHz", "0.5-1 MHz (FSK tones)", "1-2 MHz",
+                         "2-4 MHz"};
+  for (int i = 0; i < 6; ++i) {
+    out.add_row({names[i],
+                 util::format_fixed(band_power(psd_nrz, bands[i][0],
+                                               bands[i][1]), 1) + " %",
+                 util::format_fixed(band_power(psd_man, bands[i][0],
+                                               bands[i][1]), 1) + " %",
+                 util::format_fixed(band_power(psd_fsk, bands[i][0],
+                                               bands[i][1]), 1) + " %"});
+  }
+  out.print(std::cout);
+  bench::maybe_export_csv("ext_spectrum", out);
+
+  // A high-pass at a tenth of the bit rate (what a low-bitrate link's
+  // self-interference filter looks like relative to its data band).
+  const double corner = 100e3;
+  bench::check_line(
+      "signal power below bitrate/10 (lost to the HP)",
+      "NRZ >> Manchester ~ FSK",
+      util::format_fixed(
+          100.0 * phy::power_fraction_below(psd_nrz, corner), 1) +
+          " % vs " +
+          util::format_fixed(
+              100.0 * phy::power_fraction_below(psd_man, corner), 1) +
+          " % vs " +
+          util::format_fixed(
+              100.0 * phy::power_fraction_below(psd_fsk, corner), 1) +
+          " %");
+  bench::note("Self-interference sits below ~1 kHz (channel coherence "
+              "~ms, Sec. 3.1); both DC-balanced line codes clear the "
+              "high-pass corner nearly unscathed while NRZ forfeits its "
+              "DC component.");
+  return 0;
+}

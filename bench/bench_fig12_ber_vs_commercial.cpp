@@ -1,0 +1,59 @@
+// Figure 12: bit error rate vs distance for Braidio and the AS3993
+// commercial reader, both at 100 kbps backscatter.
+#include <iostream>
+
+#include "baseline/reader.hpp"
+#include "bench_common.hpp"
+#include "phy/link_budget.hpp"
+#include "phy/waveform.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace braidio;
+  bench::header("Figure 12", "BER vs distance: Braidio vs commercial reader "
+                             "(100 kbps)");
+
+  phy::LinkBudget braidio;
+  baseline::CommercialReaderModel reader;
+
+  util::TablePrinter out({"distance [m]", "Braidio BER (analytic)",
+                          "Braidio BER (waveform MC)", "AS3993 BER"});
+  for (double d = 0.25; d <= 4.01; d += 0.25) {
+    const double analytic =
+        braidio.ber(phy::LinkMode::Backscatter, phy::Bitrate::k100, d);
+    phy::WaveformSimConfig mc;
+    mc.mode = phy::LinkMode::Backscatter;
+    mc.rate = phy::Bitrate::k100;
+    mc.distance_m = d;
+    mc.bits = 30'000;
+    const double measured =
+        phy::simulate_waveform(braidio, mc).measured_ber;
+    out.add_row({util::format_fixed(d, 2),
+                 util::format_scientific(analytic, 3),
+                 util::format_scientific(measured, 3),
+                 util::format_scientific(reader.ber(d), 3)});
+  }
+  out.print(std::cout);
+  bench::maybe_export_csv("fig12_ber_vs_commercial", out);
+
+  bench::check_line("Braidio operational distance (BER < 1e-2)", "1.8 m",
+                    util::format_fixed(braidio.range_m(
+                                           phy::LinkMode::Backscatter,
+                                           phy::Bitrate::k100),
+                                       2) +
+                        " m");
+  bench::check_line("commercial reader operational distance", "3 m",
+                    util::format_fixed(reader.range_m(), 2) + " m");
+  bench::check_line("range penalty", "~40% lower",
+                    util::format_fixed(
+                        100.0 * (1.0 - braidio.range_m(
+                                           phy::LinkMode::Backscatter,
+                                           phy::Bitrate::k100) /
+                                           reader.range_m()),
+                        0) +
+                        "% lower");
+  bench::check_line("power: reader vs Braidio", "640 mW vs 129 mW (5x)",
+                    util::format_fixed(reader.efficiency_ratio_vs(0.129), 2) +
+                        "x");
+  return 0;
+}

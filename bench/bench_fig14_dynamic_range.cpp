@@ -1,0 +1,66 @@
+// Figure 14: energy efficiency and dynamic range of Braidio at different
+// distances and bitrates — the shrinking achievable region.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/efficiency.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace braidio;
+  bench::header("Figure 14", "Dynamic range vs distance");
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::RegimeMap map(table, budget);
+
+  util::TablePrinter out({"distance [m]", "regime", "operating points",
+                          "ratio span", "orders of magnitude"});
+  for (double d : {0.3, 0.9, 1.2, 1.8, 2.1, 2.4, 3.0, 3.9, 4.2, 4.8, 5.5}) {
+    const auto region = efficiency_region(map, d);
+    std::string span = "-";
+    std::string orders = "-";
+    if (!region.points.empty()) {
+      core::EfficiencyPoint lo, hi;
+      for (const auto& p : region.points) {
+        if (p.ratio == region.min_ratio()) lo = p;
+        if (p.ratio == region.max_ratio()) hi = p;
+      }
+      span = lo.ratio_label() + " ... " + hi.ratio_label();
+      orders = util::format_fixed(region.span_orders_of_magnitude(), 2);
+    }
+    out.add_row({util::format_fixed(d, 1), to_string(region.regime),
+                 std::to_string(region.points.size()), span, orders});
+  }
+  out.print(std::cout);
+
+  // The paper's annotated corner ratios (at any distance where the
+  // corresponding link still operates).
+  const auto close = efficiency_region(map, 0.3);
+  bench::check_line("full-rate corners at 0.3 m", "1:2546 and 3546:1", [&] {
+    std::string s;
+    for (const auto& p : close.points) {
+      if (p.candidate.label() == "passive@1M") s += p.ratio_label();
+      if (p.candidate.label() == "backscatter@1M") {
+        s += " and " + p.ratio_label();
+      }
+    }
+    return s;
+  }());
+  bench::check_line("low-rate extremes", "1:5600 and 7800:1", [&] {
+    std::string s;
+    for (const auto& p : close.points) {
+      if (p.candidate.label() == "passive@10k") s += p.ratio_label();
+      if (p.candidate.label() == "backscatter@10k") {
+        s += " and " + p.ratio_label();
+      }
+    }
+    return s;
+  }());
+  bench::check_line("total span at 0.3 m", "seven orders of magnitude",
+                    util::format_fixed(close.span_orders_of_magnitude(), 2) +
+                        " orders");
+  bench::note("Past 2.4 m only {active, passive} remain (a line); past "
+              "5.1 m the region is the single active point.");
+  return 0;
+}

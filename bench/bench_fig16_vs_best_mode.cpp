@@ -1,0 +1,44 @@
+// Figure 16: gain of Braidio over the best of its three modes used
+// exclusively — the value of *switching* between modes.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_matrix_common.hpp"
+#include "core/lifetime_sim.hpp"
+
+int main() {
+  using namespace braidio;
+  bench::header("Figure 16",
+                "Gain of Braidio over the best single operating mode");
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::LifetimeSimulator sim(table, budget);
+  core::LifetimeConfig cfg;
+  cfg.distance_m = 0.5;
+
+  double max_gain = 0.0, corner = 0.0;
+  std::string max_pair;
+  bench::print_gain_matrix([&](const energy::DeviceSpec& tx,
+                               const energy::DeviceSpec& rx) {
+    const double g = sim.gain_vs_best_mode(tx, rx, cfg);
+    if (g > max_gain) {
+      max_gain = g;
+      max_pair = tx.name + " -> " + rx.name;
+    }
+    if (tx.name == "Nike Fuel Band" && rx.name == "MacBook Pro 15") {
+      corner = g;
+    }
+    return g;
+  });
+
+  bench::check_line("maximum switching benefit", "up to 1.78x",
+                    util::format_fixed(max_gain, 2) + "x (" + max_pair + ")");
+  bench::check_line("extreme-asymmetry corner", "~1.00x (single mode wins)",
+                    util::format_fixed(corner, 2) + "x");
+  bench::note("Near-symmetric pairs braid two modes; highly asymmetric "
+              "pairs run one mode almost exclusively — matching the "
+              "paper's observation.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared 10x10 device-matrix renderer for Figs. 15-17.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "energy/device_catalog.hpp"
+#include "util/table.hpp"
+
+namespace braidio::bench {
+
+/// Short labels matching the figure axes.
+inline std::string short_name(const std::string& device) {
+  if (device == "Nike Fuel Band") return "FuelBand";
+  if (device == "Pebble Watch") return "Pebble";
+  if (device == "Apple Watch") return "Watch";
+  if (device == "Pivothead") return "Pivot";
+  if (device == "iPhone 6S") return "iP6S";
+  if (device == "iPhone 6 Plus") return "iP6+";
+  if (device == "Nexus 6P") return "N6P";
+  if (device == "Surface Book") return "Surface";
+  if (device == "MacBook Pro 13") return "MBP13";
+  if (device == "MacBook Pro 15") return "MBP15";
+  return device;
+}
+
+/// Render gain(tx, rx) over the full catalog; transmitter on the column
+/// axis, receiver on the row axis (as in the paper's matrices).
+inline void print_gain_matrix(
+    const std::function<double(const energy::DeviceSpec& tx,
+                               const energy::DeviceSpec& rx)>& gain) {
+  const auto& catalog = energy::device_catalog();
+  std::vector<std::string> headers{"RX \\ TX"};
+  for (const auto& tx : catalog) headers.push_back(short_name(tx.name));
+  util::TablePrinter table(std::move(headers));
+  for (const auto& rx : catalog) {
+    std::vector<std::string> row{short_name(rx.name)};
+    for (const auto& tx : catalog) {
+      row.push_back(util::format_engineering(gain(tx, rx), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace braidio::bench

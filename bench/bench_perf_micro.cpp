@@ -1,0 +1,99 @@
+// Google-benchmark microbenchmarks for the library's hot paths: the
+// planner (runs on every replan), the BER evaluators (every packet), the
+// waveform Monte-Carlo, CRC, and the transient circuit solver.
+#include <benchmark/benchmark.h>
+
+#include "core/lifetime_sim.hpp"
+#include "core/offload.hpp"
+#include "circuits/charge_pump.hpp"
+#include "mac/crc.hpp"
+#include "phy/ber.hpp"
+#include "phy/link_budget.hpp"
+#include "phy/waveform.hpp"
+
+namespace {
+
+using namespace braidio;
+
+void BM_OffloadPlan(benchmark::State& state) {
+  core::PowerTable table;
+  const auto candidates = table.candidates();
+  const double ratio = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::OffloadPlanner::plan(candidates, ratio, 1.0));
+  }
+}
+BENCHMARK(BM_OffloadPlan)->Arg(1)->Arg(100)->Arg(2546);
+
+void BM_OffloadPlanBidirectional(benchmark::State& state) {
+  core::PowerTable table;
+  const auto candidates = table.candidates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::OffloadPlanner::plan_bidirectional(candidates, 17.0, 1.0));
+  }
+}
+BENCHMARK(BM_OffloadPlanBidirectional);
+
+void BM_BerEvaluation(benchmark::State& state) {
+  phy::LinkBudget budget;
+  double d = 0.1;
+  for (auto _ : state) {
+    d = d > 5.0 ? 0.1 : d + 0.001;
+    benchmark::DoNotOptimize(
+        budget.ber(phy::LinkMode::Backscatter, phy::Bitrate::k100, d));
+  }
+}
+BENCHMARK(BM_BerEvaluation);
+
+void BM_Crc16(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac::crc16(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc16)->Arg(64)->Arg(1024);
+
+void BM_WaveformMonteCarlo(benchmark::State& state) {
+  phy::LinkBudget budget;
+  phy::WaveformSimConfig cfg;
+  cfg.mode = phy::LinkMode::Backscatter;
+  cfg.rate = phy::Bitrate::M1;
+  cfg.distance_m = 0.85;
+  cfg.bits = 1000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(phy::simulate_waveform(budget, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.bits));
+}
+BENCHMARK(BM_WaveformMonteCarlo);
+
+void BM_ChargePumpTransient(benchmark::State& state) {
+  circuits::ChargePump pump;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pump.simulate(5e-6, 0.0, 16));
+  }
+}
+BENCHMARK(BM_ChargePumpTransient);
+
+void BM_LifetimeMatrixCell(benchmark::State& state) {
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::LifetimeSimulator sim(table, budget);
+  const auto& catalog = energy::device_catalog();
+  core::LifetimeConfig cfg;
+  cfg.distance_m = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.gain_vs_bluetooth(catalog[0], catalog[9], cfg));
+  }
+}
+BENCHMARK(BM_LifetimeMatrixCell);
+
+}  // namespace

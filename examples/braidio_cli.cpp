@@ -1,0 +1,198 @@
+// braidio_cli: command-line front end to the library.
+//
+//   braidio_cli plan <e1_wh> <e2_wh> <distance_m> [--bidirectional]
+//   braidio_cli lifetime <tx-device> <rx-device> [distance_m]
+//   braidio_cli matrix [distance_m]
+//   braidio_cli ber <active|passive|backscatter> <10k|100k|1M>
+//   braidio_cli regimes
+//   braidio_cli devices
+//
+// Device names are the Fig. 1 catalog entries ("Apple Watch", "iPhone 6S",
+// ...). All output is plain tables; exit code 2 flags usage errors.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/efficiency.hpp"
+#include "core/lifetime_sim.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace braidio;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  braidio_cli plan <e1_wh> <e2_wh> <distance_m> [--bidirectional]\n"
+      "  braidio_cli lifetime <tx-device> <rx-device> [distance_m]\n"
+      "  braidio_cli matrix [distance_m]\n"
+      "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
+      "  braidio_cli regimes\n"
+      "  braidio_cli devices\n";
+  return 2;
+}
+
+std::optional<phy::LinkMode> parse_mode(const std::string& s) {
+  if (s == "active") return phy::LinkMode::Active;
+  if (s == "passive") return phy::LinkMode::PassiveRx;
+  if (s == "backscatter") return phy::LinkMode::Backscatter;
+  return std::nullopt;
+}
+
+std::optional<phy::Bitrate> parse_rate(const std::string& s) {
+  if (s == "10k") return phy::Bitrate::k10;
+  if (s == "100k") return phy::Bitrate::k100;
+  if (s == "1M") return phy::Bitrate::M1;
+  return std::nullopt;
+}
+
+int cmd_plan(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const double e1 = util::wh_to_joules(std::stod(args[0]));
+  const double e2 = util::wh_to_joules(std::stod(args[1]));
+  const double d = std::stod(args[2]);
+  const bool bidir = args.size() > 3 && args[3] == "--bidirectional";
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::RegimeMap regimes(table, budget);
+  const auto candidates = regimes.available_best_rate(d);
+  if (candidates.empty()) {
+    std::cout << "no link at " << d << " m\n";
+    return 1;
+  }
+  const auto plan = bidir
+                        ? core::OffloadPlanner::plan_bidirectional(
+                              candidates, e1, e2)
+                        : core::OffloadPlanner::plan(candidates, e1, e2);
+  std::cout << "regime " << to_string(regimes.regime(d)) << " at " << d
+            << " m; plan: " << plan.summary() << '\n'
+            << "  device1 " << plan.tx_joules_per_bit * 1e9
+            << " nJ/bit, device2 " << plan.rx_joules_per_bit * 1e9
+            << " nJ/bit\n"
+            << "  bits until first battery dies: "
+            << plan.bits_until_depletion(e1, e2) << '\n';
+  return 0;
+}
+
+int cmd_lifetime(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto tx = energy::find_device(args[0]);
+  const auto rx = energy::find_device(args[1]);
+  if (!tx || !rx) {
+    std::cerr << "unknown device; try `braidio_cli devices`\n";
+    return 2;
+  }
+  core::LifetimeConfig cfg;
+  cfg.distance_m = args.size() > 2 ? std::stod(args[2]) : 0.5;
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::LifetimeSimulator sim(table, budget);
+  const double e1 = util::wh_to_joules(tx->battery_wh);
+  const double e2 = util::wh_to_joules(rx->battery_wh);
+  const auto outcome = sim.braidio(e1, e2, cfg);
+
+  util::TablePrinter out({"radio", "total bits", "duration", "plan"});
+  out.add_row({"Braidio", util::format_scientific(outcome.bits, 4),
+               util::format_fixed(outcome.seconds / 3600.0, 1) + " h",
+               outcome.plan.summary()});
+  const double bt = sim.bluetooth_bits(e1, e2, false);
+  out.add_row({"Bluetooth", util::format_scientific(bt, 4),
+               util::format_fixed(bt / 1e6 / 3600.0, 1) + " h", "-"});
+  out.print(std::cout);
+  std::cout << "gain: " << util::format_fixed(outcome.bits / bt, 2)
+            << "x\n";
+  return 0;
+}
+
+int cmd_matrix(const std::vector<std::string>& args) {
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::LifetimeSimulator sim(table, budget);
+  core::LifetimeConfig cfg;
+  cfg.distance_m = args.empty() ? 0.5 : std::stod(args[0]);
+  const auto& catalog = energy::device_catalog();
+  std::vector<std::string> headers{"RX \\ TX"};
+  for (const auto& d : catalog) headers.push_back(d.name.substr(0, 8));
+  util::TablePrinter out(std::move(headers));
+  for (const auto& rx : catalog) {
+    std::vector<std::string> row{rx.name.substr(0, 8)};
+    for (const auto& tx : catalog) {
+      row.push_back(util::format_engineering(
+          sim.gain_vs_bluetooth(tx, rx, cfg), 3));
+    }
+    out.add_row(std::move(row));
+  }
+  out.print(std::cout);
+  return 0;
+}
+
+int cmd_ber(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto mode = parse_mode(args[0]);
+  const auto rate = parse_rate(args[1]);
+  if (!mode || !rate) return usage();
+  phy::LinkBudget budget;
+  util::TablePrinter out({"distance [m]", "SNR [dB]", "BER"});
+  for (double d = 0.25; d <= 6.01; d += 0.25) {
+    out.add_row({util::format_fixed(d, 2),
+                 util::format_fixed(budget.snr_db(*mode, *rate, d), 1),
+                 util::format_scientific(budget.ber(*mode, *rate, d), 3)});
+  }
+  out.print(std::cout);
+  std::cout << "operating range (BER < "
+            << budget.config().ber_threshold
+            << "): " << util::format_fixed(budget.range_m(*mode, *rate), 2)
+            << " m\n";
+  return 0;
+}
+
+int cmd_regimes() {
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::RegimeMap map(table, budget);
+  std::cout << "Regime A (carrier movable to either end): <= "
+            << util::format_fixed(map.regime_a_limit_m(), 2) << " m\n"
+            << "Regime B (receiver can shed its carrier): <= "
+            << util::format_fixed(map.regime_b_limit_m(), 2) << " m\n"
+            << "Regime C (active only) beyond that.\n";
+  const auto region = efficiency_region(map, 0.3);
+  std::cout << "dynamic range at 0.3 m: "
+            << util::format_fixed(region.span_orders_of_magnitude(), 2)
+            << " orders of magnitude\n";
+  return 0;
+}
+
+int cmd_devices() {
+  util::TablePrinter out({"device", "battery [Wh]"});
+  for (const auto& d : energy::device_catalog()) {
+    out.add_row({d.name, util::format_fixed(d.battery_wh, 2)});
+  }
+  out.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "lifetime") return cmd_lifetime(args);
+    if (cmd == "matrix") return cmd_matrix(args);
+    if (cmd == "ber") return cmd_ber(args);
+    if (cmd == "regimes") return cmd_regimes();
+    if (cmd == "devices") return cmd_devices();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,55 @@
+// Mobility: a phone pushing navigation/media data to a smartwatch while
+// the wearer walks around a room. Large-to-small transfers keep an
+// offload option (the watch's passive receiver) all the way to ~5 m, so
+// the braid survives every regime crossing. Shows the offload layer
+// living through the dynamics: braids reform, bitrates step, and the
+// link rides out out-of-range gaps.
+#include <iostream>
+
+#include "core/mobility_sim.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace braidio;
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::MobilitySimulator sim(table, budget);
+
+  // 2 minutes of wandering between arm's length and across the room.
+  const auto trace =
+      core::MobilityTrace::random_walk(0.3, 5.5, /*speed=*/1.4,
+                                       /*duration=*/120.0, /*seed=*/42);
+  core::MobilitySimConfig cfg;
+  cfg.e1_wh = 6.55;  // iPhone 6S transmits
+  cfg.e2_wh = 0.78;  // Apple Watch receives
+  cfg.replan_interval_s = 1.0;
+
+  const auto outcome = sim.run(trace, cfg);
+
+  util::TablePrinter out({"t [s]", "d [m]", "regime", "plan"});
+  std::string last;
+  for (const auto& s : outcome.samples) {
+    if (s.plan == last) continue;  // print only plan transitions
+    last = s.plan;
+    out.add_row({util::format_fixed(s.time_s, 0),
+                 util::format_fixed(s.distance_m, 2),
+                 to_string(s.regime), s.plan});
+  }
+  out.print(std::cout);
+
+  std::cout << "\nover " << trace.duration_s() << " s: "
+            << outcome.total_bits / 8e6 << " MB moved in "
+            << outcome.replans << " planning intervals ("
+            << outcome.plan_changes << " plan changes)\n"
+            << "phone spent "
+            << outcome.samples.back().device1_joules_used << " J, watch "
+            << outcome.samples.back().device2_joules_used << " J\n"
+            << "throughput vs Bluetooth on the same walk: "
+            << util::format_fixed(outcome.throughput_ratio_vs_bluetooth(), 2)
+            << "x; watch battery life per bit vs Bluetooth: "
+            << util::format_fixed(outcome.lifetime_gain_vs_bluetooth(2), 1)
+            << "x\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "baseline/bluetooth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace braidio::baseline {
+
+double BluetoothChipSpec::ratio_low() const {
+  return tx_power_low_w / rx_power_high_w;
+}
+
+double BluetoothChipSpec::ratio_high() const {
+  return tx_power_high_w / rx_power_low_w;
+}
+
+const std::vector<BluetoothChipSpec>& bluetooth_chip_table() {
+  static const std::vector<BluetoothChipSpec> table = {
+      // Table 1: CC2541 TX 55-60 mW, RX 59-67 mW -> ratio 0.82-1.0.
+      {"CC2541", 55e-3, 60e-3, 59e-3, 67e-3},
+      // Table 1: CC2640 TX 21-30 mW, RX 19 mW -> ratio 1.1-1.6.
+      {"CC2640", 21e-3, 30e-3, 19e-3, 19e-3},
+  };
+  return table;
+}
+
+double BluetoothRadioModel::bits_until_depletion(double tx_battery_j,
+                                                 double rx_battery_j) const {
+  if (tx_battery_j < 0.0 || rx_battery_j < 0.0) {
+    throw std::domain_error("bits_until_depletion: negative battery");
+  }
+  // Both radios run for the same wall-clock time; the first battery to
+  // empty ends the transfer.
+  const double t = std::min(tx_battery_j / tx_power_w,
+                            rx_battery_j / rx_power_w);
+  return bitrate_bps * t;
+}
+
+double BluetoothRadioModel::bits_until_depletion_bidirectional(
+    double battery1_j, double battery2_j) const {
+  // Equal split: each device transmits half the time and receives half the
+  // time, so both drain at the average of TX and RX power.
+  const double avg = 0.5 * (tx_power_w + rx_power_w);
+  const double t = std::min(battery1_j, battery2_j) / avg;
+  return bitrate_bps * t;
+}
+
+}  // namespace braidio::baseline

@@ -1,0 +1,51 @@
+// Bluetooth / BLE baseline models (Table 1 and the Figs. 15-18 baseline).
+//
+// An active radio burns near-identical power at both ends for the whole
+// transfer; the only knob is the transmit power level, giving the narrow
+// TX/RX ratios of Table 1. The simulator baseline is an SPBT2632C2A-class
+// module (the active radio on the Braidio board, Table 4); its power is the
+// active-mode power of the calibrated Braidio table, which reproduces the
+// paper's 1.43x diagonal in Fig. 15.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace braidio::baseline {
+
+struct BluetoothChipSpec {
+  std::string name;
+  double tx_power_low_w;   // datasheet range, low end
+  double tx_power_high_w;
+  double rx_power_low_w;
+  double rx_power_high_w;
+
+  /// Table 1 quantity: TX/RX power ratio range.
+  double ratio_low() const;   // min over the datasheet corners
+  double ratio_high() const;
+};
+
+/// Table 1 rows: CC2541 (0.82-1.0) and CC2640 (1.1-1.6).
+const std::vector<BluetoothChipSpec>& bluetooth_chip_table();
+
+/// The lifetime-simulation baseline radio.
+struct BluetoothRadioModel {
+  std::string name = "SPBT2632C2A-class module";
+  double tx_power_w = 0.09456;  // matches Braidio active-mode TX
+  double rx_power_w = 0.09006;  // matches Braidio active-mode RX
+  double bitrate_bps = 1e6;
+
+  double tx_energy_per_bit() const { return tx_power_w / bitrate_bps; }
+  double rx_energy_per_bit() const { return rx_power_w / bitrate_bps; }
+
+  /// Total bits moved from TX to RX before either battery dies (both ends
+  /// drain simultaneously while the link runs).
+  double bits_until_depletion(double tx_battery_j, double rx_battery_j) const;
+
+  /// Same for bi-directional traffic alternating roles with an equal data
+  /// split: each end spends half its airtime transmitting.
+  double bits_until_depletion_bidirectional(double battery1_j,
+                                            double battery2_j) const;
+};
+
+}  // namespace braidio::baseline

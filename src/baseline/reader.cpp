@@ -1,0 +1,71 @@
+#include "baseline/reader.hpp"
+
+#include <stdexcept>
+
+#include "phy/ber.hpp"
+#include "rf/pathloss.hpp"
+#include "util/units.hpp"
+
+namespace braidio::baseline {
+
+const std::vector<ReaderSpec>& reader_table() {
+  static const std::vector<ReaderSpec> table = {
+      {"AS3993", 0.64, 17.0, 0.25, 397.0},
+      {"AS3992", 0.73, 20.0, 0.26, 303.0},
+      {"R2000", 1.0, 12.0, 0.88, 419.0},
+      {"R1000", 1.0, 12.0, 0.95, 500.0},
+      {"M6e", 4.2, 17.0, 4.0, 398.0},
+      {"M6e-micro", 2.5, 23.0, 2.5, 285.0},
+  };
+  return table;
+}
+
+CommercialReaderModel::CommercialReaderModel(Config config)
+    : config_(config) {
+  if (!(config_.range_100k_m > 0.0)) {
+    throw std::invalid_argument("CommercialReaderModel: bad anchor range");
+  }
+  const double need_db = phy::required_snr_db(phy::BerModel::CoherentBpsk,
+                                              config_.ber_threshold);
+  floor_dbm_ = received_power_dbm(config_.range_100k_m) - need_db;
+}
+
+double CommercialReaderModel::received_power_dbm(double distance_m) const {
+  const double gain = rf::backscatter_gain(
+      distance_m, config_.freq_hz, config_.antenna_gain_dbi,
+      /*tag_gain_dbi=*/0.0, config_.modulation_loss_db);
+  return config_.spec.tx_power_dbm + util::linear_to_db(gain);
+}
+
+double CommercialReaderModel::snr_db(double distance_m) const {
+  return received_power_dbm(distance_m) - floor_dbm_;
+}
+
+double CommercialReaderModel::ber(double distance_m) const {
+  return phy::bit_error_rate(phy::BerModel::CoherentBpsk,
+                             util::db_to_linear(snr_db(distance_m)));
+}
+
+double CommercialReaderModel::range_m() const {
+  double lo = 0.05, hi = 1000.0;
+  if (ber(hi) <= config_.ber_threshold) return hi;
+  if (ber(lo) > config_.ber_threshold) return 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ber(mid) <= config_.ber_threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double CommercialReaderModel::efficiency_ratio_vs(double other_power_w) const {
+  if (!(other_power_w > 0.0)) {
+    throw std::domain_error("efficiency_ratio_vs: power must be > 0");
+  }
+  return config_.spec.total_power_w / other_power_w;
+}
+
+}  // namespace braidio::baseline

@@ -1,0 +1,39 @@
+#include "circuits/antenna_switch.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace braidio::circuits {
+
+AntennaSwitch::AntennaSwitch(AntennaSwitchConfig config) : config_(config) {
+  if (config_.insertion_loss_db < 0.0 || config_.isolation_db < 0.0 ||
+      config_.switch_time_s < 0.0 || config_.control_power_watts < 0.0) {
+    throw std::invalid_argument("AntennaSwitch: negative parameter");
+  }
+}
+
+void AntennaSwitch::select(int port) {
+  if (port != 0 && port != 1) {
+    throw std::invalid_argument("AntennaSwitch: port must be 0 or 1");
+  }
+  if (port != port_) {
+    port_ = port;
+    ++toggles_;
+  }
+}
+
+double AntennaSwitch::through_gain() const {
+  return util::db_to_linear(-config_.insertion_loss_db);
+}
+
+double AntennaSwitch::isolation_gain() const {
+  return util::db_to_linear(-config_.isolation_db);
+}
+
+double AntennaSwitch::toggle_energy_joules(std::uint64_t toggles) const {
+  return static_cast<double>(toggles) * config_.control_power_watts *
+         config_.switch_time_s;
+}
+
+}  // namespace braidio::circuits

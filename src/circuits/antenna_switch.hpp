@@ -1,0 +1,50 @@
+// SPDT antenna switch (SKY13267-class, Table 4).
+//
+// Two jobs on the Braidio board: selecting between the diversity receive
+// antennas, and acting as the backscatter modulator (tuning/detuning the
+// antenna to reflect the incident carrier).
+#pragma once
+
+#include <cstdint>
+
+namespace braidio::circuits {
+
+struct AntennaSwitchConfig {
+  double insertion_loss_db = 0.35;
+  double isolation_db = 25.0;
+  double switch_time_s = 90e-9;
+  double control_power_watts = 10e-6;  // "less than 10uW" (Table 4)
+  /// Max toggle rate: the switch itself supports several MHz; this caps the
+  /// FSK-style backscatter subcarrier rate.
+  double max_toggle_hz = 10e6;
+};
+
+class AntennaSwitch {
+ public:
+  explicit AntennaSwitch(AntennaSwitchConfig config = {});
+
+  /// Select port 0 or 1; counts transitions for energy accounting.
+  void select(int port);
+
+  int selected() const { return port_; }
+  std::uint64_t toggle_count() const { return toggles_; }
+
+  /// Linear through-path power gain (insertion loss).
+  double through_gain() const;
+
+  /// Linear leakage power gain to the unselected port.
+  double isolation_gain() const;
+
+  /// Energy consumed by `toggles` transitions at the control interface
+  /// (control power over the switching interval).
+  double toggle_energy_joules(std::uint64_t toggles) const;
+
+  const AntennaSwitchConfig& config() const { return config_; }
+
+ private:
+  AntennaSwitchConfig config_;
+  int port_ = 0;
+  std::uint64_t toggles_ = 0;
+};
+
+}  // namespace braidio::circuits

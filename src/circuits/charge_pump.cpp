@@ -1,0 +1,80 @@
+#include "circuits/charge_pump.hpp"
+
+#include <stdexcept>
+
+namespace braidio::circuits {
+
+ChargePump::ChargePump(ChargePumpConfig config) : config_(config) {
+  if (config_.stages == 0) {
+    throw std::invalid_argument("ChargePump: need >= 1 stage");
+  }
+  if (!(config_.coupling_capacitance > 0.0) ||
+      !(config_.storage_capacitance > 0.0) ||
+      !(config_.load_resistance > 0.0) ||
+      !(config_.source_frequency_hz > 0.0)) {
+    throw std::invalid_argument("ChargePump: bad component values");
+  }
+}
+
+ChargePumpRun ChargePump::simulate(double duration_s, double timestep_s,
+                                   std::size_t record_every) const {
+  if (timestep_s <= 0.0) {
+    // Resolve each drive cycle with ~40 points.
+    timestep_s = 1.0 / (config_.source_frequency_hz * 40.0);
+  }
+
+  Netlist net;
+  ChargePumpRun run;
+
+  const NodeId input = net.add_node("A:input");
+  net.add_voltage_source(
+      input, 0,
+      sine_waveform(config_.source_amplitude, config_.source_frequency_hz));
+  run.input_node = input;
+
+  // Each Dickson stage: coupling cap from the previous DC node's drive side,
+  // clamp diode from the previous DC level up to the mid node, series diode
+  // from mid to the stage output, storage cap to ground.
+  NodeId prev_dc = 0;  // stage 0 references ground
+  for (std::size_t s = 0; s < config_.stages; ++s) {
+    const NodeId mid = net.add_node("B:mid" + std::to_string(s));
+    const NodeId out = net.add_node("C:out" + std::to_string(s));
+    net.add_capacitor(input, mid, config_.coupling_capacitance);
+    Diode clamp = config_.diode;
+    clamp.anode = prev_dc;
+    clamp.cathode = mid;
+    net.add_diode(clamp);
+    Diode series = config_.diode;
+    series.anode = mid;
+    series.cathode = out;
+    net.add_diode(series);
+    net.add_capacitor(out, 0, config_.storage_capacitance);
+    run.mid_nodes.push_back(mid);
+    prev_dc = out;
+  }
+  run.output_node = prev_dc;
+  net.add_resistor(run.output_node, 0, config_.load_resistance);
+
+  TransientOptions options;
+  options.timestep_s = timestep_s;
+  TransientSimulator sim(net, options);
+  run.transient = sim.run(duration_s, record_every);
+  run.steady_state_volts = run.transient.steady_state(run.output_node);
+  run.ripple_volts = run.transient.ripple(run.output_node);
+  return run;
+}
+
+double ChargePump::ideal_output_volts() const {
+  return 2.0 * static_cast<double>(config_.stages) * config_.source_amplitude;
+}
+
+double ChargePump::measured_boost(const ChargePumpRun& run) const {
+  return run.steady_state_volts / config_.source_amplitude;
+}
+
+double ChargePump::output_impedance_ohms() const {
+  return static_cast<double>(config_.stages) /
+         (config_.source_frequency_hz * config_.coupling_capacitance);
+}
+
+}  // namespace braidio::circuits

@@ -1,0 +1,59 @@
+#include "circuits/harvester.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/pathloss.hpp"
+#include "util/units.hpp"
+
+namespace braidio::circuits {
+
+Harvester::Harvester(HarvesterConfig config) : config_(config) {
+  if (!(config_.peak_efficiency > 0.0) || config_.peak_efficiency > 1.0) {
+    throw std::invalid_argument("Harvester: efficiency out of (0,1]");
+  }
+  if (config_.sensitivity_dbm >= config_.half_efficiency_dbm) {
+    throw std::invalid_argument(
+        "Harvester: sensitivity must sit below the half-efficiency point");
+  }
+}
+
+double Harvester::efficiency(double incident_dbm) const {
+  if (incident_dbm < config_.sensitivity_dbm) return 0.0;
+  // Logistic roll-off in dB domain, ~4 dB transition width.
+  const double x = (incident_dbm - config_.half_efficiency_dbm) / 4.0;
+  return config_.peak_efficiency / (1.0 + std::exp(-x));
+}
+
+double Harvester::harvested_watts(double incident_dbm) const {
+  return util::dbm_to_watts(incident_dbm) * efficiency(incident_dbm);
+}
+
+double Harvester::battery_free_range_m(double load_watts, double carrier_dbm,
+                                       double freq_hz,
+                                       double antenna_gain_dbi) const {
+  if (!(load_watts > 0.0)) {
+    throw std::invalid_argument("Harvester: load must be > 0");
+  }
+  // Harvested power decreases monotonically with distance; bisect.
+  auto harvest_at = [&](double d) {
+    const double incident =
+        carrier_dbm + util::linear_to_db(rf::friis_gain(
+                          d, freq_hz, 0.0, antenna_gain_dbi));
+    return harvested_watts(incident);
+  };
+  double lo = 0.05, hi = 100.0;
+  if (harvest_at(lo) < load_watts) return 0.0;
+  if (harvest_at(hi) >= load_watts) return hi;
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (harvest_at(mid) >= load_watts) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace braidio::circuits

@@ -1,0 +1,50 @@
+// RF energy harvesting at the tag.
+//
+// The Braidio passive receiver is the same circuit the WISP/Moo platforms
+// use to *power themselves* from the incident carrier (Karthaus & Fischer:
+// 16.7 uW minimum RF input for a fully passive transponder). This model
+// answers the natural extension question: within what range could the
+// Braidio tag end run battery-free off the remote carrier?
+//
+// Harvested power = incident RF power x pump conversion efficiency, where
+// the efficiency collapses once the per-diode voltage approaches the
+// Schottky drop — the same small-signal loss the charge-pump transient
+// tests measure.
+#pragma once
+
+namespace braidio::circuits {
+
+struct HarvesterConfig {
+  double peak_efficiency = 0.30;       // commercial UHF harvester class
+  /// Incident power where efficiency has fallen to half its peak (diode
+  /// drops dominate below this).
+  double half_efficiency_dbm = -10.0;
+  /// Absolute sensitivity: below this, the pump cannot start.
+  double sensitivity_dbm = -20.0;
+};
+
+class Harvester {
+ public:
+  explicit Harvester(HarvesterConfig config = {});
+
+  /// Conversion efficiency (0..peak) at an incident power [dBm]:
+  /// logistic roll-off around the half-efficiency point, zero below the
+  /// sensitivity floor.
+  double efficiency(double incident_dbm) const;
+
+  /// Harvested DC power [W] from incident RF power [dBm].
+  double harvested_watts(double incident_dbm) const;
+
+  /// Largest distance [m] at which `load_watts` can be sustained from a
+  /// carrier of `carrier_dbm` over free space at `freq_hz` (0 if never).
+  double battery_free_range_m(double load_watts, double carrier_dbm,
+                              double freq_hz,
+                              double antenna_gain_dbi = -0.5) const;
+
+  const HarvesterConfig& config() const { return config_; }
+
+ private:
+  HarvesterConfig config_;
+};
+
+}  // namespace braidio::circuits

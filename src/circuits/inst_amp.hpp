@@ -1,0 +1,46 @@
+// Instrumentation amplifier (INA2331-class, Table 4).
+//
+// Sits between the charge pump and the comparator (Sec. 3.2, "Improving
+// sensitivity via instrumental amplifier"). Because the pump is passive its
+// output impedance is high (N / f C); the amplifier's input impedance loads
+// it, and the paper notes the circuit "has to be tuned carefully" — the
+// loading model here quantifies that: effective gain =
+// nominal gain * Zin / (Zin + Zsource), with an additional input-capacitance
+// pole against the source impedance.
+#pragma once
+
+namespace braidio::circuits {
+
+struct InstAmpConfig {
+  double gain = 100.0;                 // nominal closed-loop gain
+  double input_resistance_ohms = 1e10; // CMOS input
+  double input_capacitance_farads = 1.8e-12;  // INA2331 datasheet
+  double gain_bandwidth_hz = 2e6;
+  double supply_current_amps = 415e-6;  // dual amp, typical
+  double supply_volts = 3.0;
+  double input_noise_nv_per_rthz = 46.0;  // input-referred density
+};
+
+class InstAmp {
+ public:
+  explicit InstAmp(InstAmpConfig config = {});
+
+  /// Effective voltage gain when driven from `source_impedance_ohms` at
+  /// `signal_freq_hz`: resistive divider loading, input-capacitance pole,
+  /// and the closed-loop bandwidth limit.
+  double effective_gain(double source_impedance_ohms,
+                        double signal_freq_hz) const;
+
+  /// Output-referred RMS noise [V] over `bandwidth_hz`.
+  double output_noise_volts(double bandwidth_hz) const;
+
+  /// Static power draw [W].
+  double power_watts() const;
+
+  const InstAmpConfig& config() const { return config_; }
+
+ private:
+  InstAmpConfig config_;
+};
+
+}  // namespace braidio::circuits

@@ -1,0 +1,80 @@
+#include "circuits/pump_design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace braidio::circuits {
+
+PumpDesignPoint PumpDesignExplorer::characterize(
+    const ChargePumpConfig& config) {
+  PumpDesignPoint point;
+  point.config = config;
+  ChargePump pump(config);
+  point.output_impedance_ohms = pump.output_impedance_ohms();
+
+  // Run long enough for the slowest reasonable design to settle: the
+  // output time constant is roughly Zout * Cstorage-equivalent; sweep runs
+  // use bounded configs so a generous fixed horizon works.
+  const double horizon =
+      std::max(20e-6, 2000.0 * config.storage_capacitance *
+                          point.output_impedance_ohms);
+  const auto run = pump.simulate(horizon, 0.0, 4);
+  point.steady_state_volts = run.steady_state_volts;
+  point.ripple_volts = run.ripple_volts;
+
+  // 10%-90% settle time from the turn-on transient.
+  const double lo = 0.1 * point.steady_state_volts;
+  const double hi = 0.9 * point.steady_state_volts;
+  double t_lo = -1.0, t_hi = -1.0;
+  for (const auto& sample : run.transient.samples) {
+    const double v = sample.node_volts[run.output_node];
+    if (t_lo < 0.0 && v >= lo) t_lo = sample.time_s;
+    if (t_hi < 0.0 && v >= hi) {
+      t_hi = sample.time_s;
+      break;
+    }
+  }
+  if (t_lo >= 0.0 && t_hi >= t_lo) {
+    point.settle_time_s = t_hi - t_lo;
+    if (point.settle_time_s > 0.0) {
+      point.max_ook_bitrate_bps = 1.0 / (2.0 * point.settle_time_s);
+    }
+  }
+  return point;
+}
+
+std::vector<PumpDesignPoint> PumpDesignExplorer::sweep_capacitance(
+    ChargePumpConfig base, const std::vector<double>& scale_factors) {
+  if (scale_factors.empty()) {
+    throw std::invalid_argument("sweep_capacitance: empty sweep");
+  }
+  std::vector<PumpDesignPoint> points;
+  points.reserve(scale_factors.size());
+  for (double scale : scale_factors) {
+    if (!(scale > 0.0)) {
+      throw std::invalid_argument("sweep_capacitance: scale must be > 0");
+    }
+    ChargePumpConfig config = base;
+    config.coupling_capacitance = base.coupling_capacitance * scale;
+    config.storage_capacitance = base.storage_capacitance * scale;
+    points.push_back(characterize(config));
+  }
+  return points;
+}
+
+std::vector<PumpDesignPoint> PumpDesignExplorer::sweep_stages(
+    ChargePumpConfig base, std::size_t max_stages) {
+  if (max_stages == 0) {
+    throw std::invalid_argument("sweep_stages: need >= 1 stage");
+  }
+  std::vector<PumpDesignPoint> points;
+  points.reserve(max_stages);
+  for (std::size_t n = 1; n <= max_stages; ++n) {
+    ChargePumpConfig config = base;
+    config.stages = n;
+    points.push_back(characterize(config));
+  }
+  return points;
+}
+
+}  // namespace braidio::circuits

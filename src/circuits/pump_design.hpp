@@ -1,0 +1,48 @@
+// Charge-pump design-space exploration.
+//
+// Table 4's passive-receiver row carries a telling note: "Reduced Cs and
+// Cp to improve bitrate". The pump's storage/coupling capacitances set a
+// three-way tradeoff the paper navigated empirically:
+//   * larger C  -> more boost retention and less ripple (sensitivity), but
+//     a slower envelope settle -> lower maximum bitrate;
+//   * smaller C -> fast settling (1 Mbps needs ~us-scale response), but
+//     higher output impedance (N / f C) that the amplifier input loads.
+// PumpDesignExplorer measures these quantities from the transient
+// simulator so `bench_ablation_pump` can replay the design decision.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuits/charge_pump.hpp"
+
+namespace braidio::circuits {
+
+struct PumpDesignPoint {
+  ChargePumpConfig config;
+  double steady_state_volts = 0.0;
+  double ripple_volts = 0.0;
+  /// 10%-90% settle time of the output when the drive turns on [s].
+  double settle_time_s = 0.0;
+  /// Highest OOK bitrate the envelope can follow: the output must swing
+  /// through 10-90% within half a bit period.
+  double max_ook_bitrate_bps = 0.0;
+  double output_impedance_ohms = 0.0;
+};
+
+class PumpDesignExplorer {
+ public:
+  /// Characterize one configuration (transient run until settled).
+  static PumpDesignPoint characterize(const ChargePumpConfig& config);
+
+  /// Sweep capacitance scalings of a base design: each entry scales both
+  /// the coupling and storage capacitance by the factor.
+  static std::vector<PumpDesignPoint> sweep_capacitance(
+      ChargePumpConfig base, const std::vector<double>& scale_factors);
+
+  /// Sweep stage count (sensitivity boost vs impedance).
+  static std::vector<PumpDesignPoint> sweep_stages(
+      ChargePumpConfig base, std::size_t max_stages);
+};
+
+}  // namespace braidio::circuits

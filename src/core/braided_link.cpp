@@ -1,0 +1,285 @@
+#include "core/braided_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mac/probe.hpp"
+
+namespace braidio::core {
+
+namespace {
+
+/// Half-duplex turnaround between a data frame and its ack.
+constexpr double kTurnaroundS = 150e-6;
+
+mac::Frame make_frame(mac::FrameType type, std::uint8_t src, std::uint8_t dst,
+                      std::uint16_t seq, std::vector<std::uint8_t> payload) {
+  mac::Frame f;
+  f.type = type;
+  f.source = src;
+  f.destination = dst;
+  f.sequence = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+}  // namespace
+
+BraidedLink::BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
+                         const RegimeMap& regimes, BraidedLinkConfig config)
+    : a_(device_a),
+      b_(device_b),
+      regimes_(regimes),
+      config_(config),
+      rng_(config.seed),
+      channel_(regimes.budget(),
+               {config.distance_m, config.block_fading, config.extra_loss_db},
+               util::Rng(config.seed ^ 0xC3A5C85C97CB3127ull)) {
+  if (config_.packets_per_slot == 0) {
+    throw std::invalid_argument("BraidedLink: packets_per_slot must be >= 1");
+  }
+}
+
+ModeCandidate BraidedLink::active_point() const {
+  const auto rate =
+      regimes_.budget().best_bitrate(phy::LinkMode::Active, config_.distance_m);
+  return regimes_.table().candidate(phy::LinkMode::Active,
+                                    rate.value_or(phy::Bitrate::k10));
+}
+
+bool BraidedLink::spend(const ModeCandidate& point, double seconds) {
+  stats_.mode_airtime_s[point.label()] += seconds;
+  stats_.elapsed_s += seconds;
+  const bool a_ok = a_.advance(seconds);
+  const bool b_ok = b_.advance(seconds);
+  if (!a_ok || !b_ok) {
+    dead_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool BraidedLink::send_control(mac::FrameType type,
+                               std::vector<std::uint8_t> payload,
+                               const ModeCandidate& point) {
+  // Control frames ride the active link: best-effort with a few tries.
+  const auto frame = make_frame(type, a_.address(), b_.address(), 0,
+                                std::move(payload));
+  for (int attempt = 0; attempt < 4 && !dead_; ++attempt) {
+    ++stats_.control_frames;
+    const double air = mac::PacketChannel::airtime_s(frame, point.rate);
+    if (!spend(point, air + kTurnaroundS)) return false;
+    if (channel_.transmit(frame, point.mode, point.rate)) return true;
+  }
+  return false;
+}
+
+void BraidedLink::setup_control_plane() {
+  const auto active = active_point();
+  if (!a_.switch_to(active, Role::DataTransmitter) ||
+      !b_.switch_to(active, Role::DataReceiver)) {
+    dead_ = true;
+    return;
+  }
+  // Battery status both ways (the reverse direction costs the same airtime;
+  // we account it as a control frame over the same link).
+  mac::BatteryStatusPayload status;
+  status.remaining_joules = static_cast<float>(a_.battery().remaining_joules());
+  if (!send_control(mac::FrameType::BatteryStatus, mac::serialize(status),
+                    active)) {
+    return;
+  }
+  status.remaining_joules = static_cast<float>(b_.battery().remaining_joules());
+  if (!send_control(mac::FrameType::BatteryStatus, mac::serialize(status),
+                    active)) {
+    return;
+  }
+  // Probe each mode at its best rate: probe out, report back.
+  std::uint16_t token = 0;
+  for (const auto& candidate :
+       regimes_.available_best_rate(config_.distance_m)) {
+    mac::ProbePayload probe{candidate.mode, candidate.rate, ++token};
+    if (!send_control(mac::FrameType::Probe, mac::serialize(probe), active)) {
+      return;
+    }
+    mac::ProbeReportPayload report;
+    report.mode = candidate.mode;
+    report.rate = candidate.rate;
+    report.token = token;
+    report.snr_db = static_cast<float>(regimes_.budget().snr_db(
+        candidate.mode, candidate.rate, config_.distance_m));
+    if (!send_control(mac::FrameType::ProbeReport, mac::serialize(report),
+                      active)) {
+      return;
+    }
+  }
+}
+
+void BraidedLink::replan() {
+  auto candidates = regimes_.available_best_rate(config_.distance_m);
+  if (candidates.empty()) {
+    dead_ = true;  // out of range entirely
+    return;
+  }
+  plan_ = config_.bidirectional
+              ? OffloadPlanner::plan_bidirectional(
+                    candidates, a_.battery().remaining_joules(),
+                    b_.battery().remaining_joules())
+              : OffloadPlanner::plan(candidates,
+                                     a_.battery().remaining_joules(),
+                                     b_.battery().remaining_joules());
+  stats_.last_plan = plan_.summary();
+  ++stats_.replans;
+}
+
+std::vector<BraidedLink::SlotEntry> BraidedLink::build_schedule() const {
+  // Largest-remainder apportionment of packets_per_slot across the plan.
+  std::vector<SlotEntry> slots;
+  const unsigned n = config_.packets_per_slot;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::vector<unsigned> counts(plan_.entries.size(), 0);
+  unsigned used = 0;
+  for (std::size_t i = 0; i < plan_.entries.size(); ++i) {
+    const double exact = plan_.entries[i].fraction * n;
+    counts[i] = static_cast<unsigned>(exact);
+    used += counts[i];
+    remainders.push_back({exact - counts[i], i});
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t k = 0; used < n && k < remainders.size(); ++k, ++used) {
+    ++counts[remainders[k].second];
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    for (unsigned c = 0; c < counts[i]; ++c) {
+      slots.push_back({plan_.entries[i].candidate, plan_.entries[i].reverse});
+    }
+  }
+  if (slots.empty()) slots.push_back({active_point(), std::nullopt});
+  return slots;
+}
+
+bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
+                                  mac::ArqSender& sender,
+                                  mac::ArqReceiver& receiver) {
+  BraidioRadio& tx = forward ? a_ : b_;
+  BraidioRadio& rx = forward ? b_ : a_;
+  if (!tx.switch_to(point, Role::DataTransmitter) ||
+      !rx.switch_to(point, Role::DataReceiver)) {
+    dead_ = true;
+    return false;
+  }
+  std::vector<std::uint8_t> payload(config_.payload_bytes,
+                                    forward ? 0xA5 : 0x5A);
+  if (!sender.submit(std::move(payload))) {
+    throw std::logic_error("BraidedLink: sender busy");
+  }
+  ++stats_.data_packets_offered;
+  while (!dead_) {
+    const auto frame = sender.frame_to_send();
+    if (!frame) break;
+    sender.note_transmission();
+    const double air = mac::PacketChannel::airtime_s(*frame, point.rate);
+    if (!spend(point, air + kTurnaroundS)) break;
+    const auto arrived = channel_.transmit(*frame, point.mode, point.rate);
+    bool acked = false;
+    if (arrived) {
+      const auto result = receiver.on_data(*arrived);
+      if (result.ack) {
+        const double ack_air =
+            mac::PacketChannel::airtime_s(*result.ack, point.rate);
+        if (!spend(point, ack_air + kTurnaroundS)) break;
+        const auto ack_arrived =
+            channel_.transmit(*result.ack, point.mode, point.rate);
+        if (ack_arrived && sender.on_ack(*ack_arrived)) {
+          acked = true;
+        }
+      }
+    }
+    if (acked) {
+      ++stats_.data_packets_delivered;
+      const double bits = static_cast<double>(config_.payload_bytes) * 8.0;
+      if (forward) {
+        stats_.payload_bits_delivered += bits;
+      } else {
+        stats_.payload_bits_delivered_reverse += bits;
+      }
+      return true;
+    }
+    ++stats_.retransmissions;
+    if (!sender.on_timeout()) break;  // retry budget exhausted
+  }
+  if (!dead_) ++stats_.data_packets_dropped;
+  return false;
+}
+
+BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
+  stats_ = BraidedLinkStats{};
+  dead_ = false;
+  setup_control_plane();
+  if (!dead_) replan();
+
+  mac::ArqSender fwd_sender(a_.address(), b_.address());
+  mac::ArqReceiver fwd_receiver(b_.address());
+  mac::ArqSender rev_sender(b_.address(), a_.address());
+  mac::ArqReceiver rev_receiver(a_.address());
+
+  std::uint64_t offered = 0;
+  std::uint64_t since_replan = 0;
+  bool fallback_pending = false;
+
+  while (offered < packets && !dead_) {
+    const auto schedule = build_schedule();
+    // Per-slot delivery tracking drives the fallback rule. Bidirectional
+    // slots batch all forward packets before all reverse packets — the
+    // Sec. 4.2 Scenario-2 pattern ("switch roles after [sending] a certain
+    // amount of packets"), which amortizes the Table 5 role-switch costs
+    // over the slot instead of paying them per packet.
+    std::uint64_t slot_offered = 0;
+    std::uint64_t slot_delivered = 0;
+    const int phases = config_.bidirectional ? 2 : 1;
+    for (int phase = 0; phase < phases && !dead_; ++phase) {
+      const bool forward = phase == 0;
+      for (const auto& scheduled : schedule) {
+        if (offered >= packets || dead_) break;
+        SlotEntry entry = scheduled;
+        if (fallback_pending) {
+          entry.forward = active_point();
+          if (entry.reverse) entry.reverse = active_point();
+        }
+        const ModeCandidate point =
+            forward ? entry.forward : entry.reverse.value_or(entry.forward);
+        ++offered;
+        ++since_replan;
+        ++slot_offered;
+        const bool delivered =
+            forward ? transfer_packet(point, true, fwd_sender, fwd_receiver)
+                    : transfer_packet(point, false, rev_sender,
+                                      rev_receiver);
+        if (delivered) ++slot_delivered;
+      }
+    }
+    if (dead_) break;
+    // Sec. 4.2 dynamics: poor slot -> fall back to active and replan;
+    // healthy slot clears any standing fallback.
+    const double ratio =
+        slot_offered == 0 ? 1.0
+                          : static_cast<double>(slot_delivered) /
+                                static_cast<double>(slot_offered);
+    if (ratio < config_.fallback_delivery_ratio) {
+      if (!fallback_pending) ++stats_.fallbacks;
+      fallback_pending = true;
+      replan();
+      since_replan = 0;
+    } else {
+      fallback_pending = false;
+    }
+    if (since_replan >= config_.replan_every_packets) {
+      replan();
+      since_replan = 0;
+    }
+  }
+  return stats_;
+}
+
+}  // namespace braidio::core

@@ -1,0 +1,125 @@
+// Event-driven braided session between two Braidio radios.
+//
+// Implements the runtime of Sec. 4.2 end to end, on top of the MAC
+// primitives and the BER-driven packet channel:
+//   1. setup over the active link: battery status exchange + probe packets
+//      for every mode at its best sustainable bitrate;
+//   2. carrier-offload planning (Eq. 1) from the exchanged energies;
+//   3. a packet schedule that realizes the planned mode fractions
+//      ("Active-Active-Passive-Backscatter (repeated)") with Table 5
+//      switching costs charged on every transition;
+//   4. ARQ on the data plane; fallback to the active mode when the current
+//      mode's loss rate spikes (SNR drop), and periodic replanning as
+//      battery levels drift.
+//
+// The session uses the *fluid* simulator for the headline matrices
+// (Figs. 15-18, where transfers run to battery exhaustion); this event
+// simulator exists to validate that a packetized protocol actually achieves
+// the planned proportions and survives channel dynamics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+#include <string>
+
+#include "core/braidio_radio.hpp"
+#include "core/offload.hpp"
+#include "core/regimes.hpp"
+#include "mac/arq.hpp"
+#include "mac/packet_channel.hpp"
+#include "util/rng.hpp"
+
+namespace braidio::core {
+
+struct BraidedLinkConfig {
+  double distance_m = 0.5;
+  std::size_t payload_bytes = 32;
+  /// Packets between schedule slots (mode dwell granularity).
+  unsigned packets_per_slot = 16;
+  /// Replan after this many data packets (battery drift / link dynamics).
+  std::uint64_t replan_every_packets = 4096;
+  /// Fall back to active mode when a slot's delivery ratio drops below
+  /// this (the Sec. 4.2 "performing poorly" trigger).
+  double fallback_delivery_ratio = 0.5;
+  /// Extra path loss [dB] applied mid-run, for failure-injection tests.
+  double extra_loss_db = 0.0;
+  bool block_fading = false;
+  /// Alternate transfer direction packet-by-packet with an equal data
+  /// split (the Fig. 17 traffic pattern); plans come from
+  /// OffloadPlanner::plan_bidirectional and each schedule slot carries a
+  /// forward and a reverse operating point.
+  bool bidirectional = false;
+  std::uint64_t seed = 1;
+};
+
+struct BraidedLinkStats {
+  std::uint64_t data_packets_offered = 0;
+  std::uint64_t data_packets_delivered = 0;
+  std::uint64_t data_packets_dropped = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t control_frames = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t replans = 0;
+  double payload_bits_delivered = 0.0;          // a -> b
+  double payload_bits_delivered_reverse = 0.0;  // b -> a (bidirectional)
+  double elapsed_s = 0.0;
+  /// Airtime fraction per operating-point label.
+  std::map<std::string, double> mode_airtime_s;
+  std::string last_plan;
+
+  double delivery_ratio() const {
+    return data_packets_offered == 0
+               ? 0.0
+               : static_cast<double>(data_packets_delivered) /
+                     static_cast<double>(data_packets_offered);
+  }
+};
+
+class BraidedLink {
+ public:
+  /// Transfers run device_a -> device_b. All references must outlive the
+  /// link.
+  BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
+              const RegimeMap& regimes, BraidedLinkConfig config = {});
+
+  /// Run until `packets` data packets were offered or a battery dies.
+  BraidedLinkStats run(std::uint64_t packets);
+
+  /// The plan currently being executed (empty before the first run).
+  const OffloadPlan& current_plan() const { return plan_; }
+
+ private:
+  struct SlotEntry {
+    ModeCandidate forward;
+    std::optional<ModeCandidate> reverse;  // set in bidirectional plans
+  };
+
+  void setup_control_plane();
+  void replan();
+  bool send_control(mac::FrameType type, std::vector<std::uint8_t> payload,
+                    const ModeCandidate& point);
+  /// Charge both radios for `seconds` in `point`; `a_transmits` selects
+  /// the role split. Returns false when a battery dies.
+  bool spend(const ModeCandidate& point, double seconds);
+  /// One ARQ exchange in the given direction over `point`. Returns true
+  /// when the payload was delivered and acked.
+  bool transfer_packet(const ModeCandidate& point, bool forward,
+                       mac::ArqSender& sender, mac::ArqReceiver& receiver);
+  ModeCandidate active_point() const;
+  /// Build the slot-level schedule realizing the plan fractions.
+  std::vector<SlotEntry> build_schedule() const;
+
+  BraidioRadio& a_;
+  BraidioRadio& b_;
+  const RegimeMap& regimes_;
+  BraidedLinkConfig config_;
+  util::Rng rng_;
+  mac::PacketChannel channel_;
+  OffloadPlan plan_;
+  BraidedLinkStats stats_;
+  bool dead_ = false;
+};
+
+}  // namespace braidio::core

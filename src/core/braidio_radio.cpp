@@ -1,0 +1,82 @@
+#include "core/braidio_radio.hpp"
+
+#include <stdexcept>
+
+namespace braidio::core {
+
+const char* to_string(Role role) {
+  return role == Role::DataTransmitter ? "tx" : "rx";
+}
+
+BraidioRadio::BraidioRadio(std::string name, std::uint8_t address,
+                           double battery_wh, const PowerTable& table)
+    : name_(std::move(name)),
+      address_(address),
+      battery_(battery_wh),
+      table_(table) {}
+
+double BraidioRadio::power_draw_w() const {
+  if (!point_ || !role_) return kIdleFloorW;
+  return *role_ == Role::DataTransmitter ? point_->tx_power_w
+                                         : point_->rx_power_w;
+}
+
+energy::EnergyCategory BraidioRadio::active_category() const {
+  using energy::EnergyCategory;
+  if (!point_ || !role_) return EnergyCategory::Idle;
+  const bool tx = *role_ == Role::DataTransmitter;
+  switch (point_->mode) {
+    case phy::LinkMode::Active:
+      return tx ? EnergyCategory::ActiveTx : EnergyCategory::ActiveRx;
+    case phy::LinkMode::PassiveRx:
+      // The data transmitter holds the carrier.
+      return tx ? EnergyCategory::CarrierGeneration
+                : EnergyCategory::PassiveRx;
+    case phy::LinkMode::Backscatter:
+      // The data receiver holds the carrier; the transmitter is a tag.
+      return tx ? EnergyCategory::BackscatterTx
+                : EnergyCategory::CarrierGeneration;
+  }
+  return EnergyCategory::Idle;
+}
+
+bool BraidioRadio::switch_to(const ModeCandidate& candidate, Role role) {
+  const bool same_mode = point_ && point_->mode == candidate.mode &&
+                         role_ && *role_ == role;
+  if (!same_mode) {
+    const auto& overhead = table_.switch_overhead(candidate.mode);
+    const double cost = role == Role::DataTransmitter ? overhead.tx_joules
+                                                      : overhead.rx_joules;
+    const double taken = battery_.drain(cost);
+    ledger_.charge(energy::EnergyCategory::ModeSwitch, taken);
+    ++switches_;
+    if (taken < cost) {
+      go_idle();
+      return false;
+    }
+  }
+  point_ = candidate;
+  role_ = role;
+  return true;
+}
+
+void BraidioRadio::go_idle() {
+  point_.reset();
+  role_.reset();
+}
+
+bool BraidioRadio::advance(double seconds) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("BraidioRadio::advance: negative time");
+  }
+  const double want = power_draw_w() * seconds;
+  const double taken = battery_.drain(want);
+  ledger_.charge(active_category(), taken);
+  if (taken < want) {
+    go_idle();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace braidio::core

@@ -1,0 +1,73 @@
+// A Braidio radio endpoint: battery + mode state + energy accounting.
+//
+// Wraps the calibrated PowerTable with the stateful bookkeeping a device
+// needs: which (mode, bitrate) it is in, which role (data transmitter or
+// receiver) it plays, Table 5 switching overheads, and a per-category
+// energy ledger charged against its battery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/power_table.hpp"
+#include "energy/battery.hpp"
+#include "energy/ledger.hpp"
+
+namespace braidio::core {
+
+enum class Role { DataTransmitter, DataReceiver };
+
+const char* to_string(Role role);
+
+class BraidioRadio {
+ public:
+  /// `table` must outlive the radio.
+  BraidioRadio(std::string name, std::uint8_t address, double battery_wh,
+               const PowerTable& table);
+
+  const std::string& name() const { return name_; }
+  std::uint8_t address() const { return address_; }
+
+  energy::Battery& battery() { return battery_; }
+  const energy::Battery& battery() const { return battery_; }
+  const energy::EnergyLedger& ledger() const { return ledger_; }
+
+  /// Current operating point; nullopt when idle (sleep floor only).
+  std::optional<ModeCandidate> operating_point() const { return point_; }
+  std::optional<Role> role() const { return role_; }
+
+  /// Instantaneous power draw [W] in the current state.
+  double power_draw_w() const;
+
+  /// Switch to an operating point/role, charging the Table 5 overhead for
+  /// entering `candidate.mode` (no charge when already there). Returns
+  /// false (and goes idle) if the battery empties during the switch.
+  bool switch_to(const ModeCandidate& candidate, Role role);
+
+  /// Leave the link (sleep).
+  void go_idle();
+
+  /// Spend `seconds` in the current state; drains the battery and posts the
+  /// ledger. Returns false when the battery empties (radio goes idle).
+  bool advance(double seconds);
+
+  std::uint64_t mode_switches() const { return switches_; }
+
+  /// Sleep-state floor draw [W] (MCU retention + RTC).
+  static constexpr double kIdleFloorW = 2e-6;
+
+ private:
+  energy::EnergyCategory active_category() const;
+
+  std::string name_;
+  std::uint8_t address_;
+  energy::Battery battery_;
+  energy::EnergyLedger ledger_;
+  const PowerTable& table_;
+  std::optional<ModeCandidate> point_;
+  std::optional<Role> role_;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace braidio::core

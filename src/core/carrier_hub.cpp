@@ -1,0 +1,171 @@
+#include "core/carrier_hub.hpp"
+
+#include <stdexcept>
+
+#include "mac/arq.hpp"
+#include "util/units.hpp"
+
+namespace braidio::core {
+
+namespace {
+constexpr double kTurnaroundS = 150e-6;
+}
+
+double HubStats::delivered_total() const {
+  double sum = 0.0;
+  for (const auto& n : nodes) sum += static_cast<double>(n.delivered);
+  return sum;
+}
+
+double HubStats::hub_joules_per_bit(std::size_t payload_bytes) const {
+  const double bits =
+      delivered_total() * static_cast<double>(payload_bytes) * 8.0;
+  return bits > 0.0 ? hub_joules / bits : 0.0;
+}
+
+CarrierHub::CarrierHub(const RegimeMap& regimes, HubConfig config,
+                       std::vector<HubNodeConfig> nodes)
+    : regimes_(regimes), config_(config), node_configs_(std::move(nodes)) {
+  if (node_configs_.empty()) {
+    throw std::invalid_argument("CarrierHub: need at least one node");
+  }
+  if (config_.packets_per_slot == 0) {
+    throw std::invalid_argument("CarrierHub: packets_per_slot must be >= 1");
+  }
+}
+
+HubStats CarrierHub::run(std::uint64_t rounds) {
+  const auto& table = regimes_.table();
+  BraidioRadio hub("hub", 0, config_.hub_battery_wh, table);
+
+  struct NodeState {
+    BraidioRadio radio;
+    mac::PacketChannel channel;
+    mac::ArqSender sender;
+    mac::ArqReceiver receiver;  // hub side, per node for sequence tracking
+    ModeCandidate point;
+    bool alive = true;
+    HubNodeStats stats;
+  };
+
+  plans_.clear();
+  std::vector<NodeState> states;
+  states.reserve(node_configs_.size());
+  util::Rng rng(config_.seed);
+  std::uint8_t address = 1;
+  for (const auto& nc : node_configs_) {
+    auto candidates = regimes_.available_best_rate(nc.distance_m);
+    if (candidates.empty()) {
+      throw std::runtime_error("CarrierHub: node out of range: " + nc.name);
+    }
+    BraidioRadio radio(nc.name, address, nc.battery_wh, table);
+    const auto plan = OffloadPlanner::plan(
+        candidates, radio.battery().remaining_joules(),
+        hub.battery().remaining_joules());
+    plans_.push_back(plan);
+    // The slot runs the plan's dominant operating point; a full braid per
+    // node would also be possible but slots are short.
+    ModeCandidate point = plan.entries.front().candidate;
+    for (const auto& e : plan.entries) {
+      if (e.fraction > 0.5) point = e.candidate;
+    }
+    states.push_back(NodeState{
+        std::move(radio),
+        mac::PacketChannel(regimes_.budget(),
+                           {nc.distance_m, false, nc.extra_loss_db},
+                           rng.fork()),
+        mac::ArqSender(address, 0),
+        mac::ArqReceiver(0),
+        point,
+        true,
+        HubNodeStats{nc.name, 0, 0, 0.0, plan.summary()}});
+    ++address;
+  }
+
+  HubStats stats;
+  stats.nodes.reserve(states.size());
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    if (hub.battery().empty()) break;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      auto& node = states[i];
+      if (!node.alive) continue;
+      const auto& nc = node_configs_[i];
+      // Enter the slot: both ends adopt the node's operating point.
+      if (!hub.switch_to(node.point, Role::DataReceiver) ||
+          !node.radio.switch_to(node.point, Role::DataTransmitter)) {
+        node.alive = node.alive && !node.radio.battery().empty();
+        if (hub.battery().empty()) break;
+        continue;
+      }
+      for (unsigned p = 0; p < config_.packets_per_slot; ++p) {
+        std::vector<std::uint8_t> payload(nc.payload_bytes,
+                                          static_cast<std::uint8_t>(i));
+        if (!node.sender.submit(std::move(payload))) break;
+        ++node.stats.offered;
+        bool done = false;
+        while (!done) {
+          const auto frame = node.sender.frame_to_send();
+          if (!frame) break;
+          const double air =
+              mac::PacketChannel::airtime_s(*frame, node.point.rate);
+          const double slot_time = air + kTurnaroundS;
+          stats.elapsed_s += slot_time;
+          const bool node_ok = node.radio.advance(slot_time);
+          const bool hub_ok = hub.advance(slot_time);
+          if (!node_ok || !hub_ok) {
+            node.alive = !node.radio.battery().empty();
+            done = true;
+            break;
+          }
+          const auto arrived =
+              node.channel.transmit(*frame, node.point.mode,
+                                    node.point.rate);
+          bool acked = false;
+          if (arrived) {
+            const auto result = node.receiver.on_data(*arrived);
+            if (result.ack) {
+              const double ack_air = mac::PacketChannel::airtime_s(
+                  *result.ack, node.point.rate);
+              stats.elapsed_s += ack_air + kTurnaroundS;
+              if (!node.radio.advance(ack_air + kTurnaroundS) ||
+                  !hub.advance(ack_air + kTurnaroundS)) {
+                node.alive = !node.radio.battery().empty();
+                done = true;
+                break;
+              }
+              const auto ack_arrived = node.channel.transmit(
+                  *result.ack, node.point.mode, node.point.rate);
+              if (ack_arrived && node.sender.on_ack(*ack_arrived)) {
+                acked = true;
+              }
+            }
+          }
+          if (acked) {
+            ++node.stats.delivered;
+            done = true;
+          } else if (!node.sender.on_timeout()) {
+            done = true;  // retry budget exhausted
+          }
+        }
+        if (hub.battery().empty() || !node.alive) break;
+      }
+      if (hub.battery().empty()) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    auto& node = states[i];
+    node.stats.node_joules =
+        util::wh_to_joules(node_configs_[i].battery_wh) -
+        node.radio.battery().remaining_joules();
+    stats.mode_switches += node.radio.mode_switches();
+    stats.nodes.push_back(node.stats);
+  }
+  stats.mode_switches += hub.mode_switches();
+  stats.hub_joules = util::wh_to_joules(config_.hub_battery_wh) -
+                     hub.battery().remaining_joules();
+  return stats;
+}
+
+}  // namespace braidio::core

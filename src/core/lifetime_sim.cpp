@@ -1,0 +1,169 @@
+#include "core/lifetime_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace braidio::core {
+
+LifetimeSimulator::LifetimeSimulator(const PowerTable& table,
+                                     const phy::LinkBudget& budget)
+    : table_(table), regimes_(table, budget) {}
+
+std::vector<ModeCandidate> LifetimeSimulator::candidates_at(
+    double distance_m) const {
+  // Sec. 4.2: probing reports, per mode, the highest bitrate the link
+  // sustains; the planner mixes over those.
+  auto candidates = regimes_.available_best_rate(distance_m);
+  if (candidates.empty()) {
+    throw std::runtime_error("LifetimeSimulator: no link at this distance");
+  }
+  return candidates;
+}
+
+OffloadPlan LifetimeSimulator::planned(
+    const std::vector<ModeCandidate>& candidates, double e1, double e2,
+    bool bidirectional) const {
+  return bidirectional
+             ? OffloadPlanner::plan_bidirectional(candidates, e1, e2)
+             : OffloadPlanner::plan(candidates, e1, e2);
+}
+
+void LifetimeSimulator::apply_switch_overhead(
+    OffloadPlan& plan, const LifetimeConfig& config) const {
+  if (!config.include_switch_overhead || plan.entries.size() < 2) return;
+  if (!(config.bits_per_dwell > 0.0)) {
+    throw std::invalid_argument("LifetimeSimulator: bits_per_dwell <= 0");
+  }
+  // One full schedule cycle visits every entry once; each visit charges the
+  // entry's switch-in cost at both ends. An entry's dwell carries
+  // fraction * cycle_bits bits, so cycle_bits = bits_per_dwell /
+  // max_fraction normalizes the largest dwell to bits_per_dwell.
+  double max_fraction = 0.0;
+  for (const auto& e : plan.entries) {
+    max_fraction = std::max(max_fraction, e.fraction);
+  }
+  const double cycle_bits = config.bits_per_dwell / max_fraction;
+  double tx_extra = 0.0, rx_extra = 0.0;
+  for (const auto& e : plan.entries) {
+    const auto& o = table_.switch_overhead(e.candidate.mode);
+    tx_extra += o.tx_joules;
+    rx_extra += o.rx_joules;
+    if (e.reverse) {
+      const auto& ro = table_.switch_overhead(e.reverse->mode);
+      // Role swap: device 1 receives in the reverse leg.
+      tx_extra += ro.rx_joules;
+      rx_extra += ro.tx_joules;
+    }
+  }
+  plan.tx_joules_per_bit += tx_extra / cycle_bits;
+  plan.rx_joules_per_bit += rx_extra / cycle_bits;
+}
+
+double LifetimeSimulator::plan_seconds_per_bit(const OffloadPlan& plan) {
+  double s = 0.0;
+  for (const auto& e : plan.entries) {
+    if (e.reverse) {
+      s += e.fraction * (0.5 / e.candidate.bits_per_second() +
+                         0.5 / e.reverse->bits_per_second());
+    } else {
+      s += e.fraction / e.candidate.bits_per_second();
+    }
+  }
+  return s;
+}
+
+LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
+                                           const LifetimeConfig& config) const {
+  const auto candidates = candidates_at(config.distance_m);
+  LifetimeOutcome outcome;
+  outcome.plan =
+      planned(candidates, e1_joules, e2_joules, config.bidirectional);
+  apply_switch_overhead(outcome.plan, config);
+  outcome.bits = outcome.plan.bits_until_depletion(e1_joules, e2_joules);
+
+  // A braid pays mode-switch overhead that an exclusive mode does not; at
+  // extreme asymmetry the overhead-adjusted braid can fall just below the
+  // best single mode, in which case the offload layer simply stays in that
+  // mode (the paper: "when battery levels are highly asymmetric, Braidio
+  // almost exclusively uses a single mode").
+  for (const auto& c : candidates) {
+    const double single =
+        single_mode_bits(c, e1_joules, e2_joules, config.bidirectional);
+    if (single > outcome.bits) {
+      outcome.bits = single;
+      OffloadPlan exclusive;
+      PlanEntry entry;
+      entry.candidate = c;
+      if (config.bidirectional) entry.reverse = c;
+      entry.fraction = 1.0;
+      exclusive.entries = {entry};
+      if (config.bidirectional) {
+        exclusive.tx_joules_per_bit =
+            0.5 * (c.tx_joules_per_bit() + c.rx_joules_per_bit());
+        exclusive.rx_joules_per_bit = exclusive.tx_joules_per_bit;
+      } else {
+        exclusive.tx_joules_per_bit = c.tx_joules_per_bit();
+        exclusive.rx_joules_per_bit = c.rx_joules_per_bit();
+      }
+      exclusive.proportional = false;
+      outcome.plan = exclusive;
+    }
+  }
+  outcome.seconds = outcome.bits * plan_seconds_per_bit(outcome.plan);
+  return outcome;
+}
+
+double LifetimeSimulator::bluetooth_bits(double e1_joules, double e2_joules,
+                                         bool bidirectional) const {
+  return bidirectional
+             ? bluetooth_.bits_until_depletion_bidirectional(e1_joules,
+                                                             e2_joules)
+             : bluetooth_.bits_until_depletion(e1_joules, e2_joules);
+}
+
+double LifetimeSimulator::single_mode_bits(const ModeCandidate& candidate,
+                                           double e1_joules, double e2_joules,
+                                           bool bidirectional) const {
+  const double t = candidate.tx_joules_per_bit();
+  const double r = candidate.rx_joules_per_bit();
+  if (!bidirectional) {
+    return std::min(e1_joules / t, e2_joules / r);
+  }
+  const double per_end = 0.5 * (t + r);
+  return std::min(e1_joules, e2_joules) / per_end;
+}
+
+double LifetimeSimulator::best_single_mode_bits(
+    double e1_joules, double e2_joules, const LifetimeConfig& config) const {
+  const auto candidates = candidates_at(config.distance_m);
+  double best = 0.0;
+  for (const auto& c : candidates) {
+    best = std::max(best, single_mode_bits(c, e1_joules, e2_joules,
+                                           config.bidirectional));
+  }
+  return best;
+}
+
+double LifetimeSimulator::gain_vs_bluetooth(
+    const energy::DeviceSpec& tx, const energy::DeviceSpec& rx,
+    const LifetimeConfig& config) const {
+  const double e1 = util::wh_to_joules(tx.battery_wh);
+  const double e2 = util::wh_to_joules(rx.battery_wh);
+  const double braid = braidio(e1, e2, config).bits;
+  const double bt = bluetooth_bits(e1, e2, config.bidirectional);
+  return braid / bt;
+}
+
+double LifetimeSimulator::gain_vs_best_mode(
+    const energy::DeviceSpec& tx, const energy::DeviceSpec& rx,
+    const LifetimeConfig& config) const {
+  const double e1 = util::wh_to_joules(tx.battery_wh);
+  const double e2 = util::wh_to_joules(rx.battery_wh);
+  const double braid = braidio(e1, e2, config).bits;
+  const double best = best_single_mode_bits(e1, e2, config);
+  return braid / best;
+}
+
+}  // namespace braidio::core

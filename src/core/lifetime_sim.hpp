@@ -1,0 +1,88 @@
+// Fluid lifetime simulation: total bits moved before the first battery
+// dies, for Braidio (planned braid), Bluetooth, and each single mode.
+//
+// This is the simulator behind Figs. 15-18. Because a proportional plan
+// keeps the two drain rates locked to the energy ratio, the ratio — and
+// hence the plan — is invariant over the transfer, so lifetime reduces to
+// bits = min(E1 / d1, E2 / d2) with (d1, d2) the planned per-bit drains.
+// Table 5 switching overheads are amortized over a configurable mode dwell
+// (the paper: "switching overhead is negligible in all modes" — true for
+// second-scale dwells; the ablation bench shows where that stops holding).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/bluetooth.hpp"
+#include "core/offload.hpp"
+#include "core/regimes.hpp"
+#include "energy/device_catalog.hpp"
+
+namespace braidio::core {
+
+struct LifetimeConfig {
+  double distance_m = 0.5;
+  bool bidirectional = false;
+  /// Amortize each plan entry's switch-in cost (both ends) over one dwell
+  /// of this many bits. 1e8 bits at 1 Mbps is a ~100 s dwell.
+  double bits_per_dwell = 1e8;
+  bool include_switch_overhead = true;
+};
+
+struct LifetimeOutcome {
+  double bits = 0.0;     // payload bits moved before first battery death
+  double seconds = 0.0;  // transfer duration
+  OffloadPlan plan;
+};
+
+class LifetimeSimulator {
+ public:
+  /// Both references must outlive the simulator.
+  LifetimeSimulator(const PowerTable& table, const phy::LinkBudget& budget);
+
+  /// Braidio with energy-aware carrier offload.
+  LifetimeOutcome braidio(double e1_joules, double e2_joules,
+                          const LifetimeConfig& config) const;
+
+  /// Bluetooth baseline (same traffic pattern).
+  double bluetooth_bits(double e1_joules, double e2_joules,
+                        bool bidirectional) const;
+
+  /// A single (mode, bitrate) used exclusively.
+  double single_mode_bits(const ModeCandidate& candidate, double e1_joules,
+                          double e2_joules, bool bidirectional) const;
+
+  /// Best single mode available at the configured distance (Fig. 16
+  /// baseline).
+  double best_single_mode_bits(double e1_joules, double e2_joules,
+                               const LifetimeConfig& config) const;
+
+  /// Convenience gains used by the matrix/figure benches. Devices are taken
+  /// at full battery; `tx` transmits to `rx` (roles alternate when
+  /// bidirectional).
+  double gain_vs_bluetooth(const energy::DeviceSpec& tx,
+                           const energy::DeviceSpec& rx,
+                           const LifetimeConfig& config) const;
+  double gain_vs_best_mode(const energy::DeviceSpec& tx,
+                           const energy::DeviceSpec& rx,
+                           const LifetimeConfig& config) const;
+
+  const baseline::BluetoothRadioModel& bluetooth_model() const {
+    return bluetooth_;
+  }
+  const RegimeMap& regimes() const { return regimes_; }
+
+ private:
+  std::vector<ModeCandidate> candidates_at(double distance_m) const;
+  OffloadPlan planned(const std::vector<ModeCandidate>& candidates,
+                      double e1, double e2, bool bidirectional) const;
+  void apply_switch_overhead(OffloadPlan& plan,
+                             const LifetimeConfig& config) const;
+  static double plan_seconds_per_bit(const OffloadPlan& plan);
+
+  const PowerTable& table_;
+  RegimeMap regimes_;
+  baseline::BluetoothRadioModel bluetooth_;
+};
+
+}  // namespace braidio::core

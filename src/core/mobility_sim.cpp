@@ -1,0 +1,159 @@
+#include "core/mobility_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/bluetooth.hpp"
+#include "core/braidio_radio.hpp"
+#include "util/units.hpp"
+
+namespace braidio::core {
+
+MobilityTrace::MobilityTrace(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  if (waypoints_.size() < 2) {
+    throw std::invalid_argument("MobilityTrace: need >= 2 waypoints");
+  }
+  if (waypoints_.front().time_s != 0.0) {
+    throw std::invalid_argument("MobilityTrace: must start at t = 0");
+  }
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (!(waypoints_[i].time_s > waypoints_[i - 1].time_s)) {
+      throw std::invalid_argument("MobilityTrace: time must increase");
+    }
+    if (waypoints_[i].distance_m < 0.0) {
+      throw std::invalid_argument("MobilityTrace: negative distance");
+    }
+  }
+}
+
+MobilityTrace MobilityTrace::random_walk(double min_distance_m,
+                                         double max_distance_m,
+                                         double speed_mps, double duration_s,
+                                         std::uint64_t seed) {
+  if (!(min_distance_m >= 0.0) || !(max_distance_m > min_distance_m) ||
+      !(speed_mps > 0.0) || !(duration_s > 0.0)) {
+    throw std::invalid_argument("random_walk: bad parameters");
+  }
+  util::Rng rng(seed);
+  std::vector<Waypoint> points;
+  double t = 0.0;
+  double d = rng.uniform(min_distance_m, max_distance_m);
+  points.push_back({0.0, d});
+  while (t < duration_s) {
+    const double target = rng.uniform(min_distance_m, max_distance_m);
+    const double travel = std::fabs(target - d) / speed_mps;
+    const double dwell = rng.uniform(0.5, 3.0);
+    t += std::max(travel, 1e-3);
+    points.push_back({t, target});
+    t += dwell;
+    points.push_back({t, target});
+    d = target;
+  }
+  return MobilityTrace(std::move(points));
+}
+
+double MobilityTrace::distance_at(double time_s) const {
+  if (time_s <= 0.0) return waypoints_.front().distance_m;
+  if (time_s >= waypoints_.back().time_s) {
+    return waypoints_.back().distance_m;
+  }
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (time_s <= waypoints_[i].time_s) {
+      const auto& a = waypoints_[i - 1];
+      const auto& b = waypoints_[i];
+      const double f = (time_s - a.time_s) / (b.time_s - a.time_s);
+      return a.distance_m + f * (b.distance_m - a.distance_m);
+    }
+  }
+  return waypoints_.back().distance_m;
+}
+
+MobilitySimulator::MobilitySimulator(const PowerTable& table,
+                                     const phy::LinkBudget& budget)
+    : table_(table), budget_(budget), regimes_(table, budget) {}
+
+MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
+                                       const MobilitySimConfig& config) const {
+  if (!(config.replan_interval_s > 0.0)) {
+    throw std::invalid_argument("MobilitySimulator: bad replan interval");
+  }
+  MobilityOutcome outcome;
+  double e1 = util::wh_to_joules(config.e1_wh);
+  double e2 = util::wh_to_joules(config.e2_wh);
+  const double e1_0 = e1, e2_0 = e2;
+  double bt1 = e1, bt2 = e2;  // independent budget for the BT baseline
+  baseline::BluetoothRadioModel bluetooth;
+
+  std::string last_plan;
+  for (double t = 0.0; t < trace.duration_s() && e1 > 0.0 && e2 > 0.0;
+       t += config.replan_interval_s) {
+    const double dt =
+        std::min(config.replan_interval_s, trace.duration_s() - t);
+    const double d = trace.distance_at(t);
+    MobilitySample sample;
+    sample.time_s = t;
+    sample.distance_m = d;
+    sample.regime = regimes_.regime(d);
+
+    const auto candidates = regimes_.available_best_rate(d);
+    if (candidates.empty()) {
+      // Out of range entirely: idle floor only.
+      sample.link_up = false;
+      sample.plan = "(no link)";
+      e1 = std::max(0.0, e1 - BraidioRadio::kIdleFloorW * dt);
+      e2 = std::max(0.0, e2 - BraidioRadio::kIdleFloorW * dt);
+    } else {
+      const auto plan =
+          config.bidirectional
+              ? OffloadPlanner::plan_bidirectional(candidates, e1, e2)
+              : OffloadPlanner::plan(candidates, e1, e2);
+      ++outcome.replans;
+      sample.plan = plan.summary();
+      if (sample.plan != last_plan) {
+        if (!last_plan.empty()) ++outcome.plan_changes;
+        last_plan = sample.plan;
+      }
+      // Throughput of the braid: seconds per bit from the mode mix.
+      double s_per_bit = 0.0;
+      for (const auto& e : plan.entries) {
+        if (e.reverse) {
+          s_per_bit += e.fraction * (0.5 / e.candidate.bits_per_second() +
+                                     0.5 / e.reverse->bits_per_second());
+        } else {
+          s_per_bit += e.fraction / e.candidate.bits_per_second();
+        }
+      }
+      double bits = dt / s_per_bit;
+      // Battery-limited cap.
+      bits = std::min(bits, e1 / plan.tx_joules_per_bit);
+      bits = std::min(bits, e2 / plan.rx_joules_per_bit);
+      outcome.total_bits += bits;
+      e1 -= bits * plan.tx_joules_per_bit;
+      e2 -= bits * plan.rx_joules_per_bit;
+    }
+    // Bluetooth baseline on the same trace: works wherever its (active)
+    // link works, same per-bit energies everywhere.
+    if (budget_.available(phy::LinkMode::Active, phy::Bitrate::M1, d) &&
+        bt1 > 0.0 && bt2 > 0.0) {
+      double bt_bits = dt * bluetooth.bitrate_bps;
+      bt_bits = std::min(bt_bits, bt1 / bluetooth.tx_energy_per_bit());
+      bt_bits = std::min(bt_bits, bt2 / bluetooth.rx_energy_per_bit());
+      outcome.bluetooth_bits += bt_bits;
+      bt1 -= bt_bits * bluetooth.tx_energy_per_bit();
+      bt2 -= bt_bits * bluetooth.rx_energy_per_bit();
+    }
+    sample.bits_so_far = outcome.total_bits;
+    sample.device1_joules_used = e1_0 - e1;
+    sample.device2_joules_used = e2_0 - e2;
+    outcome.samples.push_back(std::move(sample));
+  }
+  outcome.device1_joules = e1_0 - e1;
+  outcome.device2_joules = e2_0 - e2;
+  outcome.bluetooth_d1_joules = util::wh_to_joules(config.e1_wh) - bt1;
+  outcome.bluetooth_d2_joules = util::wh_to_joules(config.e2_wh) - bt2;
+  return outcome;
+}
+
+}  // namespace braidio::core

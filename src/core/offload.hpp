@@ -1,0 +1,96 @@
+// Energy-aware carrier offload: the decision engine of Sec. 4.2 (Eq. 1).
+//
+// Given the per-bit costs (T_i, R_i) of every available (mode, bitrate)
+// candidate and the energy levels (E1, E2) of the two endpoints, find the
+// bit-fractions p_i that
+//
+//     minimize   sum_i p_i (T_i + R_i)
+//     subject to sum_i p_i = 1,
+//                (sum_i p_i T_i) / (sum_i p_i R_i) = E1 / E2.
+//
+// This is a linear program with two equality constraints, so some optimal
+// solution mixes at most two candidates; we solve it exactly by pairwise
+// enumeration (n <= ~9 candidates). Power-proportional drain maximizes the
+// bits moved before the first battery dies whenever the target ratio is
+// inside the achievable ratio span; outside it (Regimes B/C with extreme
+// asymmetry) no plan can be proportional, and the best achievable plan is
+// the single candidate that minimizes the binding end's per-bit cost.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/power_table.hpp"
+
+namespace braidio::core {
+
+struct PlanEntry {
+  ModeCandidate candidate;  // forward-direction operating point
+  /// Bidirectional plans pair each forward operating point with a reverse
+  /// one (roles swapped); unset for unidirectional plans.
+  std::optional<ModeCandidate> reverse;
+  double fraction = 0.0;  // fraction of bits sent in this operating point
+};
+
+struct OffloadPlan {
+  std::vector<PlanEntry> entries;
+
+  /// True when the drain ratio exactly matches E1/E2.
+  bool proportional = false;
+
+  /// Weighted per-bit drain at each end [J/bit].
+  double tx_joules_per_bit = 0.0;
+  double rx_joules_per_bit = 0.0;
+  double total_joules_per_bit() const {
+    return tx_joules_per_bit + rx_joules_per_bit;
+  }
+  /// Achieved TX:RX drain ratio.
+  double achieved_ratio() const {
+    return tx_joules_per_bit / rx_joules_per_bit;
+  }
+
+  /// True when a requested minimum throughput was met (always true for
+  /// plans without a throughput constraint).
+  bool meets_throughput = true;
+
+  /// Bits moved before the first battery empties, from energies in joules.
+  double bits_until_depletion(double e1_joules, double e2_joules) const;
+
+  std::string summary() const;
+};
+
+/// Delivered throughput of a plan [bits/s]: 1 / sum(p_i / rate_i), with
+/// bidirectional composites averaging their two legs.
+double plan_throughput_bps(const OffloadPlan& plan);
+
+class OffloadPlanner {
+ public:
+  /// Plan for data flowing TX(E1) -> RX(E2) over `candidates`.
+  /// Throws std::invalid_argument when `candidates` is empty or energies
+  /// are not positive.
+  static OffloadPlan plan(const std::vector<ModeCandidate>& candidates,
+                          double e1_joules, double e2_joules);
+
+  /// Bi-directional plan with an equal data split: each "composite bit" is
+  /// half a bit in each direction; direction 2 swaps the TX/RX roles of the
+  /// candidate costs. Returns the plan over composite candidates whose
+  /// labels read "fwd:<mode>|rev:<mode>".
+  static OffloadPlan plan_bidirectional(
+      const std::vector<ModeCandidate>& candidates, double e1_joules,
+      double e2_joules);
+
+  /// Eq. 1 with a deadline: the minimum-energy power-proportional plan
+  /// whose throughput is at least `min_bps`. Energy-optimal braids lean on
+  /// slow modes at distance; a transfer with a deadline may need to buy
+  /// throughput with energy. With the extra (tight) throughput constraint
+  /// an optimal basic solution mixes at most three candidates, found by
+  /// exact triple enumeration. When no proportional plan can reach
+  /// `min_bps`, returns the fastest proportional plan with
+  /// `meets_throughput = false`.
+  static OffloadPlan plan_with_min_throughput(
+      const std::vector<ModeCandidate>& candidates, double e1_joules,
+      double e2_joules, double min_bps);
+};
+
+}  // namespace braidio::core

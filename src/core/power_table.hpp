@@ -1,0 +1,68 @@
+// The calibrated Braidio power model.
+//
+// The paper publishes, for each (mode, bitrate), the TX:RX bits-per-joule
+// ratio (Figs. 9 and 14), the carrier-side power budget (129 mW for the
+// carrier-holding end), and the floor (16 uW, the backscatter tag at
+// 10 kbps). Those constraints pin the full power table; see DESIGN.md §4.
+// The table is the single source of truth for every energy computation in
+// the offload planner and the lifetime simulators.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "phy/link_mode.hpp"
+
+namespace braidio::core {
+
+/// One operating point: a (mode, bitrate) pair with its per-end powers.
+struct ModeCandidate {
+  phy::LinkMode mode = phy::LinkMode::Active;
+  phy::Bitrate rate = phy::Bitrate::M1;
+  double tx_power_w = 0.0;  // data-transmitter side
+  double rx_power_w = 0.0;  // data-receiver side
+
+  double bits_per_second() const { return phy::bitrate_bps(rate); }
+  /// Per-bit energy at each end (the paper's T_i and R_i of Eq. 1).
+  double tx_joules_per_bit() const { return tx_power_w / bits_per_second(); }
+  double rx_joules_per_bit() const { return rx_power_w / bits_per_second(); }
+  /// TX:RX efficiency ratio expressed as the paper does ("1:2546" -> this
+  /// returns 1/2546): (bits/J at TX) / (bits/J at RX) = rx_power / tx_power.
+  double efficiency_ratio() const { return rx_power_w / tx_power_w; }
+
+  std::string label() const;
+
+  bool operator==(const ModeCandidate&) const = default;
+};
+
+/// Per-mode energy cost of switching *into* a mode (Table 5), per end.
+struct SwitchOverhead {
+  double tx_joules = 0.0;
+  double rx_joules = 0.0;
+};
+
+class PowerTable {
+ public:
+  /// Build the calibrated table (DESIGN.md §4).
+  PowerTable();
+
+  /// All nine (mode, bitrate) operating points.
+  const std::vector<ModeCandidate>& candidates() const { return entries_; }
+
+  /// Lookup one operating point.
+  const ModeCandidate& candidate(phy::LinkMode mode, phy::Bitrate rate) const;
+
+  /// Table 5 switching overhead for a mode.
+  const SwitchOverhead& switch_overhead(phy::LinkMode mode) const;
+
+  /// Paper headline: min/max power over every mode/end (16 uW - 129 mW).
+  double min_power_w() const;
+  double max_power_w() const;
+
+ private:
+  std::vector<ModeCandidate> entries_;
+  SwitchOverhead overheads_[3];
+};
+
+}  // namespace braidio::core

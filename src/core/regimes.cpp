@@ -1,0 +1,67 @@
+#include "core/regimes.hpp"
+
+#include <algorithm>
+
+namespace braidio::core {
+
+const char* to_string(Regime regime) {
+  switch (regime) {
+    case Regime::A: return "A";
+    case Regime::B: return "B";
+    case Regime::C: return "C";
+  }
+  return "?";
+}
+
+RegimeMap::RegimeMap(const PowerTable& table, const phy::LinkBudget& budget)
+    : table_(table), budget_(budget) {}
+
+std::vector<ModeCandidate> RegimeMap::available(double distance_m) const {
+  std::vector<ModeCandidate> out;
+  for (const auto& candidate : table_.candidates()) {
+    if (budget_.available(candidate.mode, candidate.rate, distance_m)) {
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+std::vector<ModeCandidate> RegimeMap::available_best_rate(
+    double distance_m) const {
+  std::vector<ModeCandidate> out;
+  for (phy::LinkMode mode : phy::kAllLinkModes) {
+    if (const auto rate = budget_.best_bitrate(mode, distance_m)) {
+      out.push_back(table_.candidate(mode, *rate));
+    }
+  }
+  return out;
+}
+
+Regime RegimeMap::regime(double distance_m) const {
+  if (budget_.best_bitrate(phy::LinkMode::Backscatter, distance_m)) {
+    return Regime::A;
+  }
+  if (budget_.best_bitrate(phy::LinkMode::PassiveRx, distance_m)) {
+    return Regime::B;
+  }
+  return Regime::C;
+}
+
+double RegimeMap::regime_a_limit_m() const {
+  double limit = 0.0;
+  for (phy::Bitrate rate : phy::kAllBitrates) {
+    limit = std::max(limit,
+                     budget_.range_m(phy::LinkMode::Backscatter, rate));
+  }
+  return limit;
+}
+
+double RegimeMap::regime_b_limit_m() const {
+  double limit = 0.0;
+  for (phy::Bitrate rate : phy::kAllBitrates) {
+    limit = std::max(limit, budget_.range_m(phy::LinkMode::PassiveRx, rate));
+  }
+  return limit;
+}
+
+}  // namespace braidio::core

@@ -1,0 +1,47 @@
+// Operating regimes (Sec. 4.1, Fig. 8).
+//
+// Which links exist at a given separation decides how much carrier-offload
+// freedom the endpoints have:
+//   Regime A: backscatter available -> the carrier can sit at either end.
+//   Regime B: only passive + active -> asymmetry can favor the receiver.
+//   Regime C: only active -> no offload, Braidio behaves like Bluetooth.
+#pragma once
+
+#include <vector>
+
+#include "core/power_table.hpp"
+#include "phy/link_budget.hpp"
+
+namespace braidio::core {
+
+enum class Regime { A, B, C };
+
+const char* to_string(Regime regime);
+
+class RegimeMap {
+ public:
+  RegimeMap(const PowerTable& table, const phy::LinkBudget& budget);
+
+  /// All (mode, bitrate) candidates whose BER clears the threshold at d.
+  std::vector<ModeCandidate> available(double distance_m) const;
+
+  /// Candidates restricted to each mode's best sustainable bitrate at d
+  /// (what the probing step of Sec. 4.2 reports).
+  std::vector<ModeCandidate> available_best_rate(double distance_m) const;
+
+  Regime regime(double distance_m) const;
+
+  /// Regime boundaries [m]: the largest distances where backscatter
+  /// (A->B boundary) and passive-RX (B->C boundary) still operate.
+  double regime_a_limit_m() const;
+  double regime_b_limit_m() const;
+
+  const phy::LinkBudget& budget() const { return budget_; }
+  const PowerTable& table() const { return table_; }
+
+ private:
+  const PowerTable& table_;
+  const phy::LinkBudget& budget_;
+};
+
+}  // namespace braidio::core

@@ -1,0 +1,53 @@
+#include "core/wakeup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace braidio::core {
+
+double DutyCycleListener::average_power_w(double duty) const {
+  if (!(duty > 0.0) || duty > 1.0) {
+    throw std::domain_error("DutyCycleListener: duty out of (0,1]");
+  }
+  // Listening windows of on_time_s at rate duty / on_time_s per second,
+  // each paying the start-up overhead.
+  const double windows_per_s = duty / on_time_s;
+  return duty * rx_power_w + windows_per_s * wake_overhead_j;
+}
+
+double DutyCycleListener::expected_latency_s(double duty) const {
+  if (!(duty > 0.0) || duty > 1.0) {
+    throw std::domain_error("DutyCycleListener: duty out of (0,1]");
+  }
+  // The peer beacons continuously; the listener catches it in the first
+  // window that opens. Mean wait = half the off period.
+  const double period = on_time_s / duty;
+  return 0.5 * (period - on_time_s);
+}
+
+double DutyCycleListener::duty_for_latency(double latency_s) const {
+  if (!(latency_s >= 0.0)) {
+    throw std::domain_error("DutyCycleListener: negative latency");
+  }
+  // latency = 0.5 (T/d - T)  ->  d = T / (2 latency + T).
+  return std::clamp(on_time_s / (2.0 * latency_s + on_time_s), 1e-9, 1.0);
+}
+
+double PassiveWakeupListener::expected_latency_s() const {
+  const double airtime = pattern_bits / pattern_bitrate_bps;
+  if (miss_probability < 0.0 || miss_probability >= 1.0) {
+    throw std::domain_error("PassiveWakeupListener: bad miss probability");
+  }
+  // Geometric retries: E[attempts] = 1 / (1 - p_miss).
+  return airtime / (1.0 - miss_probability);
+}
+
+double equal_latency_power_ratio(const DutyCycleListener& active,
+                                 const PassiveWakeupListener& passive) {
+  const double target = passive.expected_latency_s();
+  const double duty = active.duty_for_latency(target);
+  return active.average_power_w(duty) / passive.average_power_w();
+}
+
+}  // namespace braidio::core

@@ -1,0 +1,55 @@
+// The passive receiver as an always-on wake-up radio.
+//
+// Sec. 4 calls the passive receiver mode "not one we sought out to design,
+// but ... an interesting option"; its killer application is rendezvous.
+// A conventional radio must duty-cycle its receiver to save idle-listening
+// energy, trading wake-up latency for power (the [21]/[38] wake-up-radio
+// line of work the paper cites). Braidio's envelope-detector chain listens
+// *continuously* at tens of microwatts: the peer just keys its carrier and
+// the comparator fires.
+//
+// This model compares the two rendezvous strategies over the idle-power /
+// latency plane:
+//   * duty-cycled active listening: P = d * P_rx_active + wake overhead,
+//     expected latency ~ (1/d - 1) * T_on / 2 for a beacon stream;
+//   * passive wake-up: P = envelope chain floor, latency ~ wake pattern
+//     airtime.
+#pragma once
+
+namespace braidio::core {
+
+struct DutyCycleListener {
+  double rx_power_w = 0.09006;    // active receive chain
+  double on_time_s = 2e-3;        // per listen window
+  double wake_overhead_j = 3.64e-6;  // radio start-up (Table 5 active RX)
+
+  /// Average idle power at duty cycle d (0 < d <= 1).
+  double average_power_w(double duty) const;
+  /// Expected rendezvous latency against a continuously beaconing peer.
+  double expected_latency_s(double duty) const;
+  /// Duty cycle needed to hit a target latency.
+  double duty_for_latency(double latency_s) const;
+};
+
+struct PassiveWakeupListener {
+  double listen_power_w = 23.04e-6;  // envelope chain at 10 kbps floor
+  double pattern_bits = 32;          // wake pattern length
+  double pattern_bitrate_bps = 10e3;
+  /// Probability a wake pattern is missed (comparator noise); retries add
+  /// latency.
+  double miss_probability = 0.01;
+
+  double average_power_w() const { return listen_power_w; }
+  /// Expected latency: pattern airtime times the expected retry count.
+  double expected_latency_s() const;
+  /// Wake-up range [m]: the passive link's operating range at the pattern
+  /// bitrate (5.1 m with the default calibration).
+};
+
+/// Energy advantage of passive wake-up at equal latency: how much idle
+/// power a duty-cycled active listener must spend to match the passive
+/// listener's latency, divided by the passive listening power.
+double equal_latency_power_ratio(const DutyCycleListener& active,
+                                 const PassiveWakeupListener& passive);
+
+}  // namespace braidio::core

@@ -1,0 +1,44 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace braidio::energy {
+
+Battery::Battery(double capacity_wh)
+    : capacity_j_(util::wh_to_joules(capacity_wh)),
+      remaining_j_(capacity_j_) {
+  if (!(capacity_wh > 0.0)) {
+    throw std::invalid_argument("Battery: capacity must be > 0 Wh");
+  }
+}
+
+double Battery::capacity_wh() const { return util::joules_to_wh(capacity_j_); }
+
+double Battery::remaining_wh() const {
+  return util::joules_to_wh(remaining_j_);
+}
+
+double Battery::fraction_remaining() const {
+  return remaining_j_ / capacity_j_;
+}
+
+double Battery::drain(double joules) {
+  if (joules < 0.0) throw std::invalid_argument("Battery::drain: negative");
+  const double taken = std::min(joules, remaining_j_);
+  remaining_j_ -= taken;
+  return taken;
+}
+
+double Battery::seconds_at(double watts) const {
+  if (watts < 0.0) throw std::invalid_argument("Battery::seconds_at: negative");
+  if (watts == 0.0) return std::numeric_limits<double>::infinity();
+  return remaining_j_ / watts;
+}
+
+void Battery::recharge() { remaining_j_ = capacity_j_; }
+
+}  // namespace braidio::energy

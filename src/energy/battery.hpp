@@ -1,0 +1,47 @@
+// Battery model: a finite energy reservoir drained by the radio simulators.
+//
+// The paper's lifetime experiments (Figs. 15-18) run two devices until the
+// first battery is exhausted; Battery is the primitive those experiments
+// drain. The model is energy-only (no voltage sag / rate effects): the
+// paper's simulator makes the same simplification.
+#pragma once
+
+#include <string>
+
+namespace braidio::energy {
+
+class Battery {
+ public:
+  /// Construct a full battery with the given capacity in watt-hours (> 0).
+  explicit Battery(double capacity_wh);
+
+  /// Capacity in joules / watt-hours.
+  double capacity_joules() const { return capacity_j_; }
+  double capacity_wh() const;
+
+  /// Remaining energy in joules (never negative).
+  double remaining_joules() const { return remaining_j_; }
+  double remaining_wh() const;
+
+  /// Remaining fraction in [0, 1].
+  double fraction_remaining() const;
+
+  bool empty() const { return remaining_j_ <= 0.0; }
+
+  /// Drain `joules` (>= 0). Returns the energy actually drained, which is
+  /// less than requested only when the battery empties.
+  double drain(double joules);
+
+  /// Seconds this battery can sustain a constant power draw [W]; +inf for
+  /// zero draw.
+  double seconds_at(double watts) const;
+
+  /// Refill to capacity.
+  void recharge();
+
+ private:
+  double capacity_j_;
+  double remaining_j_;
+};
+
+}  // namespace braidio::energy

@@ -1,0 +1,42 @@
+#include "energy/device_catalog.hpp"
+
+#include <algorithm>
+
+namespace braidio::energy {
+
+const std::vector<DeviceSpec>& device_catalog() {
+  static const std::vector<DeviceSpec> catalog = {
+      {"Nike Fuel Band", 0.26, "70 mAh @ 3.7 V (teardown)"},
+      {"Pebble Watch", 0.48, "130 mAh @ 3.7 V (iFixit teardown)"},
+      {"Apple Watch", 0.78, "205 mAh @ 3.8 V (iFixit teardown)"},
+      {"Pivothead", 1.63, "440 mAh @ 3.7 V (vendor spec)"},
+      {"iPhone 6S", 6.55, "1715 mAh @ 3.82 V (Apple spec)"},
+      {"iPhone 6 Plus", 11.1, "2915 mAh @ 3.82 V (Apple spec)"},
+      {"Nexus 6P", 13.3, "3450 mAh @ 3.85 V (Google spec)"},
+      {"Surface Book", 69.0, "18 Wh tablet + 51 Wh base (Microsoft spec)"},
+      {"MacBook Pro 13", 74.9, "74.9 Wh (Apple spec)"},
+      {"MacBook Pro 15", 99.5, "99.5 Wh (Apple spec)"},
+  };
+  return catalog;
+}
+
+std::optional<DeviceSpec> find_device(const std::string& name) {
+  const auto& catalog = device_catalog();
+  const auto it = std::find_if(
+      catalog.begin(), catalog.end(),
+      [&](const DeviceSpec& d) { return d.name == name; });
+  if (it == catalog.end()) return std::nullopt;
+  return *it;
+}
+
+double catalog_capacity_span() {
+  const auto& catalog = device_catalog();
+  const auto [mn, mx] = std::minmax_element(
+      catalog.begin(), catalog.end(),
+      [](const DeviceSpec& a, const DeviceSpec& b) {
+        return a.battery_wh < b.battery_wh;
+      });
+  return mx->battery_wh / mn->battery_wh;
+}
+
+}  // namespace braidio::energy

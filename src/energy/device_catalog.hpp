@@ -1,0 +1,36 @@
+// The ten mobile devices of Figure 1 with their battery capacities.
+//
+// The paper plots capacities from public specs/teardowns but never tabulates
+// the watt-hour values; we use published teardown capacities (cited below).
+// The catalog is ordered smallest to largest, matching the figure's axis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "energy/battery.hpp"
+
+namespace braidio::energy {
+
+struct DeviceSpec {
+  std::string name;
+  double battery_wh;  // nominal full-charge energy
+  std::string note;   // provenance of the capacity number
+
+  Battery make_battery() const { return Battery(battery_wh); }
+};
+
+/// All ten devices of Fig. 1, smallest battery first:
+/// Nike Fuel Band, Pebble Watch, Apple Watch, Pivothead, iPhone 6S,
+/// iPhone 6 Plus, Nexus 6P, Surface Book, MacBook Pro 13, MacBook Pro 15.
+const std::vector<DeviceSpec>& device_catalog();
+
+/// Lookup by exact name; nullopt if absent.
+std::optional<DeviceSpec> find_device(const std::string& name);
+
+/// Largest/smallest capacity ratio across the catalog (the "three orders of
+/// magnitude" the paper's introduction cites).
+double catalog_capacity_span();
+
+}  // namespace braidio::energy

@@ -1,0 +1,59 @@
+#include "energy/ledger.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace braidio::energy {
+
+const char* to_string(EnergyCategory category) {
+  switch (category) {
+    case EnergyCategory::CarrierGeneration: return "carrier";
+    case EnergyCategory::ActiveTx: return "active-tx";
+    case EnergyCategory::ActiveRx: return "active-rx";
+    case EnergyCategory::PassiveRx: return "passive-rx";
+    case EnergyCategory::BackscatterTx: return "backscatter-tx";
+    case EnergyCategory::ModeSwitch: return "mode-switch";
+    case EnergyCategory::Mcu: return "mcu";
+    case EnergyCategory::Idle: return "idle";
+  }
+  return "?";
+}
+
+void EnergyLedger::charge(EnergyCategory category, double joules) {
+  if (joules < 0.0) {
+    throw std::invalid_argument("EnergyLedger::charge: negative energy");
+  }
+  entries_[category] += joules;
+}
+
+double EnergyLedger::total_joules() const {
+  double sum = 0.0;
+  for (const auto& [cat, j] : entries_) sum += j;
+  return sum;
+}
+
+double EnergyLedger::joules(EnergyCategory category) const {
+  const auto it = entries_.find(category);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) {
+  for (const auto& [cat, j] : other.entries_) entries_[cat] += j;
+}
+
+void EnergyLedger::clear() { entries_.clear(); }
+
+std::string EnergyLedger::report() const {
+  std::ostringstream os;
+  os << "energy breakdown (J):\n";
+  for (const auto& [cat, j] : entries_) {
+    if (j == 0.0) continue;
+    os << "  " << to_string(cat) << ": " << j << '\n';
+  }
+  os << "  total: " << total_joules() << '\n';
+  return os.str();
+}
+
+}  // namespace braidio::energy

@@ -1,0 +1,54 @@
+// Per-component energy accounting.
+//
+// Every simulator charge (carrier generation, decoding, MCU, mode-switch
+// overhead, ...) is posted to an EnergyLedger so experiments can report where
+// the joules went, not just totals.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace braidio::energy {
+
+/// The accounting categories used by the radio simulators.
+enum class EnergyCategory {
+  CarrierGeneration,  // PLL/PA while emitting a carrier
+  ActiveTx,           // full active-radio transmit chain
+  ActiveRx,           // full active-radio receive chain
+  PassiveRx,          // envelope detector + comparator + amp
+  BackscatterTx,      // tag-side reflection (RF transistor + clock)
+  ModeSwitch,         // Table 5 transition overheads
+  Mcu,                // controller baseline
+  Idle,               // sleep / listen floor
+};
+
+/// Human-readable category name.
+const char* to_string(EnergyCategory category);
+
+class EnergyLedger {
+ public:
+  /// Post `joules` (>= 0) against a category.
+  void charge(EnergyCategory category, double joules);
+
+  /// Total posted across all categories.
+  double total_joules() const;
+
+  /// Total for one category (0 if never charged).
+  double joules(EnergyCategory category) const;
+
+  /// Merge another ledger into this one.
+  void merge(const EnergyLedger& other);
+
+  /// Reset all counters.
+  void clear();
+
+  /// Multi-line breakdown report, categories in enum order, omitting zeros.
+  std::string report() const;
+
+  const std::map<EnergyCategory, double>& entries() const { return entries_; }
+
+ private:
+  std::map<EnergyCategory, double> entries_;
+};
+
+}  // namespace braidio::energy

@@ -1,0 +1,25 @@
+// CRC-16/CCITT-FALSE and CRC-32 (IEEE 802.3), table-driven.
+//
+// Frames carry CRC-16 (short links, low overhead); CRC-32 is provided for
+// bulk-transfer integrity checks in the examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace braidio::mac {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+/// Incremental form: continue from a previous CRC state.
+std::uint16_t crc16_update(std::uint16_t state,
+                           std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE): poly 0x04C11DB7 reflected, init/xorout 0xFFFFFFFF.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data);
+
+}  // namespace braidio::mac

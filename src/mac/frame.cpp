@@ -1,0 +1,74 @@
+#include "mac/frame.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "mac/crc.hpp"
+
+namespace braidio::mac {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::Data: return "data";
+    case FrameType::Ack: return "ack";
+    case FrameType::Probe: return "probe";
+    case FrameType::ProbeReport: return "probe-report";
+    case FrameType::BatteryStatus: return "battery-status";
+    case FrameType::ModeSwitch: return "mode-switch";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> serialize(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::invalid_argument("serialize: payload too large");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.wire_size());
+  out.push_back(static_cast<std::uint8_t>(
+      (kFrameMagic << 4) | (static_cast<std::uint8_t>(frame.type) & 0x0F)));
+  out.push_back(frame.source);
+  out.push_back(frame.destination);
+  out.push_back(static_cast<std::uint8_t>(frame.sequence & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(frame.sequence >> 8));
+  const auto len = static_cast<std::uint16_t>(frame.payload.size());
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  const std::uint16_t crc = crc16(std::span(out));
+  out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return out;
+}
+
+std::optional<Frame> deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes + kCrcBytes) return std::nullopt;
+  if ((bytes[0] >> 4) != kFrameMagic) return std::nullopt;
+  const auto type_nibble = static_cast<std::uint8_t>(bytes[0] & 0x0F);
+  if (type_nibble > static_cast<std::uint8_t>(FrameType::ModeSwitch)) {
+    return std::nullopt;
+  }
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(bytes[5]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(bytes[6]) << 8);
+  if (len > kMaxPayloadBytes) return std::nullopt;
+  if (bytes.size() != kHeaderBytes + len + kCrcBytes) return std::nullopt;
+  const std::size_t crc_at = kHeaderBytes + len;
+  const std::uint16_t got =
+      static_cast<std::uint16_t>(bytes[crc_at]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(bytes[crc_at + 1])
+                                 << 8);
+  if (crc16(bytes.first(crc_at)) != got) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_nibble);
+  frame.source = bytes[1];
+  frame.destination = bytes[2];
+  frame.sequence = static_cast<std::uint16_t>(
+      bytes[3] | static_cast<std::uint16_t>(bytes[4]) << 8);
+  frame.payload.assign(bytes.begin() + kHeaderBytes,
+                       bytes.begin() + static_cast<std::ptrdiff_t>(crc_at));
+  return frame;
+}
+
+}  // namespace braidio::mac

@@ -1,0 +1,44 @@
+#include "mac/link_adaptation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace braidio::mac {
+
+SnrEstimator::SnrEstimator(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("SnrEstimator: alpha out of (0,1]");
+  }
+}
+
+void SnrEstimator::update(double snr_db, double timestamp_s) {
+  if (estimate_db_) {
+    innovation_db_ = std::fabs(snr_db - *estimate_db_);
+    estimate_db_ = *estimate_db_ + alpha_ * (snr_db - *estimate_db_);
+  } else {
+    innovation_db_ = 0.0;
+    estimate_db_ = snr_db;
+  }
+  last_update_s_ = timestamp_s;
+}
+
+std::optional<double> SnrEstimator::snr_db() const { return estimate_db_; }
+
+bool SnrEstimator::stale(double now_s, double max_age_s) const {
+  return !estimate_db_ || (now_s - last_update_s_) > max_age_s;
+}
+
+void SnrEstimator::reset() {
+  estimate_db_.reset();
+  last_update_s_ = -1e300;
+  innovation_db_ = 0.0;
+}
+
+RateSelector::RateSelector(RateSelectorConfig config) : config_(config) {
+  if (!(config_.target_ber > 0.0) || !(config_.target_ber < 0.5) ||
+      config_.up_margin_db < 0.0) {
+    throw std::invalid_argument("RateSelector: bad config");
+  }
+}
+
+}  // namespace braidio::mac

@@ -1,0 +1,89 @@
+// Link-quality tracking and bitrate adaptation.
+//
+// Sec. 4.2's dynamics: "Braidio simply falls back to the active mode if
+// the current operating mode is performing poorly ... If SNR or loss rate
+// changes significantly, it recalculates". This module provides the two
+// estimators that decision needs:
+//   * SnrEstimator — an EWMA over probe-report SNRs with a staleness
+//     clock, so momentary fades don't thrash the plan;
+//   * RateSelector — per-mode bitrate selection with hysteresis: step down
+//     as soon as the SNR margin is gone, step back up only when the faster
+//     rate's requirement is exceeded by `up_margin_db` (avoids ping-pong
+//     at a rate boundary).
+#pragma once
+
+#include <optional>
+
+#include "phy/ber.hpp"
+#include "phy/link_mode.hpp"
+
+namespace braidio::mac {
+
+class SnrEstimator {
+ public:
+  /// `alpha` is the EWMA weight of a new sample (0 < alpha <= 1).
+  explicit SnrEstimator(double alpha = 0.25);
+
+  /// Fold in a probe measurement taken at `timestamp_s`.
+  void update(double snr_db, double timestamp_s);
+
+  /// Current estimate; nullopt before the first sample.
+  std::optional<double> snr_db() const;
+
+  /// True if no sample arrived within `max_age_s` of `now_s`.
+  bool stale(double now_s, double max_age_s) const;
+
+  /// |latest sample - previous estimate| of the last update: the
+  /// "changed significantly" trigger.
+  double last_innovation_db() const { return innovation_db_; }
+
+  void reset();
+
+ private:
+  double alpha_;
+  std::optional<double> estimate_db_;
+  double last_update_s_ = -1e300;
+  double innovation_db_ = 0.0;
+};
+
+struct RateSelectorConfig {
+  double target_ber = 0.01;   // the Fig. 13 operating threshold
+  double up_margin_db = 3.0;  // hysteresis for stepping up
+};
+
+class RateSelector {
+ public:
+  explicit RateSelector(RateSelectorConfig config = {});
+
+  /// Best sustainable bitrate for `mode` at the estimated SNR, relative to
+  /// the SNR that (mode, rate) needs for the target BER, supplied by
+  /// `required_snr_db(rate)`. Stateless requirement model, stateful
+  /// hysteresis. Returns nullopt if even 10 kbps cannot be sustained.
+  template <typename RequiredSnrFn>
+  std::optional<phy::Bitrate> select(double snr_db,
+                                     RequiredSnrFn required_snr_db) {
+    std::optional<phy::Bitrate> best;
+    for (phy::Bitrate rate :
+         {phy::Bitrate::M1, phy::Bitrate::k100, phy::Bitrate::k10}) {
+      const double need = required_snr_db(rate);
+      const bool is_upgrade =
+          current_ && static_cast<int>(rate) > static_cast<int>(*current_);
+      const double margin = is_upgrade ? config_.up_margin_db : 0.0;
+      if (snr_db >= need + margin) {
+        best = rate;
+        break;
+      }
+    }
+    current_ = best;
+    return best;
+  }
+
+  std::optional<phy::Bitrate> current() const { return current_; }
+  void reset() { current_.reset(); }
+
+ private:
+  RateSelectorConfig config_;
+  std::optional<phy::Bitrate> current_;
+};
+
+}  // namespace braidio::mac

@@ -1,0 +1,68 @@
+#include "mac/packet_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/ber.hpp"
+#include "rf/fading.hpp"
+#include "util/units.hpp"
+
+namespace braidio::mac {
+
+PacketChannel::PacketChannel(const phy::LinkBudget& budget,
+                             PacketChannelConfig config, util::Rng rng)
+    : budget_(budget), config_(config), rng_(rng) {
+  if (config_.distance_m < 0.0) {
+    throw std::invalid_argument("PacketChannel: negative distance");
+  }
+}
+
+double PacketChannel::current_ber(phy::LinkMode mode,
+                                  phy::Bitrate rate) const {
+  const double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
+                        config_.extra_loss_db;
+  return phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
+                             util::db_to_linear(snr_db));
+}
+
+double PacketChannel::airtime_s(const Frame& frame, phy::Bitrate rate) {
+  return static_cast<double>(frame.wire_bits()) / phy::bitrate_bps(rate);
+}
+
+void PacketChannel::set_distance(double distance_m) {
+  if (distance_m < 0.0) {
+    throw std::invalid_argument("PacketChannel: negative distance");
+  }
+  config_.distance_m = distance_m;
+}
+
+std::optional<Frame> PacketChannel::transmit(const Frame& frame,
+                                             phy::LinkMode mode,
+                                             phy::Bitrate rate) {
+  ++sent_;
+  double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
+                  config_.extra_loss_db;
+  if (config_.block_fading) {
+    snr_db += util::linear_to_db(
+        std::max(rf::rayleigh_power_gain(rng_), 1e-9));
+  }
+  const double ber = phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
+                                         util::db_to_linear(snr_db));
+  auto bytes = serialize(frame);
+  if (ber > 0.0) {
+    for (auto& byte : bytes) {
+      for (int bit = 0; bit < 8; ++bit) {
+        if (rng_.bernoulli(ber)) byte ^= static_cast<std::uint8_t>(1u << bit);
+      }
+    }
+  }
+  auto parsed = deserialize(bytes);
+  if (parsed) {
+    ++delivered_;
+  } else {
+    ++corrupted_;
+  }
+  return parsed;
+}
+
+}  // namespace braidio::mac

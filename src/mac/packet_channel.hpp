@@ -1,0 +1,58 @@
+// BER-driven packet channel: puts serialized frames "on the air".
+//
+// Uses the calibrated LinkBudget to derive the bit error rate for the
+// current (mode, bitrate, distance), flips bits independently, and lets the
+// frame CRC do its job at the receiver. Supports optional Rayleigh block
+// fading per packet to stress the fallback logic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "phy/link_budget.hpp"
+#include "util/rng.hpp"
+
+namespace braidio::mac {
+
+struct PacketChannelConfig {
+  double distance_m = 0.5;
+  bool block_fading = false;      // per-packet Rayleigh power scaling
+  double extra_loss_db = 0.0;     // shadowing / antenna misalignment knob
+};
+
+class PacketChannel {
+ public:
+  PacketChannel(const phy::LinkBudget& budget, PacketChannelConfig config,
+                util::Rng rng);
+
+  /// Transmit a frame over (mode, rate). Returns the deserialized frame if
+  /// it survives (bit corruption is applied to the wire bytes; the CRC
+  /// rejects damaged frames), nullopt otherwise.
+  std::optional<Frame> transmit(const Frame& frame, phy::LinkMode mode,
+                                phy::Bitrate rate);
+
+  /// The BER the next packet would see (before fading).
+  double current_ber(phy::LinkMode mode, phy::Bitrate rate) const;
+
+  /// Airtime of a frame at `rate` [s].
+  static double airtime_s(const Frame& frame, phy::Bitrate rate);
+
+  void set_distance(double distance_m);
+  double distance() const { return config_.distance_m; }
+
+  std::uint64_t frames_sent() const { return sent_; }
+  std::uint64_t frames_delivered() const { return delivered_; }
+  std::uint64_t frames_corrupted() const { return corrupted_; }
+
+ private:
+  const phy::LinkBudget& budget_;
+  PacketChannelConfig config_;
+  util::Rng rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace braidio::mac

@@ -1,0 +1,127 @@
+#include "mac/probe.hpp"
+
+#include <cstring>
+
+namespace braidio::mac {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      b[at] | static_cast<std::uint16_t>(b[at + 1]) << 8);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+float get_f32(std::span<const std::uint8_t> b, std::size_t at) {
+  const std::uint32_t bits = get_u32(b, at);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::optional<std::pair<phy::LinkMode, phy::Bitrate>> parse_mode_rate(
+    std::uint8_t byte) {
+  const std::uint8_t mode = byte >> 4;
+  const std::uint8_t rate = byte & 0x0F;
+  if (mode > 2 || rate > 2) return std::nullopt;
+  return std::make_pair(static_cast<phy::LinkMode>(mode),
+                        static_cast<phy::Bitrate>(rate));
+}
+
+std::uint8_t pack_mode_rate(phy::LinkMode mode, phy::Bitrate rate) {
+  return static_cast<std::uint8_t>((static_cast<std::uint8_t>(mode) << 4) |
+                                   static_cast<std::uint8_t>(rate));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const ProbePayload& p) {
+  std::vector<std::uint8_t> out;
+  out.push_back(pack_mode_rate(p.mode, p.rate));
+  put_u16(out, p.token);
+  return out;
+}
+
+std::optional<ProbePayload> parse_probe(std::span<const std::uint8_t> b) {
+  if (b.size() != 3) return std::nullopt;
+  const auto mr = parse_mode_rate(b[0]);
+  if (!mr) return std::nullopt;
+  return ProbePayload{mr->first, mr->second, get_u16(b, 1)};
+}
+
+std::vector<std::uint8_t> serialize(const ProbeReportPayload& p) {
+  std::vector<std::uint8_t> out;
+  out.push_back(pack_mode_rate(p.mode, p.rate));
+  put_u16(out, p.token);
+  put_f32(out, p.snr_db);
+  put_f32(out, p.ber_estimate);
+  return out;
+}
+
+std::optional<ProbeReportPayload> parse_probe_report(
+    std::span<const std::uint8_t> b) {
+  if (b.size() != 11) return std::nullopt;
+  const auto mr = parse_mode_rate(b[0]);
+  if (!mr) return std::nullopt;
+  ProbeReportPayload p;
+  p.mode = mr->first;
+  p.rate = mr->second;
+  p.token = get_u16(b, 1);
+  p.snr_db = get_f32(b, 3);
+  p.ber_estimate = get_f32(b, 7);
+  return p;
+}
+
+std::vector<std::uint8_t> serialize(const BatteryStatusPayload& p) {
+  std::vector<std::uint8_t> out;
+  put_f32(out, p.remaining_joules);
+  put_u32(out, p.epoch);
+  return out;
+}
+
+std::optional<BatteryStatusPayload> parse_battery_status(
+    std::span<const std::uint8_t> b) {
+  if (b.size() != 8) return std::nullopt;
+  return BatteryStatusPayload{get_f32(b, 0), get_u32(b, 4)};
+}
+
+std::vector<std::uint8_t> serialize(const ModeSwitchPayload& p) {
+  std::vector<std::uint8_t> out;
+  out.push_back(pack_mode_rate(p.mode, p.rate));
+  put_u16(out, p.packets_in_mode);
+  return out;
+}
+
+std::optional<ModeSwitchPayload> parse_mode_switch(
+    std::span<const std::uint8_t> b) {
+  if (b.size() != 3) return std::nullopt;
+  const auto mr = parse_mode_rate(b[0]);
+  if (!mr) return std::nullopt;
+  return ModeSwitchPayload{mr->first, mr->second, get_u16(b, 1)};
+}
+
+}  // namespace braidio::mac

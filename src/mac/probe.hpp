@@ -1,0 +1,61 @@
+// Control-plane payloads for the carrier-offload protocol (Sec. 4.2).
+//
+// Before planning, the endpoints "use probe packets over the two links to
+// determine the SNR and bitrate parameters, and exchange this information"
+// together with battery status. These are the serialized payload formats
+// carried inside Probe / ProbeReport / BatteryStatus / ModeSwitch frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phy/link_mode.hpp"
+
+namespace braidio::mac {
+
+/// Sounding request: which (mode, bitrate) the sender is probing.
+struct ProbePayload {
+  phy::LinkMode mode = phy::LinkMode::Active;
+  phy::Bitrate rate = phy::Bitrate::M1;
+  std::uint16_t token = 0;  // echoed in the report
+};
+
+/// Measured link quality echoed back to the prober.
+struct ProbeReportPayload {
+  phy::LinkMode mode = phy::LinkMode::Active;
+  phy::Bitrate rate = phy::Bitrate::M1;
+  std::uint16_t token = 0;
+  float snr_db = 0.0f;
+  float ber_estimate = 0.0f;
+};
+
+/// Energy advertisement: remaining joules (float keeps 7 digits, plenty for
+/// planning) plus a monotonically increasing epoch for staleness checks.
+struct BatteryStatusPayload {
+  float remaining_joules = 0.0f;
+  std::uint32_t epoch = 0;
+};
+
+/// Commanded mode change: the schedule entry to apply after this frame.
+struct ModeSwitchPayload {
+  phy::LinkMode mode = phy::LinkMode::Active;
+  phy::Bitrate rate = phy::Bitrate::M1;
+  std::uint16_t packets_in_mode = 1;  // dwell before the next entry
+};
+
+std::vector<std::uint8_t> serialize(const ProbePayload& p);
+std::vector<std::uint8_t> serialize(const ProbeReportPayload& p);
+std::vector<std::uint8_t> serialize(const BatteryStatusPayload& p);
+std::vector<std::uint8_t> serialize(const ModeSwitchPayload& p);
+
+std::optional<ProbePayload> parse_probe(std::span<const std::uint8_t> b);
+std::optional<ProbeReportPayload> parse_probe_report(
+    std::span<const std::uint8_t> b);
+std::optional<BatteryStatusPayload> parse_battery_status(
+    std::span<const std::uint8_t> b);
+std::optional<ModeSwitchPayload> parse_mode_switch(
+    std::span<const std::uint8_t> b);
+
+}  // namespace braidio::mac

@@ -1,0 +1,66 @@
+#include "phy/ber.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace braidio::phy {
+
+double bit_error_rate(BerModel model, double snr) {
+  if (snr < 0.0) throw std::domain_error("bit_error_rate: negative SNR");
+  switch (model) {
+    case BerModel::CoherentBpsk:
+      return util::q_function(std::sqrt(2.0 * snr));
+    case BerModel::CoherentFsk:
+      return util::q_function(std::sqrt(snr));
+    case BerModel::NoncoherentFsk:
+      return 0.5 * std::exp(-snr / 2.0);
+    case BerModel::NoncoherentOok: {
+      // "0": Rayleigh(sigma) envelope exceeds threshold A/2 with
+      // probability exp(-g/4); "1": Rice(A, sigma) envelope falls below it
+      // with probability 1 - Q1(sqrt(2g), sqrt(g/2)).
+      const double pfa = std::exp(-snr / 4.0);
+      const double pmiss =
+          1.0 - util::marcum_q1(std::sqrt(2.0 * snr), std::sqrt(snr / 2.0));
+      return 0.5 * (pfa + pmiss);
+    }
+  }
+  throw std::logic_error("bit_error_rate: unknown model");
+}
+
+double required_snr(BerModel model, double target_ber) {
+  if (!(target_ber > 0.0) || !(target_ber < 0.5)) {
+    throw std::domain_error("required_snr: target must be in (0, 0.5)");
+  }
+  // BER is monotonically decreasing in SNR for all models; bisect in dB.
+  double lo_db = -30.0, hi_db = 60.0;
+  if (bit_error_rate(model, util::db_to_linear(hi_db)) > target_ber) {
+    throw std::runtime_error("required_snr: target unreachable below 60 dB");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo_db + hi_db);
+    if (bit_error_rate(model, util::db_to_linear(mid)) > target_ber) {
+      lo_db = mid;
+    } else {
+      hi_db = mid;
+    }
+  }
+  return util::db_to_linear(0.5 * (lo_db + hi_db));
+}
+
+double required_snr_db(BerModel model, double target_ber) {
+  return util::linear_to_db(required_snr(model, target_ber));
+}
+
+double packet_error_rate(double ber, unsigned bits) {
+  if (ber < 0.0 || ber > 1.0) {
+    throw std::domain_error("packet_error_rate: ber out of [0,1]");
+  }
+  if (ber == 0.0) return 0.0;
+  // 1 - (1-ber)^bits, computed stably for small ber.
+  return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+}
+
+}  // namespace braidio::phy

@@ -1,0 +1,36 @@
+// Analytic bit-error-rate models.
+//
+// The passive/backscatter receive chain is an envelope detector, so its
+// detection statistics are non-coherent (Rayleigh vs Rice envelopes); the
+// active radio uses a conventional coherent demodulator. These closed forms
+// are cross-validated against the Monte-Carlo waveform simulator in the
+// test suite.
+#pragma once
+
+namespace braidio::phy {
+
+/// Detection statistics for the supported demodulators.
+enum class BerModel {
+  CoherentBpsk,     // Pb = Q(sqrt(2 g))
+  CoherentFsk,      // Pb = Q(sqrt(g))       (active radio, GFSK-class)
+  NoncoherentFsk,   // Pb = 1/2 exp(-g/2)
+  NoncoherentOok,   // envelope detection with midpoint threshold
+};
+
+/// Bit error probability at per-bit SNR `snr` (linear, >= 0).
+///
+/// For NoncoherentOok, `snr` is the peak SNR of the "on" symbol
+/// (A^2 / 2 sigma^2); the threshold sits at A/2:
+///   Pb = 1/2 [ exp(-g/4) + 1 - Q1(sqrt(2 g), sqrt(g/2)) ].
+double bit_error_rate(BerModel model, double snr);
+
+/// Inverse: per-bit SNR (linear) needed to hit `target_ber` (in (0, 0.5)).
+double required_snr(BerModel model, double target_ber);
+
+/// Same in dB.
+double required_snr_db(BerModel model, double target_ber);
+
+/// Packet error rate for `bits` independent bit errors at rate `ber`.
+double packet_error_rate(double ber, unsigned bits);
+
+}  // namespace braidio::phy

@@ -1,0 +1,138 @@
+#include "phy/fsk_subcarrier.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+
+namespace braidio::phy {
+
+std::size_t FskSubcarrierConfig::samples_per_symbol() const {
+  return static_cast<std::size_t>(std::llround(sample_rate_hz / bitrate_bps));
+}
+
+bool FskSubcarrierConfig::tones_orthogonal() const {
+  // Integer number of cycles of each tone per symbol keeps the Goertzel
+  // bins orthogonal and the square waves zero-mean over a symbol.
+  const double t_sym = 1.0 / bitrate_bps;
+  const double c0 = tone0_hz * t_sym;
+  const double c1 = tone1_hz * t_sym;
+  auto integral = [](double x) {
+    return std::fabs(x - std::round(x)) < 1e-6;
+  };
+  return integral(c0) && integral(c1) && std::llround(c0) != std::llround(c1);
+}
+
+double goertzel_power(std::span<const double> block, double freq_hz,
+                      double sample_rate_hz) {
+  if (block.empty()) throw std::invalid_argument("goertzel: empty block");
+  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double x : block) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // |X|^2 = s1^2 + s2^2 - coeff * s1 * s2.
+  return s1 * s1 + s2 * s2 - coeff * s1 * s2;
+}
+
+FskSubcarrierModem::FskSubcarrierModem(FskSubcarrierConfig config)
+    : config_(config) {
+  if (!(config_.bitrate_bps > 0.0) || !(config_.sample_rate_hz > 0.0) ||
+      !(config_.tone0_hz > 0.0) || !(config_.tone1_hz > 0.0)) {
+    throw std::invalid_argument("FskSubcarrierModem: bad config");
+  }
+  if (config_.tone0_hz >= config_.sample_rate_hz / 2.0 ||
+      config_.tone1_hz >= config_.sample_rate_hz / 2.0) {
+    throw std::invalid_argument("FskSubcarrierModem: tones above Nyquist");
+  }
+  if (!config_.tones_orthogonal()) {
+    throw std::invalid_argument(
+        "FskSubcarrierModem: tones must fit an integer (and distinct) "
+        "number of cycles per symbol");
+  }
+  if (config_.samples_per_symbol() < 8) {
+    throw std::invalid_argument("FskSubcarrierModem: too few samples/symbol");
+  }
+}
+
+std::vector<double> FskSubcarrierModem::modulate(
+    const std::vector<std::uint8_t>& bits) const {
+  const std::size_t n = config_.samples_per_symbol();
+  std::vector<double> out;
+  out.reserve(bits.size() * n);
+  for (auto bit : bits) {
+    const double tone = bit ? config_.tone1_hz : config_.tone0_hz;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double phase =
+          tone * static_cast<double>(k) / config_.sample_rate_hz;
+      const double frac = phase - std::floor(phase);
+      out.push_back(frac < 0.5 ? 1.0 : -1.0);  // tag switch state
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> FskSubcarrierModem::demodulate(
+    std::span<const double> envelope) const {
+  const std::size_t n = config_.samples_per_symbol();
+  std::vector<std::uint8_t> bits;
+  bits.reserve(envelope.size() / n);
+  std::vector<double> block(n);
+  for (std::size_t start = 0; start + n <= envelope.size(); start += n) {
+    double mean = 0.0;
+    for (std::size_t k = 0; k < n; ++k) mean += envelope[start + k];
+    mean /= static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      block[k] = envelope[start + k] - mean;
+    }
+    const double p0 =
+        goertzel_power(block, config_.tone0_hz, config_.sample_rate_hz);
+    const double p1 =
+        goertzel_power(block, config_.tone1_hz, config_.sample_rate_hz);
+    bits.push_back(p1 > p0 ? 1 : 0);
+  }
+  return bits;
+}
+
+FskSimResult simulate_fsk_subcarrier(const FskSubcarrierConfig& config,
+                                     double snr_per_sample, std::size_t bits,
+                                     std::uint64_t seed,
+                                     double background_to_signal) {
+  if (bits == 0) throw std::invalid_argument("simulate_fsk: no bits");
+  if (snr_per_sample < 0.0) {
+    throw std::invalid_argument("simulate_fsk: negative SNR");
+  }
+  FskSubcarrierModem modem(config);
+  util::Rng rng(seed ^ 0x6A09E667F3BCC909ull);
+
+  std::vector<std::uint8_t> tx(bits);
+  for (auto& b : tx) b = rng.bernoulli(0.5) ? 1 : 0;
+
+  const double a = std::sqrt(2.0 * snr_per_sample);  // sigma = 1
+  const double b0 = background_to_signal * a;        // static background
+  auto wave = modem.modulate(tx);
+  for (auto& s : wave) {
+    s = b0 + a * s + rng.gaussian();
+  }
+  const auto rx = modem.demodulate(wave);
+
+  FskSimResult result;
+  result.bits = bits;
+  for (std::size_t i = 0; i < bits && i < rx.size(); ++i) {
+    if ((rx[i] != 0) != (tx[i] != 0)) ++result.errors;
+  }
+  result.measured_ber =
+      static_cast<double>(result.errors) / static_cast<double>(bits);
+  // Non-coherent orthogonal detection on the square wave's fundamental:
+  // Pb = 1/2 exp(-(4/pi^2) N gamma_s) with N samples per symbol.
+  const double n = static_cast<double>(config.samples_per_symbol());
+  result.analytic_ber =
+      0.5 * std::exp(-(4.0 / (std::numbers::pi * std::numbers::pi)) * n *
+                     snr_per_sample);
+  return result;
+}
+
+}  // namespace braidio::phy

@@ -1,0 +1,92 @@
+#include "phy/qam_backscatter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace braidio::phy {
+
+namespace {
+
+void check_m(unsigned m) {
+  if (m != 2 && m != 4 && m != 16 && m != 64) {
+    throw std::invalid_argument("qam: M must be 2, 4, 16 or 64");
+  }
+}
+
+}  // namespace
+
+double qam_bit_error_rate(unsigned m, double snr_per_bit) {
+  check_m(m);
+  if (snr_per_bit < 0.0) throw std::domain_error("qam: negative SNR");
+  if (m == 2) {
+    return util::q_function(std::sqrt(2.0 * snr_per_bit));
+  }
+  const double k = std::log2(static_cast<double>(m));
+  const double root_m = std::sqrt(static_cast<double>(m));
+  // Gray-coded square QAM approximation.
+  const double arg = std::sqrt(3.0 * k * snr_per_bit /
+                               (static_cast<double>(m) - 1.0));
+  return std::min(0.5, 4.0 / k * (1.0 - 1.0 / root_m) *
+                           util::q_function(arg));
+}
+
+double qam_required_snr(unsigned m, double target_ber) {
+  check_m(m);
+  if (!(target_ber > 0.0) || !(target_ber < 0.5)) {
+    throw std::domain_error("qam_required_snr: target out of (0, 0.5)");
+  }
+  double lo_db = -10.0, hi_db = 60.0;
+  if (qam_bit_error_rate(m, util::db_to_linear(hi_db)) > target_ber) {
+    throw std::runtime_error("qam_required_snr: unreachable target");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo_db + hi_db);
+    (qam_bit_error_rate(m, util::db_to_linear(mid)) > target_ber ? lo_db
+                                                                 : hi_db) =
+        mid;
+  }
+  return util::db_to_linear(0.5 * (lo_db + hi_db));
+}
+
+double QamTagModel::bits_per_symbol(unsigned m) const {
+  check_m(m);
+  return std::log2(static_cast<double>(m));
+}
+
+double QamTagModel::bitrate_bps(unsigned m, double symbol_rate_hz) const {
+  if (!(symbol_rate_hz > 0.0)) {
+    throw std::domain_error("QamTagModel: symbol rate must be > 0");
+  }
+  return bits_per_symbol(m) * symbol_rate_hz;
+}
+
+double QamTagModel::tag_power_w(double symbol_rate_hz) const {
+  if (!(symbol_rate_hz > 0.0)) {
+    throw std::domain_error("QamTagModel: symbol rate must be > 0");
+  }
+  // ~1 state transition per symbol on average, independent of M.
+  return static_power_w + switch_energy_j * symbol_rate_hz;
+}
+
+double QamTagModel::tag_joules_per_bit(unsigned m,
+                                       double symbol_rate_hz) const {
+  return tag_power_w(symbol_rate_hz) / bitrate_bps(m, symbol_rate_hz);
+}
+
+double qam_range_m(unsigned m, double bpsk_range_m, double target_ber) {
+  check_m(m);
+  if (!(bpsk_range_m > 0.0)) {
+    throw std::domain_error("qam_range_m: bpsk range must be > 0");
+  }
+  // Per-symbol received SNR scales with d^-4. Required per-symbol SNR:
+  // k * required-per-bit. Range ratio = (snr_bpsk / snr_m)^(1/4).
+  const double snr_bpsk = qam_required_snr(2, target_ber);  // k = 1
+  const double k = std::log2(static_cast<double>(m));
+  const double snr_m = k * qam_required_snr(m, target_ber);
+  return bpsk_range_m * std::pow(snr_bpsk / snr_m, 0.25);
+}
+
+}  // namespace braidio::phy

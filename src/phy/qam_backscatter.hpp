@@ -1,0 +1,47 @@
+// High-order QAM backscatter (the [48] direction: "a 96 Mbit/sec,
+// 15.5 pJ/bit 16-QAM modulator for UHF backscatter").
+//
+// A tag with M distinct impedance states maps log2(M) bits onto each
+// reflected symbol. The tag's switching energy is per *symbol*, so energy
+// per bit falls ~log2(M)x — but the constellation points crowd together,
+// demanding ~(M-1)/3 more SNR per symbol, which the radar equation's d^-4
+// turns into a steep range penalty. QAM also requires a *coherent* reader
+// (an envelope detector cannot separate the phase states), so this mode
+// only exists when the carrier-holding end runs an IQ receive chain.
+//
+// This module provides the standard square-QAM error rates, the tag-side
+// energy model, and the range/energy tradeoff the ablation bench sweeps.
+#pragma once
+
+#include <cstdint>
+
+namespace braidio::phy {
+
+/// Bit error probability of square M-QAM with Gray mapping at per-bit SNR
+/// `snr_per_bit` (linear). M in {2, 4, 16, 64}; M=2 is BPSK.
+double qam_bit_error_rate(unsigned m, double snr_per_bit);
+
+/// Per-bit SNR (linear) required for a target BER.
+double qam_required_snr(unsigned m, double target_ber);
+
+/// Tag-side energy and throughput for an M-QAM backscatter modulator
+/// switching at `symbol_rate_hz`.
+struct QamTagModel {
+  double switch_energy_j = 2e-12;   // per state transition (SKY13267-class)
+  double static_power_w = 10e-6;    // clock + logic while modulating
+
+  double bits_per_symbol(unsigned m) const;
+  double bitrate_bps(unsigned m, double symbol_rate_hz) const;
+  /// Average tag power while transmitting.
+  double tag_power_w(double symbol_rate_hz) const;
+  /// Tag energy per data bit.
+  double tag_joules_per_bit(unsigned m, double symbol_rate_hz) const;
+};
+
+/// Operating range of M-QAM backscatter against a coherent reader whose
+/// BPSK (M=2) range at the same symbol rate is `bpsk_range_m`: the extra
+/// required SNR maps to distance through the radar equation's d^-4.
+double qam_range_m(unsigned m, double bpsk_range_m,
+                   double target_ber = 0.01);
+
+}  // namespace braidio::phy

@@ -1,0 +1,116 @@
+#include "phy/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace braidio::phy {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("next_power_of_two: n must be >=1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen = std::polar(1.0, angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+PsdResult welch_psd(const std::vector<double>& signal, double sample_rate_hz,
+                    std::size_t segments) {
+  if (signal.size() < 16) {
+    throw std::invalid_argument("welch_psd: signal too short");
+  }
+  if (!(sample_rate_hz > 0.0) || segments == 0) {
+    throw std::invalid_argument("welch_psd: bad parameters");
+  }
+  // Half-overlapping segments: seg_len such that segments fit.
+  const std::size_t seg_len_raw =
+      std::max<std::size_t>(16, 2 * signal.size() / (segments + 1));
+  const std::size_t nfft = next_power_of_two(seg_len_raw);
+  const std::size_t hop = seg_len_raw / 2;
+
+  std::vector<double> accum(nfft / 2 + 1, 0.0);
+  std::size_t count = 0;
+  std::vector<std::complex<double>> block(nfft);
+  for (std::size_t start = 0; start + seg_len_raw <= signal.size();
+       start += hop) {
+    double window_power = 0.0;
+    for (std::size_t k = 0; k < nfft; ++k) {
+      if (k < seg_len_raw) {
+        const double w =
+            0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                                  static_cast<double>(k) /
+                                  static_cast<double>(seg_len_raw - 1)));
+        block[k] = signal[start + k] * w;
+        window_power += w * w;
+      } else {
+        block[k] = 0.0;  // zero padding
+      }
+    }
+    fft(block);
+    for (std::size_t k = 0; k <= nfft / 2; ++k) {
+      accum[k] += std::norm(block[k]) / window_power;
+    }
+    ++count;
+  }
+  if (count == 0) throw std::logic_error("welch_psd: no segments");
+
+  PsdResult out;
+  out.freq_hz.reserve(accum.size());
+  out.power_db.reserve(accum.size());
+  for (std::size_t k = 0; k < accum.size(); ++k) {
+    out.freq_hz.push_back(sample_rate_hz * static_cast<double>(k) /
+                          static_cast<double>(nfft));
+    const double p = accum[k] / static_cast<double>(count);
+    out.power_db.push_back(10.0 * std::log10(std::max(p, 1e-30)));
+  }
+  return out;
+}
+
+double power_fraction_below(const PsdResult& psd, double corner_hz) {
+  if (psd.freq_hz.empty()) {
+    throw std::invalid_argument("power_fraction_below: empty PSD");
+  }
+  double below = 0.0, total = 0.0;
+  for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+    const double p = std::pow(10.0, psd.power_db[k] / 10.0);
+    total += p;
+    if (psd.freq_hz[k] < corner_hz) below += p;
+  }
+  return total > 0.0 ? below / total : 0.0;
+}
+
+}  // namespace braidio::phy

@@ -1,0 +1,44 @@
+// Spectral analysis: radix-2 FFT and Welch-style PSD estimation.
+//
+// Sec. 3.1's core argument is spectral: carrier self-interference occupies
+// DC and the sub-kHz band (channel coherence ~milliseconds), while the
+// data sits higher, so a high-pass filter separates them "in frequency
+// domain". This module provides the tools to *show* that: an in-house FFT
+// (no external dependency) and PSD estimation, used by the spectrum bench
+// to plot OOK-NRZ vs Manchester vs FSK-subcarrier baseband spectra
+// against the self-interference band.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace braidio::phy {
+
+/// In-place radix-2 decimation-in-time FFT. `data.size()` must be a power
+/// of two. `inverse` applies the conjugate transform including the 1/N
+/// scale.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// Next power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+struct PsdResult {
+  std::vector<double> freq_hz;   // bin centers, 0 .. fs/2
+  std::vector<double> power_db;  // 10 log10 of the averaged periodogram
+};
+
+/// Welch PSD of a real signal: split into `segments` half-overlapping
+/// Hann-windowed blocks (each padded to a power of two), average the
+/// periodograms, return the one-sided spectrum.
+PsdResult welch_psd(const std::vector<double>& signal, double sample_rate_hz,
+                    std::size_t segments = 8);
+
+/// Fraction of total signal power below `corner_hz` — the part a high-pass
+/// filter at that corner removes.
+double power_fraction_below(const PsdResult& psd, double corner_hz);
+
+}  // namespace braidio::phy

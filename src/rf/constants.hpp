@@ -1,0 +1,23 @@
+// RF constants for the Braidio prototype: 915 MHz UHF ISM operation, as in
+// the paper's hardware (SI4432 carrier emitter, SF2049E SAW filter).
+#pragma once
+
+namespace braidio::rf {
+
+/// Center of the US 902-928 MHz license-free band the prototype uses.
+inline constexpr double kCarrierFrequencyHz = 915e6;
+
+/// License-free band edges (US, FCC part 15).
+inline constexpr double kBandLowHz = 902e6;
+inline constexpr double kBandHighHz = 928e6;
+
+/// Carrier emitter output: SI4432 at +13 dBm (Table 4).
+inline constexpr double kCarrierTxPowerDbm = 13.0;
+
+/// Chip antenna gain (ANT1204LL05R-class part, Table 4), conservative.
+inline constexpr double kChipAntennaGainDbi = -0.5;
+
+/// Diversity antenna spacing: 1/8 wavelength (Table 4).
+inline constexpr double kDiversitySpacingWavelengths = 0.125;
+
+}  // namespace braidio::rf

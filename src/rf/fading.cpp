@@ -1,0 +1,48 @@
+#include "rf/fading.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace braidio::rf {
+
+double rayleigh_power_gain(util::Rng& rng) {
+  // |h|^2 with h ~ CN(0,1) is exponential with mean 1.
+  return rng.exponential(1.0);
+}
+
+double rician_power_gain(util::Rng& rng, double k_factor) {
+  if (k_factor < 0.0) {
+    throw std::domain_error("rician_power_gain: K must be >= 0");
+  }
+  // h = sqrt(K/(K+1)) + CN(0, 1/(K+1)); E|h|^2 = 1.
+  const double los = std::sqrt(k_factor / (k_factor + 1.0));
+  const double sigma = std::sqrt(1.0 / (2.0 * (k_factor + 1.0)));
+  const double re = los + sigma * rng.gaussian();
+  const double im = sigma * rng.gaussian();
+  return re * re + im * im;
+}
+
+CoherentChannelProcess::CoherentChannelProcess(double coherence_time_s,
+                                               double sample_interval_s,
+                                               std::complex<double> mean,
+                                               double scatter_stddev,
+                                               util::Rng rng)
+    : mean_(mean), stddev_(scatter_stddev), rng_(rng) {
+  if (!(coherence_time_s > 0.0) || !(sample_interval_s > 0.0)) {
+    throw std::domain_error("CoherentChannelProcess: times must be > 0");
+  }
+  if (scatter_stddev < 0.0) {
+    throw std::domain_error("CoherentChannelProcess: negative stddev");
+  }
+  rho_ = std::exp(-sample_interval_s / coherence_time_s);
+}
+
+std::complex<double> CoherentChannelProcess::step() {
+  const double innov = std::sqrt(1.0 - rho_ * rho_) * stddev_;
+  const std::complex<double> w{rng_.gaussian() * innov / std::sqrt(2.0),
+                               rng_.gaussian() * innov / std::sqrt(2.0)};
+  scatter_ = scatter_ * rho_ + w;
+  return current();
+}
+
+}  // namespace braidio::rf

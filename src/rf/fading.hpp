@@ -1,0 +1,53 @@
+// Small-scale fading processes.
+//
+// Two uses in Braidio:
+//  * link-level experiments draw per-packet channel gains (Rayleigh/Rician
+//    block fading) to stress the mode-fallback logic;
+//  * the self-interference channel at the backscatter receiver is modeled as
+//    a slowly varying complex gain whose coherence time (~milliseconds,
+//    Sec. 3.1 citing full-duplex measurements) determines the high-pass
+//    corner needed to reject it.
+#pragma once
+
+#include <complex>
+
+#include "util/rng.hpp"
+
+namespace braidio::rf {
+
+/// Draw a Rayleigh-fading power gain with unit mean.
+double rayleigh_power_gain(util::Rng& rng);
+
+/// Draw a Rician-fading power gain with unit mean and K-factor (linear,
+/// >= 0; K = 0 reduces to Rayleigh).
+double rician_power_gain(util::Rng& rng, double k_factor);
+
+/// First-order Gauss-Markov complex channel process:
+/// h[n+1] = rho * h[n] + sqrt(1 - rho^2) * w,  w ~ CN(0, sigma^2),
+/// with rho chosen from the coherence time and sampling interval. Models the
+/// slowly-drifting self-interference channel that the charge-pump receiver
+/// must reject via high-pass filtering.
+class CoherentChannelProcess {
+ public:
+  /// coherence_time_s: time over which the channel decorrelates to ~1/e.
+  /// sample_interval_s: simulation step. mean: static (LoS) component.
+  CoherentChannelProcess(double coherence_time_s, double sample_interval_s,
+                         std::complex<double> mean, double scatter_stddev,
+                         util::Rng rng);
+
+  /// Advance one sample interval and return the new channel gain.
+  std::complex<double> step();
+
+  std::complex<double> current() const { return mean_ + scatter_; }
+
+  double rho() const { return rho_; }
+
+ private:
+  std::complex<double> mean_;
+  std::complex<double> scatter_{0.0, 0.0};
+  double rho_;
+  double stddev_;
+  util::Rng rng_;
+};
+
+}  // namespace braidio::rf

@@ -1,0 +1,48 @@
+// In-band interference at the envelope detector.
+//
+// Table 3 is explicit about the cost of replacing the mixer+filter with a
+// SAW: "Cons: may be interfered by in-band signal". An envelope detector
+// integrates *all* energy inside the SAW passband, so a co-channel
+// interferer (another reader, a different 915 MHz system) lands directly
+// on the baseband. Its effect depends on the frequency offset:
+//   * offset below the data band: a slow beat the high-pass filter removes
+//     (like self-interference);
+//   * offset inside the data band: an unremovable baseband tone that eats
+//     SNR one-for-one;
+//   * offset above the envelope low-pass: attenuated by the detector's
+//     smoothing.
+// This model turns an interferer (power, offset) into an effective SNR
+// penalty for the envelope-detected link, and estimates the resulting BER
+// through the usual detection models.
+#pragma once
+
+namespace braidio::rf {
+
+struct InterfererSpec {
+  double power_dbm = -50.0;     // received in-band interferer power
+  double offset_hz = 100e3;     // |f_interferer - f_carrier|
+};
+
+struct EnvelopeInterferenceModel {
+  double highpass_corner_hz = 2e3;   // self-interference rejection corner
+  double lowpass_corner_hz = 4e6;    // envelope smoothing corner
+
+  /// Fraction of the interferer's beat power that survives the detector's
+  /// band-pass (0..1): first-order high-pass times first-order low-pass
+  /// evaluated at the beat frequency.
+  double baseband_leakage(double offset_hz) const;
+
+  /// Effective noise-plus-interference power [W] given the calibrated
+  /// noise floor [W] and an interferer beating against a carrier of
+  /// `carrier_dbm` at the detector. The beat term's envelope power is
+  /// proportional to the interferer power (strong-carrier linearization).
+  double effective_noise_watts(double noise_floor_w,
+                               const InterfererSpec& interferer) const;
+
+  /// SNR degradation [dB, >= 0] caused by the interferer for a desired
+  /// signal at `signal_dbm` over a floor of `noise_floor_dbm`.
+  double snr_penalty_db(double noise_floor_dbm,
+                        const InterfererSpec& interferer) const;
+};
+
+}  // namespace braidio::rf

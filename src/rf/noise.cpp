@@ -1,0 +1,32 @@
+#include "rf/noise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace braidio::rf {
+
+double NoiseModel::noise_watts(double bandwidth_hz) const {
+  if (bandwidth_hz < 0.0) {
+    throw std::domain_error("NoiseModel: negative bandwidth");
+  }
+  const double thermal =
+      util::thermal_noise_watts(bandwidth_hz, temperature_k) *
+      util::db_to_linear(noise_figure_db);
+  const double floor = util::dbm_to_watts(floor_dbm);
+  return std::max(thermal, floor);
+}
+
+double NoiseModel::snr(double signal_watts, double bandwidth_hz) const {
+  if (signal_watts < 0.0) {
+    throw std::domain_error("NoiseModel: negative signal power");
+  }
+  return signal_watts / noise_watts(bandwidth_hz);
+}
+
+double NoiseModel::snr_db(double signal_watts, double bandwidth_hz) const {
+  return util::linear_to_db(std::max(snr(signal_watts, bandwidth_hz), 1e-30));
+}
+
+}  // namespace braidio::rf

@@ -1,0 +1,28 @@
+// Receiver noise model: thermal floor + noise figure + implementation floor.
+//
+// The passive (charge-pump) receiver is not thermal-noise limited: its
+// sensitivity is set by the comparator/amplifier chain. We model that as an
+// effective noise floor ("sensitivity floor") that dominates kTB at the
+// bandwidths of interest — this is what makes the paper's measured ranges
+// much shorter than a kTB budget would predict.
+#pragma once
+
+namespace braidio::rf {
+
+struct NoiseModel {
+  double noise_figure_db = 6.0;   // active front-end NF
+  double temperature_k = 290.0;   // reference temperature
+  double floor_dbm = -200.0;      // implementation floor (absolute power)
+
+  /// Total effective noise power [W] in `bandwidth_hz`:
+  /// max over the thermal term (kTB * NF) and the implementation floor.
+  double noise_watts(double bandwidth_hz) const;
+
+  /// SNR (linear) for a received signal power [W] in `bandwidth_hz`.
+  double snr(double signal_watts, double bandwidth_hz) const;
+
+  /// SNR in dB.
+  double snr_db(double signal_watts, double bandwidth_hz) const;
+};
+
+}  // namespace braidio::rf

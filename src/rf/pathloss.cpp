@@ -1,0 +1,63 @@
+#include "rf/pathloss.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace braidio::rf {
+
+namespace {
+void check_args(double distance_m, double freq_hz) {
+  if (distance_m < 0.0) {
+    throw std::domain_error("pathloss: negative distance");
+  }
+  if (!(freq_hz > 0.0)) {
+    throw std::domain_error("pathloss: frequency must be > 0");
+  }
+}
+}  // namespace
+
+double friis_gain(double distance_m, double freq_hz, double tx_gain_dbi,
+                  double rx_gain_dbi, double min_distance_m) {
+  check_args(distance_m, freq_hz);
+  const double d = std::max(distance_m, min_distance_m);
+  const double lambda = util::wavelength_m(freq_hz);
+  const double geom = lambda / (4.0 * std::numbers::pi * d);
+  const double gain = util::db_to_linear(tx_gain_dbi + rx_gain_dbi);
+  return std::min(1.0, gain * geom * geom);
+}
+
+double friis_pathloss_db(double distance_m, double freq_hz) {
+  return -util::linear_to_db(friis_gain(distance_m, freq_hz));
+}
+
+double backscatter_gain(double distance_m, double freq_hz,
+                        double reader_gain_dbi, double tag_gain_dbi,
+                        double modulation_loss_db, double min_distance_m) {
+  check_args(distance_m, freq_hz);
+  const double d = std::max(distance_m, min_distance_m);
+  const double lambda = util::wavelength_m(freq_hz);
+  const double geom = lambda / (4.0 * std::numbers::pi * d);
+  // Forward leg reader->tag and reflected leg tag->reader each contribute
+  // geom^2; the antennas each appear twice (transmit + receive role).
+  const double gain_db =
+      2.0 * reader_gain_dbi + 2.0 * tag_gain_dbi - modulation_loss_db;
+  const double g4 = geom * geom * geom * geom;
+  return std::min(1.0, util::db_to_linear(gain_db) * g4);
+}
+
+double log_distance_gain(double distance_m, double freq_hz, double exponent,
+                         double ref_distance_m) {
+  check_args(distance_m, freq_hz);
+  if (!(exponent > 0.0) || !(ref_distance_m > 0.0)) {
+    throw std::domain_error("log_distance_gain: bad exponent/reference");
+  }
+  const double ref = friis_gain(ref_distance_m, freq_hz);
+  const double d = std::max(distance_m, 1e-3);
+  if (d <= ref_distance_m) return friis_gain(d, freq_hz);
+  return ref * std::pow(ref_distance_m / d, exponent);
+}
+
+}  // namespace braidio::rf

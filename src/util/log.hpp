@@ -1,0 +1,47 @@
+// Tiny leveled logger. Default level is Warn so library code stays quiet in
+// tests and benches; simulators raise it for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace braidio::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one line to stderr: "[LEVEL] message".
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace braidio::util
+
+#define BRAIDIO_LOG(level)                                      \
+  if (::braidio::util::log_level() <= ::braidio::util::level)   \
+  ::braidio::util::detail::LogStream(::braidio::util::level)
+
+#define BRAIDIO_LOG_DEBUG BRAIDIO_LOG(LogLevel::Debug)
+#define BRAIDIO_LOG_INFO BRAIDIO_LOG(LogLevel::Info)
+#define BRAIDIO_LOG_WARN BRAIDIO_LOG(LogLevel::Warn)
+#define BRAIDIO_LOG_ERROR BRAIDIO_LOG(LogLevel::Error)

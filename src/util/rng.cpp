@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace braidio::util {
+
+double Rng::rayleigh(double sigma) {
+  if (!(sigma > 0.0)) throw std::domain_error("rayleigh: sigma must be > 0");
+  // Inverse CDF: r = sigma * sqrt(-2 ln U), U in (0,1].
+  double u = 1.0 - uniform();  // (0, 1]
+  return sigma * std::sqrt(-2.0 * std::log(u));
+}
+
+double Rng::exponential(double mean) {
+  if (!(mean > 0.0)) throw std::domain_error("exponential: mean must be > 0");
+  double u = 1.0 - uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::phase() { return uniform(0.0, 2.0 * std::numbers::pi); }
+
+Rng Rng::fork() {
+  // Draw a fresh 64-bit seed; distinct enough for simulation purposes.
+  const std::uint64_t seed =
+      engine_() ^ 0xD1B54A32D192ED03ull;
+  return Rng(seed);
+}
+
+}  // namespace braidio::util

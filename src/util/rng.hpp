@@ -1,0 +1,64 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component in Braidio takes an explicit Rng (or a seed) so
+// that experiments are replayable bit-for-bit. Never use global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace braidio::util {
+
+/// Thin wrapper over mt19937_64 with the distributions the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (mean 0, stddev 1).
+  double gaussian() { return normal_(engine_); }
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Rayleigh-distributed amplitude with scale sigma:
+  /// pdf r/sigma^2 exp(-r^2 / (2 sigma^2)).
+  double rayleigh(double sigma);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Random phase in [0, 2*pi).
+  double phase();
+
+  /// Derive an independent child stream (for parallel components).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace braidio::util

@@ -1,0 +1,44 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace braidio::util {
+
+double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+double watts_to_dbm(double watts) {
+  if (!(watts > 0.0)) {
+    throw std::domain_error("watts_to_dbm: power must be > 0");
+  }
+  return 10.0 * std::log10(watts * 1e3);
+}
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double ratio) {
+  if (!(ratio > 0.0)) {
+    throw std::domain_error("linear_to_db: ratio must be > 0");
+  }
+  return 10.0 * std::log10(ratio);
+}
+
+double wh_to_joules(double wh) { return wh * 3600.0; }
+
+double joules_to_wh(double joules) { return joules / 3600.0; }
+
+double wavelength_m(double freq_hz) {
+  if (!(freq_hz > 0.0)) {
+    throw std::domain_error("wavelength_m: frequency must be > 0");
+  }
+  return kSpeedOfLight / freq_hz;
+}
+
+double thermal_noise_watts(double bandwidth_hz, double temperature_k) {
+  if (bandwidth_hz < 0.0 || temperature_k < 0.0) {
+    throw std::domain_error("thermal_noise_watts: negative argument");
+  }
+  return kBoltzmann * temperature_k * bandwidth_hz;
+}
+
+}  // namespace braidio::util

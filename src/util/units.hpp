@@ -1,0 +1,57 @@
+// Unit conversions and physical constants used throughout Braidio.
+//
+// All internal computation uses SI units (watts, joules, seconds, hertz,
+// meters). Radio engineering values are frequently quoted in dBm / dB /
+// watt-hours; the helpers here are the single place those conversions live.
+#pragma once
+
+namespace braidio::util {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard noise reference temperature [K] (290 K, per IEEE).
+inline constexpr double kReferenceTemperatureK = 290.0;
+
+/// Convert a power level in dBm to watts.
+double dbm_to_watts(double dbm);
+
+/// Convert a power level in watts to dBm. Requires watts > 0.
+double watts_to_dbm(double watts);
+
+/// Convert a ratio expressed in dB to a linear power ratio.
+double db_to_linear(double db);
+
+/// Convert a linear power ratio to dB. Requires ratio > 0.
+double linear_to_db(double ratio);
+
+/// Convert battery capacity in watt-hours to joules.
+double wh_to_joules(double wh);
+
+/// Convert energy in joules to watt-hours.
+double joules_to_wh(double joules);
+
+/// Convert milliwatts to watts.
+constexpr double mw_to_watts(double mw) { return mw * 1e-3; }
+
+/// Convert microwatts to watts.
+constexpr double uw_to_watts(double uw) { return uw * 1e-6; }
+
+/// Convert watts to milliwatts.
+constexpr double watts_to_mw(double w) { return w * 1e3; }
+
+/// Convert watts to microwatts.
+constexpr double watts_to_uw(double w) { return w * 1e6; }
+
+/// Free-space wavelength [m] for a carrier frequency [Hz]. Requires > 0.
+double wavelength_m(double freq_hz);
+
+/// Thermal noise power [W] in a bandwidth [Hz] at temperature [K]:
+/// N = k * T * B.
+double thermal_noise_watts(double bandwidth_hz,
+                           double temperature_k = kReferenceTemperatureK);
+
+}  // namespace braidio::util

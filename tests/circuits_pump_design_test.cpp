@@ -1,0 +1,69 @@
+#include "circuits/pump_design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace braidio::circuits {
+namespace {
+
+TEST(PumpDesign, CharacterizeProducesConsistentPoint) {
+  ChargePumpConfig base;
+  const auto p = PumpDesignExplorer::characterize(base);
+  EXPECT_GT(p.steady_state_volts, 1.5);
+  EXPECT_GT(p.settle_time_s, 0.0);
+  EXPECT_GT(p.max_ook_bitrate_bps, 0.0);
+  EXPECT_DOUBLE_EQ(p.output_impedance_ohms,
+                   ChargePump(base).output_impedance_ohms());
+  // Settle-time and bitrate are consistent by definition.
+  EXPECT_NEAR(p.max_ook_bitrate_bps * 2.0 * p.settle_time_s, 1.0, 1e-9);
+}
+
+TEST(PumpDesign, SmallerCapsSettleFaster) {
+  // The Table 4 design note, verified from circuit equations: scaling the
+  // caps down speeds settling (higher sustainable bitrate) monotonically.
+  ChargePumpConfig base;
+  const auto sweep =
+      PumpDesignExplorer::sweep_capacitance(base, {0.2, 1.0, 5.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_LT(sweep[0].settle_time_s, sweep[1].settle_time_s);
+  EXPECT_LT(sweep[1].settle_time_s, sweep[2].settle_time_s);
+  EXPECT_GT(sweep[0].max_ook_bitrate_bps, sweep[2].max_ook_bitrate_bps);
+}
+
+TEST(PumpDesign, SmallerCapsRippleMore) {
+  ChargePumpConfig base;
+  const auto sweep =
+      PumpDesignExplorer::sweep_capacitance(base, {0.2, 5.0});
+  EXPECT_GT(sweep[0].ripple_volts, sweep[1].ripple_volts);
+}
+
+TEST(PumpDesign, MoreStagesMoreBoostMoreImpedance) {
+  ChargePumpConfig base;
+  const auto sweep = PumpDesignExplorer::sweep_stages(base, 3);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_GT(sweep[1].steady_state_volts, sweep[0].steady_state_volts);
+  EXPECT_GT(sweep[2].steady_state_volts, sweep[1].steady_state_volts);
+  EXPECT_GT(sweep[2].output_impedance_ohms, sweep[0].output_impedance_ohms);
+}
+
+TEST(PumpDesign, FastDesignSupportsPaperBitrates) {
+  // With the reduced capacitances (0.1x of the 100 pF default, i.e. 10 pF)
+  // the pump must follow 100 kbps OOK comfortably.
+  ChargePumpConfig fast;
+  fast.coupling_capacitance = 10e-12;
+  fast.storage_capacitance = 10e-12;
+  const auto p = PumpDesignExplorer::characterize(fast);
+  EXPECT_GT(p.max_ook_bitrate_bps, 100e3);
+}
+
+TEST(PumpDesign, Validation) {
+  ChargePumpConfig base;
+  EXPECT_THROW(PumpDesignExplorer::sweep_capacitance(base, {}),
+               std::invalid_argument);
+  EXPECT_THROW(PumpDesignExplorer::sweep_capacitance(base, {-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PumpDesignExplorer::sweep_stages(base, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace braidio::circuits

@@ -1,0 +1,156 @@
+#include "mac/arq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace braidio::mac {
+namespace {
+
+Frame ack_for(const Frame& data) {
+  Frame ack;
+  ack.type = FrameType::Ack;
+  ack.source = data.destination;
+  ack.destination = data.source;
+  ack.sequence = data.sequence;
+  return ack;
+}
+
+TEST(ArqSender, HappyPathDeliversAndAdvancesSequence) {
+  ArqSender sender(1, 2);
+  EXPECT_TRUE(sender.idle());
+  ASSERT_TRUE(sender.submit({0xAA}));
+  EXPECT_FALSE(sender.idle());
+  const auto frame = sender.frame_to_send();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sequence, 0u);
+  EXPECT_EQ(frame->source, 1);
+  EXPECT_EQ(frame->destination, 2);
+  EXPECT_TRUE(sender.on_ack(ack_for(*frame)));
+  EXPECT_TRUE(sender.idle());
+  EXPECT_EQ(sender.delivered(), 1u);
+  EXPECT_EQ(sender.next_sequence(), 1u);
+}
+
+TEST(ArqSender, RejectsSubmitWhileInFlight) {
+  ArqSender sender(1, 2);
+  ASSERT_TRUE(sender.submit({1}));
+  EXPECT_FALSE(sender.submit({2}));
+}
+
+TEST(ArqSender, RetransmitsUntilBudgetExhausted) {
+  ArqSender sender(1, 2, {.max_retransmissions = 3});
+  ASSERT_TRUE(sender.submit({1}));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(sender.on_timeout()) << "retry " << i;
+    EXPECT_TRUE(sender.frame_to_send().has_value());
+  }
+  EXPECT_FALSE(sender.on_timeout());  // budget gone, frame dropped
+  EXPECT_TRUE(sender.idle());
+  EXPECT_EQ(sender.dropped(), 1u);
+  // Sequence advanced so the next frame is distinguishable.
+  EXPECT_EQ(sender.next_sequence(), 1u);
+}
+
+TEST(ArqSender, IgnoresWrongAcks) {
+  ArqSender sender(1, 2);
+  ASSERT_TRUE(sender.submit({1}));
+  const auto frame = sender.frame_to_send();
+  ASSERT_TRUE(frame.has_value());
+  Frame wrong_seq = ack_for(*frame);
+  wrong_seq.sequence = 99;
+  EXPECT_FALSE(sender.on_ack(wrong_seq));
+  Frame wrong_peer = ack_for(*frame);
+  wrong_peer.source = 42;
+  EXPECT_FALSE(sender.on_ack(wrong_peer));
+  Frame not_ack = *frame;  // a data frame is not an ack
+  EXPECT_FALSE(sender.on_ack(not_ack));
+  EXPECT_FALSE(sender.idle());
+  // Ack with no transfer in flight is ignored too.
+  EXPECT_TRUE(sender.on_ack(ack_for(*frame)));
+  EXPECT_FALSE(sender.on_ack(ack_for(*frame)));
+}
+
+TEST(ArqSender, TimeoutWithoutTransferIsNoop) {
+  ArqSender sender(1, 2);
+  EXPECT_FALSE(sender.on_timeout());
+}
+
+TEST(ArqSender, CountsTransmissions) {
+  ArqSender sender(1, 2);
+  ASSERT_TRUE(sender.submit({1}));
+  sender.note_transmission();
+  sender.on_timeout();
+  sender.note_transmission();
+  EXPECT_EQ(sender.transmissions(), 2u);
+  EXPECT_EQ(sender.attempts(), 1u);
+}
+
+TEST(ArqReceiver, AcksAndDetectsDuplicates) {
+  ArqSender sender(1, 2);
+  ArqReceiver receiver(2);
+  ASSERT_TRUE(sender.submit({7, 7}));
+  const auto frame = sender.frame_to_send();
+  ASSERT_TRUE(frame.has_value());
+
+  const auto first = receiver.on_data(*frame);
+  ASSERT_TRUE(first.ack.has_value());
+  EXPECT_TRUE(first.fresh);
+  EXPECT_EQ(first.ack->type, FrameType::Ack);
+  EXPECT_EQ(first.ack->sequence, frame->sequence);
+
+  // Retransmission of the same sequence: ack again, but not fresh.
+  const auto dup = receiver.on_data(*frame);
+  ASSERT_TRUE(dup.ack.has_value());
+  EXPECT_FALSE(dup.fresh);
+  EXPECT_EQ(receiver.received_fresh(), 1u);
+  EXPECT_EQ(receiver.duplicates(), 1u);
+}
+
+TEST(ArqReceiver, IgnoresFramesForOthers) {
+  ArqReceiver receiver(5);
+  Frame f;
+  f.type = FrameType::Data;
+  f.source = 1;
+  f.destination = 9;  // not us
+  const auto result = receiver.on_data(f);
+  EXPECT_FALSE(result.ack.has_value());
+  EXPECT_FALSE(result.fresh);
+  Frame ack;
+  ack.type = FrameType::Ack;
+  ack.destination = 5;
+  EXPECT_FALSE(receiver.on_data(ack).ack.has_value());
+}
+
+TEST(Arq, LossyRoundTripEventuallyDelivers) {
+  // Deterministic loss pattern: every other data frame is lost; every
+  // third ack is lost. Stop-and-wait must still deliver everything once.
+  ArqSender sender(1, 2, {.max_retransmissions = 10});
+  ArqReceiver receiver(2);
+  int data_counter = 0, ack_counter = 0;
+  int fresh = 0;
+  for (int msg = 0; msg < 50; ++msg) {
+    ASSERT_TRUE(sender.submit({static_cast<std::uint8_t>(msg)}));
+    while (true) {
+      const auto frame = sender.frame_to_send();
+      if (!frame) break;
+      const bool data_lost = (++data_counter % 2) == 0;
+      bool acked = false;
+      if (!data_lost) {
+        const auto result = receiver.on_data(*frame);
+        if (result.fresh) ++fresh;
+        const bool ack_lost = (++ack_counter % 3) == 0;
+        if (result.ack && !ack_lost && sender.on_ack(*result.ack)) {
+          acked = true;
+        }
+      }
+      if (acked) break;
+      if (!sender.on_timeout()) break;
+    }
+  }
+  EXPECT_EQ(sender.delivered(), 50u);
+  EXPECT_EQ(sender.dropped(), 0u);
+  EXPECT_EQ(fresh, 50);
+  EXPECT_GT(receiver.duplicates(), 0u);  // lost acks force duplicates
+}
+
+}  // namespace
+}  // namespace braidio::mac

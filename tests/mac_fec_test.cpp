@@ -1,0 +1,171 @@
+#include "mac/fec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/modulation.hpp"
+#include "util/rng.hpp"
+
+namespace braidio::mac {
+namespace {
+
+TEST(Bits, BytesToBitsRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0x00, 0xFF, 0xA5, 0x3C};
+  const auto bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 32u);
+  EXPECT_EQ(bits[0], 0);           // MSB of 0x00
+  EXPECT_EQ(bits[8], 1);           // MSB of 0xFF
+  EXPECT_EQ(bits_to_bytes(bits), bytes);
+  EXPECT_THROW(bits_to_bytes(std::vector<std::uint8_t>(7)),
+               std::invalid_argument);
+}
+
+TEST(Hamming74, EncodeExpandsSevenFourths) {
+  const auto coded = Hamming74::encode(std::vector<std::uint8_t>(16, 1));
+  EXPECT_EQ(coded.size(), 28u);
+  // Padding: 5 data bits pad to 8 -> 14 coded.
+  EXPECT_EQ(Hamming74::encode(std::vector<std::uint8_t>(5, 0)).size(), 14u);
+  EXPECT_DOUBLE_EQ(Hamming74::code_rate(), 4.0 / 7.0);
+}
+
+TEST(Hamming74, CleanRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto data = phy::random_bits(64, seed);
+    const auto coded = Hamming74::encode(data);
+    const auto decoded = Hamming74::decode(coded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->bits, data);
+    EXPECT_EQ(decoded->corrected, 0u);
+  }
+}
+
+TEST(Hamming74, CorrectsEverySingleBitError) {
+  const auto data = phy::random_bits(4, 99);
+  const auto coded = Hamming74::encode(data);
+  ASSERT_EQ(coded.size(), 7u);
+  for (std::size_t flip = 0; flip < 7; ++flip) {
+    auto corrupted = coded;
+    corrupted[flip] ^= 1u;
+    const auto decoded = Hamming74::decode(corrupted);
+    ASSERT_TRUE(decoded.has_value()) << "flip " << flip;
+    EXPECT_EQ(decoded->bits, data) << "flip " << flip;
+    EXPECT_EQ(decoded->corrected, 1u) << "flip " << flip;
+  }
+}
+
+TEST(Hamming74, DoubleErrorsMiscorrect) {
+  // Hamming(7,4) cannot correct two errors; it must still return *some*
+  // decode (miscorrected), not crash — the CRC above catches it.
+  const auto data = phy::random_bits(4, 5);
+  auto coded = Hamming74::encode(data);
+  coded[0] ^= 1u;
+  coded[3] ^= 1u;
+  const auto decoded = Hamming74::decode(coded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NE(decoded->bits, data);
+}
+
+TEST(Hamming74, RejectsBadLength) {
+  EXPECT_FALSE(Hamming74::decode(std::vector<std::uint8_t>(6)).has_value());
+}
+
+TEST(BlockInterleaver, RoundTripAndBurstSpreading) {
+  BlockInterleaver il(7, 5);
+  std::vector<std::uint8_t> block(35);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(i);
+  }
+  const auto mixed = il.interleave(block);
+  EXPECT_NE(mixed, block);
+  EXPECT_EQ(il.deinterleave(mixed), block);
+  // A burst of 7 consecutive symbols on the wire lands in 7 distinct rows,
+  // i.e. at most one error per 7-symbol codeword after deinterleaving.
+  std::vector<std::uint8_t> hits(35, 0);
+  for (std::size_t wire = 10; wire < 17; ++wire) hits[wire] = 1;
+  const auto spread = il.deinterleave(hits);
+  for (std::size_t row = 0; row < 7; ++row) {
+    int per_row = 0;
+    for (std::size_t c = 0; c < 5; ++c) per_row += spread[row * 5 + c];
+    EXPECT_LE(per_row, 2) << "row " << row;
+  }
+  EXPECT_THROW(il.interleave(std::vector<std::uint8_t>(10)),
+               std::invalid_argument);
+  EXPECT_THROW(BlockInterleaver(0, 3), std::invalid_argument);
+}
+
+TEST(FecPipeline, RoundTripArbitraryPayloads) {
+  util::Rng rng(17);
+  for (std::size_t len : {0u, 1u, 3u, 32u, 255u}) {
+    std::vector<std::uint8_t> payload(len);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const auto coded = fec_encode(payload);
+    const auto decoded = fec_decode(coded);
+    ASSERT_TRUE(decoded.has_value()) << "len " << len;
+    EXPECT_EQ(decoded->payload, payload) << "len " << len;
+  }
+}
+
+TEST(FecPipeline, SurvivesBurstThatWouldKillUncoded) {
+  std::vector<std::uint8_t> payload(64, 0x5A);
+  auto coded = fec_encode(payload);
+  // Burst of 7 consecutive wire bits: the interleaver spreads it to <= 1
+  // error per codeword, all correctable.
+  for (std::size_t i = 100; i < 107; ++i) coded.coded_bits[i] ^= 1u;
+  const auto decoded = fec_decode(coded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, payload);
+  EXPECT_EQ(decoded->corrected_bits, 7u);
+}
+
+TEST(FecPipeline, RandomErrorsBelowThresholdAreCorrected) {
+  util::Rng rng(23);
+  std::vector<std::uint8_t> payload(128, 0xC3);
+  int recovered = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    auto coded = fec_encode(payload);
+    for (auto& bit : coded.coded_bits) {
+      if (rng.bernoulli(0.005)) bit ^= 1u;
+    }
+    const auto decoded = fec_decode(coded);
+    if (decoded && decoded->payload == payload) ++recovered;
+  }
+  // At 0.5% channel BER nearly every frame should survive.
+  EXPECT_GT(recovered, trials * 8 / 10);
+}
+
+TEST(ResidualBer, ImprovesOnChannelAndIsMonotone) {
+  double prev = 0.0;
+  for (double ber : {1e-4, 1e-3, 1e-2, 5e-2}) {
+    const double residual = hamming74_residual_ber(ber);
+    EXPECT_LT(residual, ber) << ber;   // the code must help
+    EXPECT_GT(residual, prev);         // and stay monotone
+    prev = residual;
+  }
+  EXPECT_DOUBLE_EQ(hamming74_residual_ber(0.0), 0.0);
+  EXPECT_THROW(hamming74_residual_ber(-0.1), std::domain_error);
+}
+
+TEST(ResidualBer, MatchesMonteCarlo) {
+  util::Rng rng(31);
+  const double channel = 0.02;
+  std::size_t errors = 0, bits = 0;
+  for (int t = 0; t < 400; ++t) {
+    const auto data = phy::random_bits(400, static_cast<std::uint64_t>(t));
+    auto coded = Hamming74::encode(data);
+    for (auto& b : coded) {
+      if (rng.bernoulli(channel)) b ^= 1u;
+    }
+    const auto decoded = Hamming74::decode(coded);
+    ASSERT_TRUE(decoded.has_value());
+    errors += phy::bit_errors(decoded->bits, data);
+    bits += data.size();
+  }
+  const double measured = static_cast<double>(errors) /
+                          static_cast<double>(bits);
+  EXPECT_NEAR(measured / hamming74_residual_ber(channel), 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace braidio::mac

@@ -1,0 +1,121 @@
+#include "phy/ber.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+#include "util/units.hpp"
+
+namespace braidio::phy {
+namespace {
+
+constexpr BerModel kAllModels[] = {
+    BerModel::CoherentBpsk, BerModel::CoherentFsk, BerModel::NoncoherentFsk,
+    BerModel::NoncoherentOok};
+
+TEST(Ber, ZeroSnrIsCoinFlip) {
+  EXPECT_NEAR(bit_error_rate(BerModel::CoherentBpsk, 0.0), 0.5, 1e-9);
+  EXPECT_NEAR(bit_error_rate(BerModel::CoherentFsk, 0.0), 0.5, 1e-9);
+  EXPECT_NEAR(bit_error_rate(BerModel::NoncoherentFsk, 0.0), 0.5, 1e-9);
+  // OOK with a threshold at A/2 = 0 reads every "0" as "1": Pfa = 1,
+  // Pmiss = 0 -> Pb = 0.5.
+  EXPECT_NEAR(bit_error_rate(BerModel::NoncoherentOok, 0.0), 0.5, 1e-9);
+}
+
+TEST(Ber, KnownTextbookValues) {
+  // BPSK at 9.6 dB -> ~1e-5; coherent FSK needs 3 dB more for the same Pb.
+  const double g = util::db_to_linear(9.6);
+  EXPECT_NEAR(bit_error_rate(BerModel::CoherentBpsk, g), 1.03e-5, 3e-6);
+  EXPECT_NEAR(bit_error_rate(BerModel::CoherentFsk, 2.0 * g),
+              bit_error_rate(BerModel::CoherentBpsk, g), 1e-9);
+  // Noncoherent FSK closed form.
+  EXPECT_DOUBLE_EQ(bit_error_rate(BerModel::NoncoherentFsk, 10.0),
+                   0.5 * std::exp(-5.0));
+}
+
+TEST(Ber, ModelOrderingAtModerateSnr) {
+  // Detection efficiency: BPSK < coherent FSK < noncoherent FSK < OOK
+  // envelope (higher Pb = less efficient) at the same per-bit SNR.
+  const double g = util::db_to_linear(10.0);
+  const double bpsk = bit_error_rate(BerModel::CoherentBpsk, g);
+  const double cfsk = bit_error_rate(BerModel::CoherentFsk, g);
+  const double nfsk = bit_error_rate(BerModel::NoncoherentFsk, g);
+  const double ook = bit_error_rate(BerModel::NoncoherentOok, g);
+  EXPECT_LT(bpsk, cfsk);
+  EXPECT_LT(cfsk, nfsk);
+  EXPECT_LT(nfsk, ook);
+}
+
+TEST(Ber, RejectsNegativeSnr) {
+  for (auto model : kAllModels) {
+    EXPECT_THROW(bit_error_rate(model, -0.1), std::domain_error);
+  }
+}
+
+class BerMonotonic : public ::testing::TestWithParam<BerModel> {};
+
+TEST_P(BerMonotonic, DecreasesWithSnr) {
+  const auto model = GetParam();
+  double prev = 0.6;
+  for (double db = -10.0; db <= 20.0; db += 1.0) {
+    const double p = bit_error_rate(model, util::db_to_linear(db));
+    EXPECT_LE(p, prev + 1e-12) << "at " << db << " dB";
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 0.5 + 1e-9);
+    prev = p;
+  }
+}
+
+TEST_P(BerMonotonic, RequiredSnrInverts) {
+  const auto model = GetParam();
+  for (double target : {0.1, 0.01, 1e-3, 1e-4}) {
+    const double g = required_snr(model, target);
+    EXPECT_NEAR(bit_error_rate(model, g) / target, 1.0, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BerMonotonic,
+                         ::testing::ValuesIn(kAllModels));
+
+TEST(RequiredSnr, OrderingMatchesEfficiency) {
+  // To reach the Fig. 13 threshold (1e-2), envelope OOK needs more SNR
+  // than the coherent schemes — the sensitivity price of the passive
+  // receiver (Table 3).
+  const double t = 0.01;
+  EXPECT_LT(required_snr_db(BerModel::CoherentBpsk, t),
+            required_snr_db(BerModel::CoherentFsk, t));
+  EXPECT_LT(required_snr_db(BerModel::CoherentFsk, t),
+            required_snr_db(BerModel::NoncoherentOok, t));
+}
+
+TEST(RequiredSnr, ValidatesTarget) {
+  EXPECT_THROW(required_snr(BerModel::CoherentBpsk, 0.0), std::domain_error);
+  EXPECT_THROW(required_snr(BerModel::CoherentBpsk, 0.5), std::domain_error);
+  EXPECT_THROW(required_snr(BerModel::CoherentBpsk, 1.0), std::domain_error);
+}
+
+TEST(PacketErrorRate, MatchesIndependentBitModel) {
+  EXPECT_DOUBLE_EQ(packet_error_rate(0.0, 1000), 0.0);
+  EXPECT_NEAR(packet_error_rate(1e-3, 1000),
+              1.0 - std::pow(1.0 - 1e-3, 1000.0), 1e-12);
+  EXPECT_NEAR(packet_error_rate(0.5, 1), 0.5, 1e-12);
+  // Stable for tiny BER: ~ bits * ber.
+  EXPECT_NEAR(packet_error_rate(1e-12, 100), 1e-10, 1e-14);
+  EXPECT_THROW(packet_error_rate(-0.1, 10), std::domain_error);
+  EXPECT_THROW(packet_error_rate(1.1, 10), std::domain_error);
+}
+
+TEST(NoncoherentOok, MatchesManualMarcumComposition) {
+  for (double db : {6.0, 10.0, 14.0}) {
+    const double g = util::db_to_linear(db);
+    const double pfa = std::exp(-g / 4.0);
+    const double pmiss = 1.0 - util::marcum_q1(std::sqrt(2.0 * g),
+                                               std::sqrt(g / 2.0));
+    EXPECT_DOUBLE_EQ(bit_error_rate(BerModel::NoncoherentOok, g),
+                     0.5 * (pfa + pmiss));
+  }
+}
+
+}  // namespace
+}  // namespace braidio::phy

@@ -1,0 +1,135 @@
+#include "phy/fsk_subcarrier.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "phy/modulation.hpp"
+
+namespace braidio::phy {
+namespace {
+
+TEST(FskConfig, SamplesAndOrthogonality) {
+  FskSubcarrierConfig cfg;  // 100 kbps, 600/900 kHz @ 8 Msps
+  EXPECT_EQ(cfg.samples_per_symbol(), 80u);
+  EXPECT_TRUE(cfg.tones_orthogonal());
+  FskSubcarrierConfig bad = cfg;
+  bad.tone1_hz = 650e3;  // 6.5 cycles per symbol: not orthogonal
+  EXPECT_FALSE(bad.tones_orthogonal());
+  bad.tone1_hz = bad.tone0_hz;  // identical tones are useless
+  EXPECT_FALSE(bad.tones_orthogonal());
+}
+
+TEST(FskModem, RejectsBadConfigs) {
+  FskSubcarrierConfig nyquist;
+  nyquist.tone1_hz = 5e6;  // above fs/2
+  EXPECT_THROW(FskSubcarrierModem{nyquist}, std::invalid_argument);
+  FskSubcarrierConfig nonortho;
+  nonortho.tone1_hz = 650e3;
+  EXPECT_THROW(FskSubcarrierModem{nonortho}, std::invalid_argument);
+  FskSubcarrierConfig coarse;
+  coarse.sample_rate_hz = 400e3;  // 4 samples/symbol
+  coarse.tone0_hz = 100e3;
+  coarse.tone1_hz = 200e3;
+  EXPECT_THROW(FskSubcarrierModem{coarse}, std::invalid_argument);
+}
+
+TEST(Goertzel, DetectsItsTone) {
+  const double fs = 8e6;
+  std::vector<double> tone(80);
+  for (std::size_t k = 0; k < tone.size(); ++k) {
+    tone[k] = std::cos(2.0 * std::numbers::pi * 600e3 *
+                       static_cast<double>(k) / fs);
+  }
+  const double on_bin = goertzel_power(tone, 600e3, fs);
+  const double off_bin = goertzel_power(tone, 900e3, fs);
+  EXPECT_GT(on_bin, 100.0 * off_bin);
+  EXPECT_THROW(goertzel_power({}, 600e3, fs), std::invalid_argument);
+}
+
+TEST(FskModem, NoiselessRoundTrip) {
+  FskSubcarrierModem modem;
+  const auto bits = random_bits(300, 3);
+  const auto wave = modem.modulate(bits);
+  EXPECT_EQ(wave.size(), bits.size() * 80);
+  EXPECT_EQ(modem.demodulate(wave), bits);
+}
+
+TEST(FskModem, ToleratesLargeDcBackground) {
+  // The whole point: a huge static background (carrier self-interference)
+  // does not disturb tone detection.
+  FskSubcarrierModem modem;
+  const auto bits = random_bits(200, 5);
+  auto wave = modem.modulate(bits);
+  for (auto& s : wave) s = 5000.0 + s;
+  EXPECT_EQ(modem.demodulate(wave), bits);
+}
+
+TEST(FskModem, SquareWaveIsSwitchCompatible) {
+  // The modulator output must be a two-level waveform (an RF transistor
+  // has exactly two states).
+  FskSubcarrierModem modem;
+  for (double s : modem.modulate({0, 1})) {
+    EXPECT_TRUE(s == 1.0 || s == -1.0);
+  }
+}
+
+TEST(FskSimulate, MatchesAnalyticAcrossSnr) {
+  FskSubcarrierConfig cfg;
+  for (double snr : {0.03, 0.06, 0.1}) {
+    const auto r = simulate_fsk_subcarrier(cfg, snr, 150'000, 11);
+    ASSERT_GT(r.analytic_ber, 1e-3);
+    EXPECT_NEAR(r.measured_ber / r.analytic_ber, 1.0, 0.25)
+        << "snr " << snr;
+  }
+}
+
+TEST(FskSimulate, CleanAtHighSnrCoinFlipAtZero) {
+  FskSubcarrierConfig cfg;
+  EXPECT_EQ(simulate_fsk_subcarrier(cfg, 2.0, 20'000, 1).errors, 0u);
+  const auto zero = simulate_fsk_subcarrier(cfg, 0.0, 20'000, 1);
+  EXPECT_NEAR(zero.measured_ber, 0.5, 0.03);
+}
+
+TEST(FskSimulate, DeterministicPerSeedAndValidates) {
+  FskSubcarrierConfig cfg;
+  const auto a = simulate_fsk_subcarrier(cfg, 0.05, 20'000, 42);
+  const auto b = simulate_fsk_subcarrier(cfg, 0.05, 20'000, 42);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_THROW(simulate_fsk_subcarrier(cfg, 0.05, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_fsk_subcarrier(cfg, -1.0, 10, 1),
+               std::invalid_argument);
+}
+
+TEST(FskVsOok, FskNeedsNoManchesterButMoreToggles) {
+  // Structural comparison: at the same bitrate, the FSK tag toggles ~6-9x
+  // per bit (tone cycles) where Manchester-OOK toggles ~2x. That is the
+  // switch-rate price for DC immunity.
+  FskSubcarrierConfig cfg;
+  FskSubcarrierModem modem(cfg);
+  const auto wave = modem.modulate({1});
+  int toggles = 0;
+  for (std::size_t i = 1; i < wave.size(); ++i) {
+    if (wave[i] != wave[i - 1]) ++toggles;
+  }
+  EXPECT_GE(toggles, 12);  // 9 cycles of 900 kHz per 10 us symbol
+  EXPECT_LE(toggles, 20);
+}
+
+class FskSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FskSnrSweep, BerMonotoneInSnr) {
+  FskSubcarrierConfig cfg;
+  const double snr = GetParam();
+  const auto low = simulate_fsk_subcarrier(cfg, snr, 40'000, 3);
+  const auto high = simulate_fsk_subcarrier(cfg, snr * 2.0, 40'000, 3);
+  EXPECT_LE(high.measured_ber, low.measured_ber + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FskSnrSweep,
+                         ::testing::Values(0.01, 0.03, 0.06, 0.1));
+
+}  // namespace
+}  // namespace braidio::phy

@@ -1,0 +1,96 @@
+#include "phy/qam_backscatter.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "phy/ber.hpp"
+#include "util/units.hpp"
+
+namespace braidio::phy {
+namespace {
+
+TEST(Qam, Degenerates_ToBpskAtM2) {
+  for (double db : {0.0, 4.0, 8.0}) {
+    const double g = util::db_to_linear(db);
+    EXPECT_DOUBLE_EQ(qam_bit_error_rate(2, g),
+                     bit_error_rate(BerModel::CoherentBpsk, g));
+  }
+}
+
+TEST(Qam, QpskMatchesBpskPerBit) {
+  // Gray-coded QPSK has the same per-bit error rate as BPSK (the two
+  // quadratures are independent BPSK channels).
+  for (double db : {2.0, 6.0, 9.0}) {
+    const double g = util::db_to_linear(db);
+    EXPECT_NEAR(qam_bit_error_rate(4, g) /
+                    bit_error_rate(BerModel::CoherentBpsk, g),
+                1.0, 0.05)
+        << db;
+  }
+}
+
+TEST(Qam, HigherOrderNeedsMoreSnr) {
+  const double t = 0.01;
+  const double s2 = qam_required_snr(2, t);
+  const double s16 = qam_required_snr(16, t);
+  const double s64 = qam_required_snr(64, t);
+  EXPECT_GT(s16, s2 * 2.0);
+  EXPECT_GT(s64, s16 * 2.0);
+  // Textbook figure: 16-QAM needs ~4 dB more Eb/N0 than QPSK at 1e-2.
+  EXPECT_NEAR(util::linear_to_db(s16 / qam_required_snr(4, t)), 4.0, 1.0);
+}
+
+TEST(Qam, BerMonotoneInSnrAndBounded) {
+  for (unsigned m : {2u, 4u, 16u, 64u}) {
+    double prev = 0.51;
+    for (double db = -5.0; db <= 25.0; db += 1.0) {
+      const double p = qam_bit_error_rate(m, util::db_to_linear(db));
+      EXPECT_LE(p, prev + 1e-12);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 0.5);
+      prev = p;
+    }
+  }
+}
+
+TEST(Qam, TagEnergyPerBitFallsWithOrder) {
+  QamTagModel tag;
+  const double rs = 1e6;  // 1 Msym/s
+  const double e2 = tag.tag_joules_per_bit(2, rs);
+  const double e16 = tag.tag_joules_per_bit(16, rs);
+  const double e64 = tag.tag_joules_per_bit(64, rs);
+  EXPECT_NEAR(e2 / e16, 4.0, 1e-9);   // log2(16)/log2(2)
+  EXPECT_NEAR(e2 / e64, 6.0, 1e-9);
+  // [48]-class figure of merit: ~pJ/bit scale at Msym/s rates.
+  EXPECT_LT(e16, 10e-12 + tag.static_power_w / (4.0 * rs));
+}
+
+TEST(Qam, RangeShrinksGently) {
+  // The d^-4 radar path compresses the SNR penalty: 16-QAM (with its
+  // 4x-per-symbol SNR appetite) loses range by only ~(snr ratio)^(1/4).
+  const double r16 = qam_range_m(16, 0.9);
+  const double r64 = qam_range_m(64, 0.9);
+  EXPECT_DOUBLE_EQ(qam_range_m(2, 0.9), 0.9);
+  EXPECT_LT(r16, 0.9);
+  EXPECT_GT(r16, 0.5);
+  EXPECT_LT(r64, r16);
+}
+
+TEST(Qam, ThroughputScalesWithOrder) {
+  QamTagModel tag;
+  EXPECT_DOUBLE_EQ(tag.bitrate_bps(16, 1e6), 4e6);
+  EXPECT_DOUBLE_EQ(tag.bitrate_bps(64, 1e6), 6e6);
+}
+
+TEST(Qam, Validation) {
+  EXPECT_THROW(qam_bit_error_rate(8, 1.0), std::invalid_argument);
+  EXPECT_THROW(qam_bit_error_rate(16, -1.0), std::domain_error);
+  EXPECT_THROW(qam_required_snr(16, 0.0), std::domain_error);
+  QamTagModel tag;
+  EXPECT_THROW(tag.bitrate_bps(16, 0.0), std::domain_error);
+  EXPECT_THROW(qam_range_m(16, 0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace braidio::phy

@@ -1,0 +1,152 @@
+#include "phy/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "phy/fsk_subcarrier.hpp"
+#include "phy/modulation.hpp"
+
+namespace braidio::phy {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(17), 32u);
+  EXPECT_THROW(next_power_of_two(0), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<std::complex<double>> x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  const int bin = 5;
+  for (std::size_t k = 0; k < n; ++k) {
+    x[k] = std::polar(1.0, 2.0 * std::numbers::pi * bin *
+                               static_cast<double>(k) / n);
+  }
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == static_cast<std::size_t>(bin)) {
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RoundTripAndParseval) {
+  util::Rng rng(21);
+  std::vector<std::complex<double>> x(256);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = {rng.gaussian(), rng.gaussian()};
+    time_energy += std::norm(v);
+  }
+  auto spectrum = x;
+  fft(spectrum);
+  double freq_energy = 0.0;
+  for (const auto& v : spectrum) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / (256.0 * time_energy), 1.0, 1e-9);  // Parseval
+  fft(spectrum, /*inverse=*/true);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(spectrum[k] - x[k]), 0.0, 1e-9);
+  }
+  std::vector<std::complex<double>> bad(12);
+  EXPECT_THROW(fft(bad), std::invalid_argument);
+}
+
+TEST(Welch, FindsAToneAboveTheFloor) {
+  const double fs = 1e6;
+  std::vector<double> sig(8192);
+  util::Rng rng(5);
+  for (std::size_t k = 0; k < sig.size(); ++k) {
+    sig[k] = std::sin(2.0 * std::numbers::pi * 125e3 *
+                      static_cast<double>(k) / fs) +
+             0.01 * rng.gaussian();
+  }
+  const auto psd = welch_psd(sig, fs);
+  // Peak bin near 125 kHz, well above the noise floor.
+  double peak_freq = 0.0, peak_db = -1e9, floor_db = 0.0;
+  int floor_count = 0;
+  for (std::size_t k = 1; k < psd.freq_hz.size(); ++k) {
+    if (psd.power_db[k] > peak_db) {
+      peak_db = psd.power_db[k];
+      peak_freq = psd.freq_hz[k];
+    }
+    if (psd.freq_hz[k] > 300e3) {
+      floor_db += psd.power_db[k];
+      ++floor_count;
+    }
+  }
+  floor_db /= floor_count;
+  EXPECT_NEAR(peak_freq, 125e3, 5e3);
+  EXPECT_GT(peak_db - floor_db, 20.0);
+  EXPECT_THROW(welch_psd({1.0, 2.0}, fs), std::invalid_argument);
+}
+
+TEST(Spectrum, ManchesterMovesEnergyOffDc) {
+  // The Sec. 3.1 argument, quantified: NRZ OOK keeps a large share of its
+  // power near DC (where self-interference lives); Manchester relocates
+  // it to >= half the bit rate.
+  const double fs = 8e6;
+  const auto bits = random_bits(4096, 9);
+  OokModulatorConfig mod;
+  mod.samples_per_bit = 8;
+  auto nrz = ook_modulate(bits, mod);
+  mod.samples_per_bit = 4;  // half-bits at the same data rate
+  auto manchester = ook_modulate(manchester_encode(bits), mod);
+  // Remove the constant on-fraction mean: the envelope detector's
+  // high-pass strips any static offset for free; what matters is where
+  // the *information-bearing variation* lives.
+  auto remove_mean = [](std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    for (double& x : v) x -= m;
+  };
+  remove_mean(nrz);
+  remove_mean(manchester);
+
+  const double corner = 100e3;  // below the 1 Mbps data band
+  const double nrz_low =
+      power_fraction_below(welch_psd(nrz, fs), corner);
+  const double man_low =
+      power_fraction_below(welch_psd(manchester, fs), corner);
+  EXPECT_GT(nrz_low, 0.1);   // NRZ: sinc^2 piles up toward DC
+  EXPECT_LT(man_low, nrz_low / 10.0);  // Manchester: band starts at R/2
+}
+
+TEST(Spectrum, FskSubcarrierConcentratesAtItsTones) {
+  FskSubcarrierConfig cfg;  // tones 600/900 kHz @ 8 Msps
+  FskSubcarrierModem modem(cfg);
+  const auto wave = modem.modulate(random_bits(2048, 11));
+  const auto psd = welch_psd(wave, cfg.sample_rate_hz);
+  // Almost no energy below 100 kHz; strong energy near the tones.
+  EXPECT_LT(power_fraction_below(psd, 100e3), 0.05);
+  double near_tones = 0.0, total = 0.0;
+  for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+    const double p = std::pow(10.0, psd.power_db[k] / 10.0);
+    total += p;
+    const double f = psd.freq_hz[k];
+    if ((f > 500e3 && f < 1e6)) near_tones += p;
+  }
+  EXPECT_GT(near_tones / total, 0.5);
+}
+
+}  // namespace
+}  // namespace braidio::phy

@@ -1,0 +1,77 @@
+#include "util/units.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace braidio::util {
+namespace {
+
+TEST(Units, DbmToWattsKnownPoints) {
+  EXPECT_DOUBLE_EQ(dbm_to_watts(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(dbm_to_watts(30.0), 1.0);
+  EXPECT_NEAR(dbm_to_watts(13.0), 19.95e-3, 0.05e-3);  // SI4432 carrier
+  EXPECT_NEAR(dbm_to_watts(-30.0), 1e-6, 1e-12);
+}
+
+TEST(Units, WattsToDbmKnownPoints) {
+  EXPECT_DOUBLE_EQ(watts_to_dbm(1e-3), 0.0);
+  EXPECT_DOUBLE_EQ(watts_to_dbm(1.0), 30.0);
+  EXPECT_NEAR(watts_to_dbm(0.129), 21.1, 0.05);  // Braidio carrier end
+}
+
+TEST(Units, WattsToDbmRejectsNonPositive) {
+  EXPECT_THROW(watts_to_dbm(0.0), std::domain_error);
+  EXPECT_THROW(watts_to_dbm(-1.0), std::domain_error);
+}
+
+TEST(Units, DbLinearInversePair) {
+  for (double db : {-40.0, -6.0, 0.0, 3.0, 20.0, 50.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, LinearToDbRejectsNonPositive) {
+  EXPECT_THROW(linear_to_db(0.0), std::domain_error);
+  EXPECT_THROW(linear_to_db(-2.0), std::domain_error);
+}
+
+TEST(Units, WhJoulesRoundTrip) {
+  EXPECT_DOUBLE_EQ(wh_to_joules(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(joules_to_wh(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(joules_to_wh(wh_to_joules(99.5)), 99.5);
+}
+
+TEST(Units, PowerScaleHelpers) {
+  EXPECT_DOUBLE_EQ(mw_to_watts(129.0), 0.129);
+  EXPECT_DOUBLE_EQ(uw_to_watts(16.0), 16e-6);
+  EXPECT_DOUBLE_EQ(watts_to_mw(0.129), 129.0);
+  EXPECT_DOUBLE_EQ(watts_to_uw(16e-6), 16.0);
+}
+
+TEST(Units, WavelengthAt915MHz) {
+  EXPECT_NEAR(wavelength_m(915e6), 0.3276, 1e-3);
+  EXPECT_THROW(wavelength_m(0.0), std::domain_error);
+}
+
+TEST(Units, ThermalNoiseFloor) {
+  // kTB at 290 K over 1 MHz is about -114 dBm.
+  const double n = thermal_noise_watts(1e6);
+  EXPECT_NEAR(watts_to_dbm(n), -113.97, 0.1);
+  EXPECT_DOUBLE_EQ(thermal_noise_watts(0.0), 0.0);
+  EXPECT_THROW(thermal_noise_watts(-1.0), std::domain_error);
+}
+
+class DbRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbRoundTrip, DbmWattsInverse) {
+  const double dbm = GetParam();
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(dbm)), dbm, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DbRoundTrip,
+                         ::testing::Values(-120.0, -80.0, -40.0, -13.0, 0.0,
+                                           13.0, 17.0, 23.0, 30.0));
+
+}  // namespace
+}  // namespace braidio::util
