@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dwell.dir/bench_ablation_dwell.cpp.o"
+  "CMakeFiles/bench_ablation_dwell.dir/bench_ablation_dwell.cpp.o.d"
+  "bench_ablation_dwell"
+  "bench_ablation_dwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

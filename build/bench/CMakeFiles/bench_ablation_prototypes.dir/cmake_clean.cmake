@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prototypes.dir/bench_ablation_prototypes.cpp.o"
+  "CMakeFiles/bench_ablation_prototypes.dir/bench_ablation_prototypes.cpp.o.d"
+  "bench_ablation_prototypes"
+  "bench_ablation_prototypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prototypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_deadline.dir/bench_ext_deadline.cpp.o"
+  "CMakeFiles/bench_ext_deadline.dir/bench_ext_deadline.cpp.o.d"
+  "bench_ext_deadline"
+  "bench_ext_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

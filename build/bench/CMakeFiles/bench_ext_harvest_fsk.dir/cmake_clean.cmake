@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_harvest_fsk.dir/bench_ext_harvest_fsk.cpp.o"
+  "CMakeFiles/bench_ext_harvest_fsk.dir/bench_ext_harvest_fsk.cpp.o.d"
+  "bench_ext_harvest_fsk"
+  "bench_ext_harvest_fsk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_harvest_fsk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hub.dir/bench_ext_hub.cpp.o"
+  "CMakeFiles/bench_ext_hub.dir/bench_ext_hub.cpp.o.d"
+  "bench_ext_hub"
+  "bench_ext_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

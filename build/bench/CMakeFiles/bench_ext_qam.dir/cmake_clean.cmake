@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_qam.dir/bench_ext_qam.cpp.o"
+  "CMakeFiles/bench_ext_qam.dir/bench_ext_qam.cpp.o.d"
+  "bench_ext_qam"
+  "bench_ext_qam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_qam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

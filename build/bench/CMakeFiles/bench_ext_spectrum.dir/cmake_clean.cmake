@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spectrum.dir/bench_ext_spectrum.cpp.o"
+  "CMakeFiles/bench_ext_spectrum.dir/bench_ext_spectrum.cpp.o.d"
+  "bench_ext_spectrum"
+  "bench_ext_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wakeup.dir/bench_ext_wakeup.cpp.o"
+  "CMakeFiles/bench_ext_wakeup.dir/bench_ext_wakeup.cpp.o.d"
+  "bench_ext_wakeup"
+  "bench_ext_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

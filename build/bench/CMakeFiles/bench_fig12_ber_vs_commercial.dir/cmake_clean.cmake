@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ber_vs_commercial.dir/bench_fig12_ber_vs_commercial.cpp.o"
+  "CMakeFiles/bench_fig12_ber_vs_commercial.dir/bench_fig12_ber_vs_commercial.cpp.o.d"
+  "bench_fig12_ber_vs_commercial"
+  "bench_fig12_ber_vs_commercial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ber_vs_commercial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_bidirectional.dir/bench_fig17_bidirectional.cpp.o"
+  "CMakeFiles/bench_fig17_bidirectional.dir/bench_fig17_bidirectional.cpp.o.d"
+  "bench_fig17_bidirectional"
+  "bench_fig17_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

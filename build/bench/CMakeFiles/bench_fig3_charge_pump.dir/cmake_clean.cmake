@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_charge_pump.dir/bench_fig3_charge_pump.cpp.o"
+  "CMakeFiles/bench_fig3_charge_pump.dir/bench_fig3_charge_pump.cpp.o.d"
+  "bench_fig3_charge_pump"
+  "bench_fig3_charge_pump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_charge_pump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

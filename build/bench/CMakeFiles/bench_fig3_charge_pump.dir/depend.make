@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_charge_pump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_regimes.dir/bench_fig8_regimes.cpp.o"
+  "CMakeFiles/bench_fig8_regimes.dir/bench_fig8_regimes.cpp.o.d"
+  "bench_fig8_regimes"
+  "bench_fig8_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_efficiency_triangle.dir/bench_fig9_efficiency_triangle.cpp.o"
+  "CMakeFiles/bench_fig9_efficiency_triangle.dir/bench_fig9_efficiency_triangle.cpp.o.d"
+  "bench_fig9_efficiency_triangle"
+  "bench_fig9_efficiency_triangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_efficiency_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

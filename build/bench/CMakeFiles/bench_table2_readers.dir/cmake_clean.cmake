@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_readers.dir/bench_table2_readers.cpp.o"
+  "CMakeFiles/bench_table2_readers.dir/bench_table2_readers.cpp.o.d"
+  "bench_table2_readers"
+  "bench_table2_readers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

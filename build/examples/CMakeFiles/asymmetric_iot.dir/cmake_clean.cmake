@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_iot.dir/asymmetric_iot.cpp.o"
+  "CMakeFiles/asymmetric_iot.dir/asymmetric_iot.cpp.o.d"
+  "asymmetric_iot"
+  "asymmetric_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_cli.dir/braidio_cli.cpp.o"
+  "CMakeFiles/braidio_cli.dir/braidio_cli.cpp.o.d"
+  "braidio_cli"
+  "braidio_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_stream.dir/camera_stream.cpp.o"
+  "CMakeFiles/camera_stream.dir/camera_stream.cpp.o.d"
+  "camera_stream"
+  "camera_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearable_sync.dir/wearable_sync.cpp.o"
+  "CMakeFiles/wearable_sync.dir/wearable_sync.cpp.o.d"
+  "wearable_sync"
+  "wearable_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearable_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

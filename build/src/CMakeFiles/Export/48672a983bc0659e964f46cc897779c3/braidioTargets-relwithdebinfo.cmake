@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "braidio::braidio_core" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_core )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_core "${_IMPORT_PREFIX}/lib/libbraidio_core.a" )
+
+# Import target "braidio::braidio_baseline" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_baseline APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_baseline PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_baseline.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_baseline )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_baseline "${_IMPORT_PREFIX}/lib/libbraidio_baseline.a" )
+
+# Import target "braidio::braidio_mac" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_mac APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_mac PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_mac.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_mac )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_mac "${_IMPORT_PREFIX}/lib/libbraidio_mac.a" )
+
+# Import target "braidio::braidio_phy" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_phy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_phy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_phy.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_phy )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_phy "${_IMPORT_PREFIX}/lib/libbraidio_phy.a" )
+
+# Import target "braidio::braidio_circuits" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_circuits APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_circuits PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_circuits.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_circuits )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_circuits "${_IMPORT_PREFIX}/lib/libbraidio_circuits.a" )
+
+# Import target "braidio::braidio_rf" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_rf APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_rf PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_rf.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_rf )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_rf "${_IMPORT_PREFIX}/lib/libbraidio_rf.a" )
+
+# Import target "braidio::braidio_energy" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_energy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_energy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_energy.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_energy )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_energy "${_IMPORT_PREFIX}/lib/libbraidio_energy.a" )
+
+# Import target "braidio::braidio_util" for configuration "RelWithDebInfo"
+set_property(TARGET braidio::braidio_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(braidio::braidio_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbraidio_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets braidio::braidio_util )
+list(APPEND _cmake_import_check_files_for_braidio::braidio_util "${_IMPORT_PREFIX}/lib/libbraidio_util.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bluetooth.cpp" "src/baseline/CMakeFiles/braidio_baseline.dir/bluetooth.cpp.o" "gcc" "src/baseline/CMakeFiles/braidio_baseline.dir/bluetooth.cpp.o.d"
+  "/root/repo/src/baseline/reader.cpp" "src/baseline/CMakeFiles/braidio_baseline.dir/reader.cpp.o" "gcc" "src/baseline/CMakeFiles/braidio_baseline.dir/reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/braidio_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/braidio_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/braidio_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/braidio_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_baseline.dir/bluetooth.cpp.o"
+  "CMakeFiles/braidio_baseline.dir/bluetooth.cpp.o.d"
+  "CMakeFiles/braidio_baseline.dir/reader.cpp.o"
+  "CMakeFiles/braidio_baseline.dir/reader.cpp.o.d"
+  "libbraidio_baseline.a"
+  "libbraidio_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for braidio_baseline.
+# This may be replaced when dependencies are built.

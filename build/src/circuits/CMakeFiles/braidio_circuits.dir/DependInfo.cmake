@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/antenna_switch.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/antenna_switch.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/antenna_switch.cpp.o.d"
+  "/root/repo/src/circuits/charge_pump.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/charge_pump.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/charge_pump.cpp.o.d"
+  "/root/repo/src/circuits/comparator.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/comparator.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/comparator.cpp.o.d"
+  "/root/repo/src/circuits/envelope_detector.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/envelope_detector.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/envelope_detector.cpp.o.d"
+  "/root/repo/src/circuits/harvester.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/harvester.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/harvester.cpp.o.d"
+  "/root/repo/src/circuits/inst_amp.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/inst_amp.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/inst_amp.cpp.o.d"
+  "/root/repo/src/circuits/netlist.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/netlist.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuits/pump_design.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/pump_design.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/pump_design.cpp.o.d"
+  "/root/repo/src/circuits/transient.cpp" "src/circuits/CMakeFiles/braidio_circuits.dir/transient.cpp.o" "gcc" "src/circuits/CMakeFiles/braidio_circuits.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

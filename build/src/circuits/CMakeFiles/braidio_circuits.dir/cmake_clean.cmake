@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_circuits.dir/antenna_switch.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/antenna_switch.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/charge_pump.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/charge_pump.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/comparator.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/comparator.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/envelope_detector.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/envelope_detector.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/harvester.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/harvester.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/inst_amp.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/inst_amp.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/netlist.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/netlist.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/pump_design.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/pump_design.cpp.o.d"
+  "CMakeFiles/braidio_circuits.dir/transient.cpp.o"
+  "CMakeFiles/braidio_circuits.dir/transient.cpp.o.d"
+  "libbraidio_circuits.a"
+  "libbraidio_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

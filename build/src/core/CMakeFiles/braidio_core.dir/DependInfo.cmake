@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/braided_link.cpp" "src/core/CMakeFiles/braidio_core.dir/braided_link.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/braided_link.cpp.o.d"
+  "/root/repo/src/core/braidio_radio.cpp" "src/core/CMakeFiles/braidio_core.dir/braidio_radio.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/braidio_radio.cpp.o.d"
+  "/root/repo/src/core/carrier_hub.cpp" "src/core/CMakeFiles/braidio_core.dir/carrier_hub.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/carrier_hub.cpp.o.d"
+  "/root/repo/src/core/coded_candidates.cpp" "src/core/CMakeFiles/braidio_core.dir/coded_candidates.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/coded_candidates.cpp.o.d"
+  "/root/repo/src/core/efficiency.cpp" "src/core/CMakeFiles/braidio_core.dir/efficiency.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/efficiency.cpp.o.d"
+  "/root/repo/src/core/harvest_aware.cpp" "src/core/CMakeFiles/braidio_core.dir/harvest_aware.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/harvest_aware.cpp.o.d"
+  "/root/repo/src/core/lifetime_sim.cpp" "src/core/CMakeFiles/braidio_core.dir/lifetime_sim.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/lifetime_sim.cpp.o.d"
+  "/root/repo/src/core/mobility_sim.cpp" "src/core/CMakeFiles/braidio_core.dir/mobility_sim.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/mobility_sim.cpp.o.d"
+  "/root/repo/src/core/offload.cpp" "src/core/CMakeFiles/braidio_core.dir/offload.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/offload.cpp.o.d"
+  "/root/repo/src/core/power_table.cpp" "src/core/CMakeFiles/braidio_core.dir/power_table.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/power_table.cpp.o.d"
+  "/root/repo/src/core/prototypes.cpp" "src/core/CMakeFiles/braidio_core.dir/prototypes.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/prototypes.cpp.o.d"
+  "/root/repo/src/core/regimes.cpp" "src/core/CMakeFiles/braidio_core.dir/regimes.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/regimes.cpp.o.d"
+  "/root/repo/src/core/wakeup.cpp" "src/core/CMakeFiles/braidio_core.dir/wakeup.cpp.o" "gcc" "src/core/CMakeFiles/braidio_core.dir/wakeup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/braidio_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/braidio_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/braidio_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/braidio_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/braidio_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/braidio_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

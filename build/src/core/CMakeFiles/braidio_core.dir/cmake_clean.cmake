@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_core.dir/braided_link.cpp.o"
+  "CMakeFiles/braidio_core.dir/braided_link.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/braidio_radio.cpp.o"
+  "CMakeFiles/braidio_core.dir/braidio_radio.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/carrier_hub.cpp.o"
+  "CMakeFiles/braidio_core.dir/carrier_hub.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/coded_candidates.cpp.o"
+  "CMakeFiles/braidio_core.dir/coded_candidates.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/efficiency.cpp.o"
+  "CMakeFiles/braidio_core.dir/efficiency.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/harvest_aware.cpp.o"
+  "CMakeFiles/braidio_core.dir/harvest_aware.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/lifetime_sim.cpp.o"
+  "CMakeFiles/braidio_core.dir/lifetime_sim.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/mobility_sim.cpp.o"
+  "CMakeFiles/braidio_core.dir/mobility_sim.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/offload.cpp.o"
+  "CMakeFiles/braidio_core.dir/offload.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/power_table.cpp.o"
+  "CMakeFiles/braidio_core.dir/power_table.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/prototypes.cpp.o"
+  "CMakeFiles/braidio_core.dir/prototypes.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/regimes.cpp.o"
+  "CMakeFiles/braidio_core.dir/regimes.cpp.o.d"
+  "CMakeFiles/braidio_core.dir/wakeup.cpp.o"
+  "CMakeFiles/braidio_core.dir/wakeup.cpp.o.d"
+  "libbraidio_core.a"
+  "libbraidio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

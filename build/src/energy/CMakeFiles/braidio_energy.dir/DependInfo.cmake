@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/energy/CMakeFiles/braidio_energy.dir/battery.cpp.o" "gcc" "src/energy/CMakeFiles/braidio_energy.dir/battery.cpp.o.d"
+  "/root/repo/src/energy/device_catalog.cpp" "src/energy/CMakeFiles/braidio_energy.dir/device_catalog.cpp.o" "gcc" "src/energy/CMakeFiles/braidio_energy.dir/device_catalog.cpp.o.d"
+  "/root/repo/src/energy/ledger.cpp" "src/energy/CMakeFiles/braidio_energy.dir/ledger.cpp.o" "gcc" "src/energy/CMakeFiles/braidio_energy.dir/ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_energy.dir/battery.cpp.o"
+  "CMakeFiles/braidio_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/braidio_energy.dir/device_catalog.cpp.o"
+  "CMakeFiles/braidio_energy.dir/device_catalog.cpp.o.d"
+  "CMakeFiles/braidio_energy.dir/ledger.cpp.o"
+  "CMakeFiles/braidio_energy.dir/ledger.cpp.o.d"
+  "libbraidio_energy.a"
+  "libbraidio_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/arq.cpp" "src/mac/CMakeFiles/braidio_mac.dir/arq.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/arq.cpp.o.d"
+  "/root/repo/src/mac/crc.cpp" "src/mac/CMakeFiles/braidio_mac.dir/crc.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/crc.cpp.o.d"
+  "/root/repo/src/mac/fec.cpp" "src/mac/CMakeFiles/braidio_mac.dir/fec.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/fec.cpp.o.d"
+  "/root/repo/src/mac/frame.cpp" "src/mac/CMakeFiles/braidio_mac.dir/frame.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/frame.cpp.o.d"
+  "/root/repo/src/mac/link_adaptation.cpp" "src/mac/CMakeFiles/braidio_mac.dir/link_adaptation.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/link_adaptation.cpp.o.d"
+  "/root/repo/src/mac/packet_channel.cpp" "src/mac/CMakeFiles/braidio_mac.dir/packet_channel.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/packet_channel.cpp.o.d"
+  "/root/repo/src/mac/probe.cpp" "src/mac/CMakeFiles/braidio_mac.dir/probe.cpp.o" "gcc" "src/mac/CMakeFiles/braidio_mac.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/braidio_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/braidio_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/braidio_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_mac.dir/arq.cpp.o"
+  "CMakeFiles/braidio_mac.dir/arq.cpp.o.d"
+  "CMakeFiles/braidio_mac.dir/crc.cpp.o"
+  "CMakeFiles/braidio_mac.dir/crc.cpp.o.d"
+  "CMakeFiles/braidio_mac.dir/fec.cpp.o"
+  "CMakeFiles/braidio_mac.dir/fec.cpp.o.d"
+  "CMakeFiles/braidio_mac.dir/frame.cpp.o"
+  "CMakeFiles/braidio_mac.dir/frame.cpp.o.d"
+  "CMakeFiles/braidio_mac.dir/link_adaptation.cpp.o"
+  "CMakeFiles/braidio_mac.dir/link_adaptation.cpp.o.d"
+  "CMakeFiles/braidio_mac.dir/packet_channel.cpp.o"
+  "CMakeFiles/braidio_mac.dir/packet_channel.cpp.o.d"
+  "CMakeFiles/braidio_mac.dir/probe.cpp.o"
+  "CMakeFiles/braidio_mac.dir/probe.cpp.o.d"
+  "libbraidio_mac.a"
+  "libbraidio_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

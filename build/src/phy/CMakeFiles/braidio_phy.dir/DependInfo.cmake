@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ber.cpp" "src/phy/CMakeFiles/braidio_phy.dir/ber.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/ber.cpp.o.d"
+  "/root/repo/src/phy/fsk_subcarrier.cpp" "src/phy/CMakeFiles/braidio_phy.dir/fsk_subcarrier.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/fsk_subcarrier.cpp.o.d"
+  "/root/repo/src/phy/iq_chain.cpp" "src/phy/CMakeFiles/braidio_phy.dir/iq_chain.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/iq_chain.cpp.o.d"
+  "/root/repo/src/phy/link_budget.cpp" "src/phy/CMakeFiles/braidio_phy.dir/link_budget.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/link_budget.cpp.o.d"
+  "/root/repo/src/phy/link_mode.cpp" "src/phy/CMakeFiles/braidio_phy.dir/link_mode.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/link_mode.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/braidio_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/qam_backscatter.cpp" "src/phy/CMakeFiles/braidio_phy.dir/qam_backscatter.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/qam_backscatter.cpp.o.d"
+  "/root/repo/src/phy/spectrum.cpp" "src/phy/CMakeFiles/braidio_phy.dir/spectrum.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/spectrum.cpp.o.d"
+  "/root/repo/src/phy/waveform.cpp" "src/phy/CMakeFiles/braidio_phy.dir/waveform.cpp.o" "gcc" "src/phy/CMakeFiles/braidio_phy.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/braidio_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/braidio_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

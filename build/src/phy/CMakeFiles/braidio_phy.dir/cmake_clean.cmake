@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_phy.dir/ber.cpp.o"
+  "CMakeFiles/braidio_phy.dir/ber.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/fsk_subcarrier.cpp.o"
+  "CMakeFiles/braidio_phy.dir/fsk_subcarrier.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/iq_chain.cpp.o"
+  "CMakeFiles/braidio_phy.dir/iq_chain.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/link_budget.cpp.o"
+  "CMakeFiles/braidio_phy.dir/link_budget.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/link_mode.cpp.o"
+  "CMakeFiles/braidio_phy.dir/link_mode.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/modulation.cpp.o"
+  "CMakeFiles/braidio_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/qam_backscatter.cpp.o"
+  "CMakeFiles/braidio_phy.dir/qam_backscatter.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/spectrum.cpp.o"
+  "CMakeFiles/braidio_phy.dir/spectrum.cpp.o.d"
+  "CMakeFiles/braidio_phy.dir/waveform.cpp.o"
+  "CMakeFiles/braidio_phy.dir/waveform.cpp.o.d"
+  "libbraidio_phy.a"
+  "libbraidio_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

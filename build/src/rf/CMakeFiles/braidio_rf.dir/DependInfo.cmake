@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/antenna.cpp" "src/rf/CMakeFiles/braidio_rf.dir/antenna.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/antenna.cpp.o.d"
+  "/root/repo/src/rf/fading.cpp" "src/rf/CMakeFiles/braidio_rf.dir/fading.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/fading.cpp.o.d"
+  "/root/repo/src/rf/geometry.cpp" "src/rf/CMakeFiles/braidio_rf.dir/geometry.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/geometry.cpp.o.d"
+  "/root/repo/src/rf/interference.cpp" "src/rf/CMakeFiles/braidio_rf.dir/interference.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/interference.cpp.o.d"
+  "/root/repo/src/rf/noise.cpp" "src/rf/CMakeFiles/braidio_rf.dir/noise.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/noise.cpp.o.d"
+  "/root/repo/src/rf/pathloss.cpp" "src/rf/CMakeFiles/braidio_rf.dir/pathloss.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/pathloss.cpp.o.d"
+  "/root/repo/src/rf/phase_field.cpp" "src/rf/CMakeFiles/braidio_rf.dir/phase_field.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/phase_field.cpp.o.d"
+  "/root/repo/src/rf/saw_filter.cpp" "src/rf/CMakeFiles/braidio_rf.dir/saw_filter.cpp.o" "gcc" "src/rf/CMakeFiles/braidio_rf.dir/saw_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

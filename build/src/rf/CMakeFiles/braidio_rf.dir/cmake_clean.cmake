@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_rf.dir/antenna.cpp.o"
+  "CMakeFiles/braidio_rf.dir/antenna.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/fading.cpp.o"
+  "CMakeFiles/braidio_rf.dir/fading.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/geometry.cpp.o"
+  "CMakeFiles/braidio_rf.dir/geometry.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/interference.cpp.o"
+  "CMakeFiles/braidio_rf.dir/interference.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/noise.cpp.o"
+  "CMakeFiles/braidio_rf.dir/noise.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/pathloss.cpp.o"
+  "CMakeFiles/braidio_rf.dir/pathloss.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/phase_field.cpp.o"
+  "CMakeFiles/braidio_rf.dir/phase_field.cpp.o.d"
+  "CMakeFiles/braidio_rf.dir/saw_filter.cpp.o"
+  "CMakeFiles/braidio_rf.dir/saw_filter.cpp.o.d"
+  "libbraidio_rf.a"
+  "libbraidio_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/braidio_util.dir/csv.cpp.o"
+  "CMakeFiles/braidio_util.dir/csv.cpp.o.d"
+  "CMakeFiles/braidio_util.dir/log.cpp.o"
+  "CMakeFiles/braidio_util.dir/log.cpp.o.d"
+  "CMakeFiles/braidio_util.dir/math.cpp.o"
+  "CMakeFiles/braidio_util.dir/math.cpp.o.d"
+  "CMakeFiles/braidio_util.dir/rng.cpp.o"
+  "CMakeFiles/braidio_util.dir/rng.cpp.o.d"
+  "CMakeFiles/braidio_util.dir/table.cpp.o"
+  "CMakeFiles/braidio_util.dir/table.cpp.o.d"
+  "CMakeFiles/braidio_util.dir/units.cpp.o"
+  "CMakeFiles/braidio_util.dir/units.cpp.o.d"
+  "libbraidio_util.a"
+  "libbraidio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/braidio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbraidio_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_charge_pump_test.dir/circuits_charge_pump_test.cpp.o"
+  "CMakeFiles/circuits_charge_pump_test.dir/circuits_charge_pump_test.cpp.o.d"
+  "circuits_charge_pump_test"
+  "circuits_charge_pump_test.pdb"
+  "circuits_charge_pump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_charge_pump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_frontend_test.dir/circuits_frontend_test.cpp.o"
+  "CMakeFiles/circuits_frontend_test.dir/circuits_frontend_test.cpp.o.d"
+  "circuits_frontend_test"
+  "circuits_frontend_test.pdb"
+  "circuits_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_harvester_test.dir/circuits_harvester_test.cpp.o"
+  "CMakeFiles/circuits_harvester_test.dir/circuits_harvester_test.cpp.o.d"
+  "circuits_harvester_test"
+  "circuits_harvester_test.pdb"
+  "circuits_harvester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_harvester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_pump_design_test.dir/circuits_pump_design_test.cpp.o"
+  "CMakeFiles/circuits_pump_design_test.dir/circuits_pump_design_test.cpp.o.d"
+  "circuits_pump_design_test"
+  "circuits_pump_design_test.pdb"
+  "circuits_pump_design_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_pump_design_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_transient_test.dir/circuits_transient_test.cpp.o"
+  "CMakeFiles/circuits_transient_test.dir/circuits_transient_test.cpp.o.d"
+  "circuits_transient_test"
+  "circuits_transient_test.pdb"
+  "circuits_transient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_transient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_braided_link_test.dir/core_braided_link_test.cpp.o"
+  "CMakeFiles/core_braided_link_test.dir/core_braided_link_test.cpp.o.d"
+  "core_braided_link_test"
+  "core_braided_link_test.pdb"
+  "core_braided_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_braided_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coded_test.dir/core_coded_test.cpp.o"
+  "CMakeFiles/core_coded_test.dir/core_coded_test.cpp.o.d"
+  "core_coded_test"
+  "core_coded_test.pdb"
+  "core_coded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

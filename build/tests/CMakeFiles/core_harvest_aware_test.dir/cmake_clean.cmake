@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_harvest_aware_test.dir/core_harvest_aware_test.cpp.o"
+  "CMakeFiles/core_harvest_aware_test.dir/core_harvest_aware_test.cpp.o.d"
+  "core_harvest_aware_test"
+  "core_harvest_aware_test.pdb"
+  "core_harvest_aware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_harvest_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_prototypes_test.dir/core_prototypes_test.cpp.o"
+  "CMakeFiles/core_prototypes_test.dir/core_prototypes_test.cpp.o.d"
+  "core_prototypes_test"
+  "core_prototypes_test.pdb"
+  "core_prototypes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_prototypes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_radio_test.dir/core_radio_test.cpp.o"
+  "CMakeFiles/core_radio_test.dir/core_radio_test.cpp.o.d"
+  "core_radio_test"
+  "core_radio_test.pdb"
+  "core_radio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

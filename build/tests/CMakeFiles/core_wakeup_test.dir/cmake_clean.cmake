@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wakeup_test.dir/core_wakeup_test.cpp.o"
+  "CMakeFiles/core_wakeup_test.dir/core_wakeup_test.cpp.o.d"
+  "core_wakeup_test"
+  "core_wakeup_test.pdb"
+  "core_wakeup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wakeup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

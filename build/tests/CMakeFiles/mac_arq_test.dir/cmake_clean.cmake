@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_arq_test.dir/mac_arq_test.cpp.o"
+  "CMakeFiles/mac_arq_test.dir/mac_arq_test.cpp.o.d"
+  "mac_arq_test"
+  "mac_arq_test.pdb"
+  "mac_arq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_arq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

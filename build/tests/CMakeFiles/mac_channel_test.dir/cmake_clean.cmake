@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_channel_test.dir/mac_channel_test.cpp.o"
+  "CMakeFiles/mac_channel_test.dir/mac_channel_test.cpp.o.d"
+  "mac_channel_test"
+  "mac_channel_test.pdb"
+  "mac_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

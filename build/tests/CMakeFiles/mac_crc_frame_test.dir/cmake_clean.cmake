@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_crc_frame_test.dir/mac_crc_frame_test.cpp.o"
+  "CMakeFiles/mac_crc_frame_test.dir/mac_crc_frame_test.cpp.o.d"
+  "mac_crc_frame_test"
+  "mac_crc_frame_test.pdb"
+  "mac_crc_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_crc_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

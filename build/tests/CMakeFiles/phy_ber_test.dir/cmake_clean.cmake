@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_ber_test.dir/phy_ber_test.cpp.o"
+  "CMakeFiles/phy_ber_test.dir/phy_ber_test.cpp.o.d"
+  "phy_ber_test"
+  "phy_ber_test.pdb"
+  "phy_ber_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_ber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_iq_chain_test.dir/phy_iq_chain_test.cpp.o"
+  "CMakeFiles/phy_iq_chain_test.dir/phy_iq_chain_test.cpp.o.d"
+  "phy_iq_chain_test"
+  "phy_iq_chain_test.pdb"
+  "phy_iq_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_iq_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_link_budget_test.dir/phy_link_budget_test.cpp.o"
+  "CMakeFiles/phy_link_budget_test.dir/phy_link_budget_test.cpp.o.d"
+  "phy_link_budget_test"
+  "phy_link_budget_test.pdb"
+  "phy_link_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_link_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_modulation_test.dir/phy_modulation_test.cpp.o"
+  "CMakeFiles/phy_modulation_test.dir/phy_modulation_test.cpp.o.d"
+  "phy_modulation_test"
+  "phy_modulation_test.pdb"
+  "phy_modulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_modulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_qam_test.dir/phy_qam_test.cpp.o"
+  "CMakeFiles/phy_qam_test.dir/phy_qam_test.cpp.o.d"
+  "phy_qam_test"
+  "phy_qam_test.pdb"
+  "phy_qam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_qam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

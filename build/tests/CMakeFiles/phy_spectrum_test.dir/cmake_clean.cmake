@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_spectrum_test.dir/phy_spectrum_test.cpp.o"
+  "CMakeFiles/phy_spectrum_test.dir/phy_spectrum_test.cpp.o.d"
+  "phy_spectrum_test"
+  "phy_spectrum_test.pdb"
+  "phy_spectrum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_spectrum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

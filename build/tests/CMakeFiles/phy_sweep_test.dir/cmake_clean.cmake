@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_sweep_test.dir/phy_sweep_test.cpp.o"
+  "CMakeFiles/phy_sweep_test.dir/phy_sweep_test.cpp.o.d"
+  "phy_sweep_test"
+  "phy_sweep_test.pdb"
+  "phy_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

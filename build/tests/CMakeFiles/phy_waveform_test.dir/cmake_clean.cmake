@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_waveform_test.dir/phy_waveform_test.cpp.o"
+  "CMakeFiles/phy_waveform_test.dir/phy_waveform_test.cpp.o.d"
+  "phy_waveform_test"
+  "phy_waveform_test.pdb"
+  "phy_waveform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_channel_test.dir/rf_channel_test.cpp.o"
+  "CMakeFiles/rf_channel_test.dir/rf_channel_test.cpp.o.d"
+  "rf_channel_test"
+  "rf_channel_test.pdb"
+  "rf_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

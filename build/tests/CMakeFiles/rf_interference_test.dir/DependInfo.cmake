@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rf_interference_test.cpp" "tests/CMakeFiles/rf_interference_test.dir/rf_interference_test.cpp.o" "gcc" "tests/CMakeFiles/rf_interference_test.dir/rf_interference_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/braidio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/braidio_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/braidio_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/braidio_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/braidio_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/braidio_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/braidio_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/braidio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_interference_test.dir/rf_interference_test.cpp.o"
+  "CMakeFiles/rf_interference_test.dir/rf_interference_test.cpp.o.d"
+  "rf_interference_test"
+  "rf_interference_test.pdb"
+  "rf_interference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

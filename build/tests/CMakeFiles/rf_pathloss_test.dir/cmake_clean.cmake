@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_pathloss_test.dir/rf_pathloss_test.cpp.o"
+  "CMakeFiles/rf_pathloss_test.dir/rf_pathloss_test.cpp.o.d"
+  "rf_pathloss_test"
+  "rf_pathloss_test.pdb"
+  "rf_pathloss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_pathloss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_phase_field_test.dir/rf_phase_field_test.cpp.o"
+  "CMakeFiles/rf_phase_field_test.dir/rf_phase_field_test.cpp.o.d"
+  "rf_phase_field_test"
+  "rf_phase_field_test.pdb"
+  "rf_phase_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_phase_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
