@@ -8,9 +8,10 @@
 namespace braidio::bench {
 
 inline void header(const std::string& id, const std::string& title) {
-  std::cout << "\n================================================================\n"
+  const std::string rule(64, '=');
+  std::cout << '\n' << rule << '\n'
             << id << " — " << title << '\n'
-            << "================================================================\n";
+            << rule << '\n';
 }
 
 inline void note(const std::string& text) {

@@ -74,7 +74,8 @@ int main() {
 
   baseline::CommercialReaderModel reader;
   bench::check_line("net effect: reader power vs Braidio", "640 mW vs 129 mW",
-                    util::format_si_power(reader.power_watts()) + " vs 129 mW (" +
+                    util::format_si_power(reader.power_watts()) +
+                        " vs 129 mW (" +
                         util::format_fixed(reader.efficiency_ratio_vs(0.129),
                                            1) +
                         "x)");

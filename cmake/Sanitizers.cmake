@@ -1,0 +1,32 @@
+# Sanitizer wiring for all Braidio targets.
+#
+# Usage:
+#   cmake -B build -S . -DBRAIDIO_SANITIZE="address;undefined"
+#   cmake -B build -S . -DBRAIDIO_SANITIZE=thread
+#
+# The flags are applied globally (library, tests, benches, examples) so a
+# ctest run exercises the entire tree under the chosen sanitizers. ASan and
+# UBSan compose; TSan must be used alone. UBSan runs with
+# -fno-sanitize-recover so any finding is a hard failure in CI.
+
+set(BRAIDIO_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable: address;undefined | thread | leak")
+
+if(BRAIDIO_SANITIZE)
+  set(_braidio_san_list ${BRAIDIO_SANITIZE})
+  if("thread" IN_LIST _braidio_san_list AND
+     ("address" IN_LIST _braidio_san_list OR "leak" IN_LIST _braidio_san_list))
+    message(FATAL_ERROR
+      "BRAIDIO_SANITIZE: 'thread' cannot be combined with 'address'/'leak'")
+  endif()
+
+  string(REPLACE ";" "," _braidio_san_csv "${_braidio_san_list}")
+  message(STATUS "Braidio sanitizers enabled: ${_braidio_san_csv}")
+
+  add_compile_options(
+    -fsanitize=${_braidio_san_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g)
+  add_link_options(-fsanitize=${_braidio_san_csv})
+endif()

@@ -1,7 +1,10 @@
 #include "baseline/bluetooth.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "util/contract.hpp"
 
 namespace braidio::baseline {
 
@@ -28,20 +31,35 @@ double BluetoothRadioModel::bits_until_depletion(double tx_battery_j,
   if (tx_battery_j < 0.0 || rx_battery_j < 0.0) {
     throw std::domain_error("bits_until_depletion: negative battery");
   }
+  util::contract::check_nonneg_energy_j(
+      tx_battery_j, "BluetoothRadioModel::bits_until_depletion tx");
+  util::contract::check_nonneg_energy_j(
+      rx_battery_j, "BluetoothRadioModel::bits_until_depletion rx");
+  BRAIDIO_REQUIRE(tx_power_w > 0.0 && rx_power_w > 0.0 && bitrate_bps > 0.0,
+                  "tx_power_w", tx_power_w, "rx_power_w", rx_power_w,
+                  "bitrate_bps", bitrate_bps);
   // Both radios run for the same wall-clock time; the first battery to
   // empty ends the transfer.
   const double t = std::min(tx_battery_j / tx_power_w,
                             rx_battery_j / rx_power_w);
-  return bitrate_bps * t;
+  const double bits = bitrate_bps * t;
+  BRAIDIO_ENSURE(std::isfinite(bits) && bits >= 0.0, "bits", bits);
+  return bits;
 }
 
 double BluetoothRadioModel::bits_until_depletion_bidirectional(
     double battery1_j, double battery2_j) const {
+  util::contract::check_nonneg_energy_j(
+      battery1_j, "bits_until_depletion_bidirectional b1");
+  util::contract::check_nonneg_energy_j(
+      battery2_j, "bits_until_depletion_bidirectional b2");
   // Equal split: each device transmits half the time and receives half the
   // time, so both drain at the average of TX and RX power.
   const double avg = 0.5 * (tx_power_w + rx_power_w);
   const double t = std::min(battery1_j, battery2_j) / avg;
-  return bitrate_bps * t;
+  const double bits = bitrate_bps * t;
+  BRAIDIO_ENSURE(std::isfinite(bits) && bits >= 0.0, "bits", bits);
+  return bits;
 }
 
 }  // namespace braidio::baseline

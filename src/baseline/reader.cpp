@@ -4,6 +4,7 @@
 
 #include "phy/ber.hpp"
 #include "rf/pathloss.hpp"
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::baseline {
@@ -25,6 +26,8 @@ CommercialReaderModel::CommercialReaderModel(Config config)
   if (!(config_.range_100k_m > 0.0)) {
     throw std::invalid_argument("CommercialReaderModel: bad anchor range");
   }
+  util::contract::check_power_dbm_range(config_.spec.tx_power_dbm,
+                                        "CommercialReaderModel::tx_power_dbm");
   const double need_db = phy::required_snr_db(phy::BerModel::CoherentBpsk,
                                               config_.ber_threshold);
   floor_dbm_ = received_power_dbm(config_.range_100k_m) - need_db;

@@ -1,6 +1,9 @@
 #include "circuits/charge_pump.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "util/contract.hpp"
 
 namespace braidio::circuits {
 
@@ -14,6 +17,10 @@ ChargePump::ChargePump(ChargePumpConfig config) : config_(config) {
       !(config_.source_frequency_hz > 0.0)) {
     throw std::invalid_argument("ChargePump: bad component values");
   }
+  BRAIDIO_REQUIRE(std::isfinite(config_.source_amplitude) &&
+                      std::isfinite(config_.source_frequency_hz),
+                  "source_amplitude", config_.source_amplitude,
+                  "source_frequency_hz", config_.source_frequency_hz);
 }
 
 ChargePumpRun ChargePump::simulate(double duration_s, double timestep_s,

@@ -34,8 +34,9 @@ EnvelopeDetector::EnvelopeDetector(EnvelopeDetectorConfig config)
 double EnvelopeDetector::step(double envelope_volts) {
   // Rectification + pump boost with conduction loss; output cannot go
   // negative (the diodes only pump charge one way).
-  const double pumped = std::max(
-      0.0, config_.boost * std::fabs(envelope_volts) - config_.diode_drop_volts);
+  const double pumped =
+      std::max(0.0, config_.boost * std::fabs(envelope_volts) -
+                        config_.diode_drop_volts);
   // Low-pass (storage cap).
   lp_state_ += lp_alpha_ * (pumped - lp_state_);
   // High-pass (series cap into the amplifier): y[n] = a*(y[n-1] + x[n] -

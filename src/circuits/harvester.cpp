@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "rf/pathloss.hpp"
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::circuits {
@@ -19,14 +20,20 @@ Harvester::Harvester(HarvesterConfig config) : config_(config) {
 }
 
 double Harvester::efficiency(double incident_dbm) const {
+  BRAIDIO_REQUIRE(!std::isnan(incident_dbm), "incident_dbm", incident_dbm);
   if (incident_dbm < config_.sensitivity_dbm) return 0.0;
   // Logistic roll-off in dB domain, ~4 dB transition width.
   const double x = (incident_dbm - config_.half_efficiency_dbm) / 4.0;
-  return config_.peak_efficiency / (1.0 + std::exp(-x));
+  return util::contract::check_probability(
+      config_.peak_efficiency / (1.0 + std::exp(-x)),
+      "Harvester::efficiency");
 }
 
 double Harvester::harvested_watts(double incident_dbm) const {
-  return util::dbm_to_watts(incident_dbm) * efficiency(incident_dbm);
+  const double watts = util::dbm_to_watts(incident_dbm) *
+                       efficiency(incident_dbm);
+  BRAIDIO_ENSURE(std::isfinite(watts) && watts >= 0.0, "watts", watts);
+  return watts;
 }
 
 double Harvester::battery_free_range_m(double load_watts, double carrier_dbm,

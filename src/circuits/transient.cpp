@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace braidio::circuits {
 
 std::vector<double> TransientResult::node_trace(NodeId node) const {
@@ -48,6 +50,15 @@ TransientSimulator::TransientSimulator(const Netlist& netlist,
   if (!(options_.timestep_s > 0.0)) {
     throw std::invalid_argument("TransientSimulator: timestep must be > 0");
   }
+  BRAIDIO_REQUIRE(std::isfinite(options_.timestep_s), "timestep_s",
+                  options_.timestep_s);
+  BRAIDIO_REQUIRE(options_.abs_tolerance > 0.0 && options_.gmin >= 0.0 &&
+                      options_.max_newton_iterations > 0 &&
+                      options_.max_junction_step > 0.0,
+                  "abs_tolerance", options_.abs_tolerance, "gmin",
+                  options_.gmin, "max_newton_iterations",
+                  options_.max_newton_iterations, "max_junction_step",
+                  options_.max_junction_step);
   build_primitives(netlist);
 }
 
@@ -123,6 +134,7 @@ TransientResult TransientSimulator::run(double duration_s,
   if (!(duration_s > 0.0)) {
     throw std::invalid_argument("run: duration must be > 0");
   }
+  BRAIDIO_REQUIRE(std::isfinite(duration_s), "duration_s", duration_s);
   if (record_every == 0) record_every = 1;
 
   const std::size_t n = unknown_count_;
@@ -256,6 +268,12 @@ TransientResult TransientSimulator::run(double duration_s,
       throw std::runtime_error(
           "TransientSimulator: Newton did not converge at t=" +
           std::to_string(t));
+    }
+    // A converged Newton step must leave every node voltage finite; a NaN
+    // here means the matrix solve silently produced nonsense.
+    for (NodeId node = 1; node < node_count_; ++node) {
+      BRAIDIO_INVARIANT(std::isfinite(volts[node]), "t", t, "node", node,
+                        "volts", volts[node]);
     }
     if (step % record_every == 0 || step == steps) record(t);
   }

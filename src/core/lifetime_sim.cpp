@@ -1,8 +1,10 @@
 #include "core/lifetime_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::core {
@@ -82,6 +84,7 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
       planned(candidates, e1_joules, e2_joules, config.bidirectional);
   apply_switch_overhead(outcome.plan, config);
   outcome.bits = outcome.plan.bits_until_depletion(e1_joules, e2_joules);
+  double best_single = 0.0;
 
   // A braid pays mode-switch overhead that an exclusive mode does not; at
   // extreme asymmetry the overhead-adjusted braid can fall just below the
@@ -91,6 +94,7 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
   for (const auto& c : candidates) {
     const double single =
         single_mode_bits(c, e1_joules, e2_joules, config.bidirectional);
+    best_single = std::max(best_single, single);
     if (single > outcome.bits) {
       outcome.bits = single;
       OffloadPlan exclusive;
@@ -112,6 +116,13 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
     }
   }
   outcome.seconds = outcome.bits * plan_seconds_per_bit(outcome.plan);
+  // Lifetime monotonicity: a braid never moves fewer bits than the best
+  // exclusive mode (the loop above falls back to it), and both outputs are
+  // finite and non-negative.
+  BRAIDIO_ENSURE(std::isfinite(outcome.bits) && outcome.bits >= best_single,
+                 "bits", outcome.bits, "best_single", best_single);
+  BRAIDIO_ENSURE(std::isfinite(outcome.seconds) && outcome.seconds >= 0.0,
+                 "seconds", outcome.seconds);
   return outcome;
 }
 
@@ -153,7 +164,9 @@ double LifetimeSimulator::gain_vs_bluetooth(
   const double e2 = util::wh_to_joules(rx.battery_wh);
   const double braid = braidio(e1, e2, config).bits;
   const double bt = bluetooth_bits(e1, e2, config.bidirectional);
-  return braid / bt;
+  const double gain = braid / bt;
+  BRAIDIO_ENSURE(std::isfinite(gain) && gain > 0.0, "gain", gain);
+  return gain;
 }
 
 double LifetimeSimulator::gain_vs_best_mode(

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace braidio::core {
 
 namespace {
@@ -124,6 +126,28 @@ void check_inputs(const std::vector<ModeCandidate>& candidates,
   if (!(e1_joules > 0.0) || !(e2_joules > 0.0)) {
     throw std::invalid_argument("OffloadPlanner: energies must be > 0");
   }
+  BRAIDIO_REQUIRE(std::isfinite(e1_joules) && std::isfinite(e2_joules),
+                  "e1_joules", e1_joules, "e2_joules", e2_joules);
+}
+
+// Postconditions every plan a planner hands out must satisfy: bit-fractions
+// are probabilities summing to 1, and the per-bit drains are physical.
+OffloadPlan checked_plan(OffloadPlan plan) {
+  double fraction_sum = 0.0;
+  for (const auto& entry : plan.entries) {
+    fraction_sum += util::contract::check_probability(
+        entry.fraction, "OffloadPlan::entry.fraction");
+  }
+  BRAIDIO_ENSURE(plan.entries.empty() ||
+                     std::fabs(fraction_sum - 1.0) <= 1e-6,
+                 "fraction_sum", fraction_sum);
+  BRAIDIO_ENSURE(std::isfinite(plan.tx_joules_per_bit) &&
+                     plan.tx_joules_per_bit >= 0.0 &&
+                     std::isfinite(plan.rx_joules_per_bit) &&
+                     plan.rx_joules_per_bit >= 0.0,
+                 "tx_j_per_bit", plan.tx_joules_per_bit, "rx_j_per_bit",
+                 plan.rx_joules_per_bit);
+  return plan;
 }
 
 }  // namespace
@@ -169,7 +193,8 @@ OffloadPlan OffloadPlanner::plan(const std::vector<ModeCandidate>& candidates,
     costs.push_back({candidates[i].tx_joules_per_bit(),
                      candidates[i].rx_joules_per_bit(), i, -1});
   }
-  return solve(costs, candidates, candidates, e1_joules, e2_joules);
+  return checked_plan(solve(costs, candidates, candidates, e1_joules,
+                            e2_joules));
 }
 
 OffloadPlan OffloadPlanner::plan_with_min_throughput(
@@ -226,7 +251,7 @@ OffloadPlan OffloadPlanner::plan_with_min_throughput(
       if (p[m] <= 1e-12) continue;
       PlanEntry entry;
       entry.candidate = candidates[idx[m]];
-      entry.fraction = std::max(p[m], 0.0);
+      entry.fraction = std::clamp(p[m], 0.0, 1.0);
       constrained.entries.push_back(entry);
     }
     found = true;
@@ -306,7 +331,7 @@ OffloadPlan OffloadPlanner::plan_with_min_throughput(
       consider({a, b}, {p1, p2});
     }
   }
-  if (found) return constrained;
+  if (found) return checked_plan(std::move(constrained));
 
   // No proportional plan reaches min_bps: hand back the fastest
   // proportional mix (maximize throughput subject to the ratio).
@@ -342,7 +367,7 @@ OffloadPlan OffloadPlanner::plan_with_min_throughput(
     }
   }
   fastest.meets_throughput = false;
-  return fastest;
+  return checked_plan(std::move(fastest));
 }
 
 OffloadPlan OffloadPlanner::plan_bidirectional(
@@ -363,7 +388,8 @@ OffloadPlan OffloadPlanner::plan_bidirectional(
                        static_cast<std::ptrdiff_t>(j)});
     }
   }
-  return solve(costs, candidates, candidates, e1_joules, e2_joules);
+  return checked_plan(solve(costs, candidates, candidates, e1_joules,
+                            e2_joules));
 }
 
 }  // namespace braidio::core

@@ -1,20 +1,30 @@
 #include "energy/battery.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::energy {
 
-Battery::Battery(double capacity_wh)
-    : capacity_j_(util::wh_to_joules(capacity_wh)),
-      remaining_j_(capacity_j_) {
+namespace {
+double checked_capacity_j(double capacity_wh) {
+  // Validate before converting so a NaN/non-positive capacity surfaces as
+  // the documented exception, not a unit-conversion contract failure.
   if (!(capacity_wh > 0.0)) {
     throw std::invalid_argument("Battery: capacity must be > 0 Wh");
   }
+  BRAIDIO_REQUIRE(std::isfinite(capacity_wh), "capacity_wh", capacity_wh);
+  return util::wh_to_joules(capacity_wh);
 }
+}  // namespace
+
+Battery::Battery(double capacity_wh)
+    : capacity_j_(checked_capacity_j(capacity_wh)),
+      remaining_j_(capacity_j_) {}
 
 double Battery::capacity_wh() const { return util::joules_to_wh(capacity_j_); }
 
@@ -23,13 +33,18 @@ double Battery::remaining_wh() const {
 }
 
 double Battery::fraction_remaining() const {
-  return remaining_j_ / capacity_j_;
+  return util::contract::check_probability(remaining_j_ / capacity_j_,
+                                           "Battery::fraction_remaining");
 }
 
 double Battery::drain(double joules) {
   if (joules < 0.0) throw std::invalid_argument("Battery::drain: negative");
+  util::contract::check_nonneg_energy_j(joules, "Battery::drain");
   const double taken = std::min(joules, remaining_j_);
   remaining_j_ -= taken;
+  // The reservoir can never go negative or above capacity.
+  BRAIDIO_INVARIANT(0.0 <= remaining_j_ && remaining_j_ <= capacity_j_,
+                    "remaining_j", remaining_j_, "capacity_j", capacity_j_);
   return taken;
 }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/table.hpp"
 
 namespace braidio::energy {
@@ -25,13 +26,16 @@ void EnergyLedger::charge(EnergyCategory category, double joules) {
   if (joules < 0.0) {
     throw std::invalid_argument("EnergyLedger::charge: negative energy");
   }
+  util::contract::check_nonneg_energy_j(joules, "EnergyLedger::charge");
   entries_[category] += joules;
 }
 
 double EnergyLedger::total_joules() const {
   double sum = 0.0;
   for (const auto& [cat, j] : entries_) sum += j;
-  return sum;
+  // Conservation: the total is a sum of non-negative postings.
+  return util::contract::check_nonneg_energy_j(sum,
+                                               "EnergyLedger::total_joules");
 }
 
 double EnergyLedger::joules(EnergyCategory category) const {

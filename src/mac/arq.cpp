@@ -1,12 +1,22 @@
 #include "mac/arq.hpp"
 
+#include "util/contract.hpp"
+
 namespace braidio::mac {
+
+// A retry budget beyond this is a configuration typo, not a protocol.
+inline constexpr unsigned kMaxReasonableRetransmissions = 1u << 20;
 
 ArqSender::ArqSender(std::uint8_t source, std::uint8_t destination,
                      ArqConfig config)
-    : source_(source), destination_(destination), config_(config) {}
+    : source_(source), destination_(destination), config_(config) {
+  BRAIDIO_REQUIRE(config_.max_retransmissions <= kMaxReasonableRetransmissions,
+                  "max_retransmissions", config_.max_retransmissions);
+}
 
 bool ArqSender::submit(std::vector<std::uint8_t> payload) {
+  BRAIDIO_REQUIRE(payload.size() <= kMaxPayloadBytes, "payload_bytes",
+                  payload.size());
   if (in_flight_) return false;
   payload_ = std::move(payload);
   in_flight_ = true;
@@ -45,6 +55,8 @@ bool ArqSender::on_timeout() {
     return false;
   }
   ++attempts_;
+  BRAIDIO_INVARIANT(attempts_ <= config_.max_retransmissions, "attempts",
+                    attempts_, "budget", config_.max_retransmissions);
   return true;
 }
 

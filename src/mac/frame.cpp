@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mac/crc.hpp"
+#include "util/contract.hpp"
 
 namespace braidio::mac {
 
@@ -38,6 +39,8 @@ std::vector<std::uint8_t> serialize(const Frame& frame) {
   const std::uint16_t crc = crc16(std::span(out));
   out.push_back(static_cast<std::uint8_t>(crc & 0xFF));
   out.push_back(static_cast<std::uint8_t>(crc >> 8));
+  BRAIDIO_ENSURE(out.size() == frame.wire_size(), "serialized_bytes",
+                 out.size(), "wire_size", frame.wire_size());
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "phy/ber.hpp"
 #include "rf/fading.hpp"
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::mac {
@@ -15,14 +16,19 @@ PacketChannel::PacketChannel(const phy::LinkBudget& budget,
   if (config_.distance_m < 0.0) {
     throw std::invalid_argument("PacketChannel: negative distance");
   }
+  BRAIDIO_REQUIRE(
+      std::isfinite(config_.distance_m) && std::isfinite(config_.extra_loss_db),
+      "distance_m", config_.distance_m, "extra_loss_db", config_.extra_loss_db);
 }
 
 double PacketChannel::current_ber(phy::LinkMode mode,
                                   phy::Bitrate rate) const {
   const double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
                         config_.extra_loss_db;
-  return phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
-                             util::db_to_linear(snr_db));
+  return util::contract::check_probability(
+      phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
+                          util::db_to_linear(snr_db)),
+      "PacketChannel::current_ber");
 }
 
 double PacketChannel::airtime_s(const Frame& frame, phy::Bitrate rate) {
@@ -33,6 +39,7 @@ void PacketChannel::set_distance(double distance_m) {
   if (distance_m < 0.0) {
     throw std::invalid_argument("PacketChannel: negative distance");
   }
+  BRAIDIO_REQUIRE(std::isfinite(distance_m), "distance_m", distance_m);
   config_.distance_m = distance_m;
 }
 

@@ -3,20 +3,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/math.hpp"
 #include "util/units.hpp"
 
 namespace braidio::phy {
 
+namespace {
+using braidio::util::contract::check_probability;
+}  // namespace
+
 double bit_error_rate(BerModel model, double snr) {
+  // NaN would sail through the < comparison and poison everything downstream.
+  BRAIDIO_REQUIRE(!std::isnan(snr), "snr", snr);
   if (snr < 0.0) throw std::domain_error("bit_error_rate: negative SNR");
   switch (model) {
     case BerModel::CoherentBpsk:
-      return util::q_function(std::sqrt(2.0 * snr));
+      return check_probability(util::q_function(std::sqrt(2.0 * snr)),
+                               "bit_error_rate(CoherentBpsk)");
     case BerModel::CoherentFsk:
-      return util::q_function(std::sqrt(snr));
+      return check_probability(util::q_function(std::sqrt(snr)),
+                               "bit_error_rate(CoherentFsk)");
     case BerModel::NoncoherentFsk:
-      return 0.5 * std::exp(-snr / 2.0);
+      return check_probability(0.5 * std::exp(-snr / 2.0),
+                               "bit_error_rate(NoncoherentFsk)");
     case BerModel::NoncoherentOok: {
       // "0": Rayleigh(sigma) envelope exceeds threshold A/2 with
       // probability exp(-g/4); "1": Rice(A, sigma) envelope falls below it
@@ -24,7 +34,8 @@ double bit_error_rate(BerModel model, double snr) {
       const double pfa = std::exp(-snr / 4.0);
       const double pmiss =
           1.0 - util::marcum_q1(std::sqrt(2.0 * snr), std::sqrt(snr / 2.0));
-      return 0.5 * (pfa + pmiss);
+      return check_probability(0.5 * (pfa + pmiss),
+                               "bit_error_rate(NoncoherentOok)");
     }
   }
   throw std::logic_error("bit_error_rate: unknown model");
@@ -55,12 +66,15 @@ double required_snr_db(BerModel model, double target_ber) {
 }
 
 double packet_error_rate(double ber, unsigned bits) {
+  BRAIDIO_REQUIRE(!std::isnan(ber), "ber", ber);
   if (ber < 0.0 || ber > 1.0) {
     throw std::domain_error("packet_error_rate: ber out of [0,1]");
   }
   if (ber == 0.0) return 0.0;
   // 1 - (1-ber)^bits, computed stably for small ber.
-  return -std::expm1(static_cast<double>(bits) * std::log1p(-ber));
+  return check_probability(
+      -std::expm1(static_cast<double>(bits) * std::log1p(-ber)),
+      "packet_error_rate");
 }
 
 }  // namespace braidio::phy

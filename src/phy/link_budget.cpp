@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "rf/pathloss.hpp"
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::phy {
@@ -12,6 +13,12 @@ LinkBudget::LinkBudget(LinkBudgetConfig config) : config_(config) {
   if (!(config_.ber_threshold > 0.0) || !(config_.ber_threshold < 0.5)) {
     throw std::invalid_argument("LinkBudget: ber_threshold out of (0, 0.5)");
   }
+  BRAIDIO_REQUIRE(std::isfinite(config_.freq_hz) && config_.freq_hz > 0.0,
+                  "freq_hz", config_.freq_hz);
+  util::contract::check_power_dbm_range(config_.active_tx_dbm,
+                                        "LinkBudget::active_tx_dbm");
+  util::contract::check_power_dbm_range(config_.carrier_tx_dbm,
+                                        "LinkBudget::carrier_tx_dbm");
   // Calibrate: the effective noise floor is whatever makes the BER threshold
   // land on the anchored operating range.
   for (LinkMode mode : kAllLinkModes) {
@@ -94,7 +101,10 @@ double LinkBudget::noise_floor_dbm(LinkMode mode, Bitrate rate) const {
 
 double LinkBudget::snr_db(LinkMode mode, Bitrate rate,
                           double distance_m) const {
-  return received_power_dbm(mode, distance_m) - noise_floor_dbm(mode, rate);
+  const double margin_db =
+      received_power_dbm(mode, distance_m) - noise_floor_dbm(mode, rate);
+  BRAIDIO_ENSURE(std::isfinite(margin_db), "snr_db", margin_db);
+  return margin_db;
 }
 
 double LinkBudget::snr(LinkMode mode, Bitrate rate, double distance_m) const {

@@ -1,8 +1,10 @@
 #include "rf/noise.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::rf {
@@ -11,17 +13,22 @@ double NoiseModel::noise_watts(double bandwidth_hz) const {
   if (bandwidth_hz < 0.0) {
     throw std::domain_error("NoiseModel: negative bandwidth");
   }
+  BRAIDIO_REQUIRE(std::isfinite(bandwidth_hz), "bandwidth_hz", bandwidth_hz);
+  util::contract::check_power_dbm_range(floor_dbm, "NoiseModel::floor_dbm");
   const double thermal =
       util::thermal_noise_watts(bandwidth_hz, temperature_k) *
       util::db_to_linear(noise_figure_db);
   const double floor = util::dbm_to_watts(floor_dbm);
-  return std::max(thermal, floor);
+  const double noise = std::max(thermal, floor);
+  BRAIDIO_ENSURE(std::isfinite(noise) && noise > 0.0, "noise_w", noise);
+  return noise;
 }
 
 double NoiseModel::snr(double signal_watts, double bandwidth_hz) const {
   if (signal_watts < 0.0) {
     throw std::domain_error("NoiseModel: negative signal power");
   }
+  BRAIDIO_REQUIRE(std::isfinite(signal_watts), "signal_watts", signal_watts);
   return signal_watts / noise_watts(bandwidth_hz);
 }
 

@@ -4,18 +4,28 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::rf {
 
 namespace {
 void check_args(double distance_m, double freq_hz) {
+  BRAIDIO_REQUIRE(!std::isnan(distance_m) && std::isfinite(freq_hz),
+                  "distance_m", distance_m, "freq_hz", freq_hz);
   if (distance_m < 0.0) {
     throw std::domain_error("pathloss: negative distance");
   }
   if (!(freq_hz > 0.0)) {
     throw std::domain_error("pathloss: frequency must be > 0");
   }
+}
+
+// Far-field power gains are linear fractions of the transmit power.
+double check_gain(double gain) {
+  BRAIDIO_ENSURE(std::isfinite(gain) && 0.0 <= gain && gain <= 1.0, "gain",
+                 gain);
+  return gain;
 }
 }  // namespace
 
@@ -26,11 +36,13 @@ double friis_gain(double distance_m, double freq_hz, double tx_gain_dbi,
   const double lambda = util::wavelength_m(freq_hz);
   const double geom = lambda / (4.0 * std::numbers::pi * d);
   const double gain = util::db_to_linear(tx_gain_dbi + rx_gain_dbi);
-  return std::min(1.0, gain * geom * geom);
+  return check_gain(std::min(1.0, gain * geom * geom));
 }
 
 double friis_pathloss_db(double distance_m, double freq_hz) {
-  return -util::linear_to_db(friis_gain(distance_m, freq_hz));
+  const double loss_db = -util::linear_to_db(friis_gain(distance_m, freq_hz));
+  BRAIDIO_ENSURE(loss_db >= 0.0, "loss_db", loss_db);
+  return loss_db;
 }
 
 double backscatter_gain(double distance_m, double freq_hz,
@@ -45,7 +57,7 @@ double backscatter_gain(double distance_m, double freq_hz,
   const double gain_db =
       2.0 * reader_gain_dbi + 2.0 * tag_gain_dbi - modulation_loss_db;
   const double g4 = geom * geom * geom * geom;
-  return std::min(1.0, util::db_to_linear(gain_db) * g4);
+  return check_gain(std::min(1.0, util::db_to_linear(gain_db) * g4));
 }
 
 double log_distance_gain(double distance_m, double freq_hz, double exponent,
@@ -57,7 +69,7 @@ double log_distance_gain(double distance_m, double freq_hz, double exponent,
   const double ref = friis_gain(ref_distance_m, freq_hz);
   const double d = std::max(distance_m, 1e-3);
   if (d <= ref_distance_m) return friis_gain(d, freq_hz);
-  return ref * std::pow(ref_distance_m / d, exponent);
+  return check_gain(ref * std::pow(ref_distance_m / d, exponent));
 }
 
 }  // namespace braidio::rf

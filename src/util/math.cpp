@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace braidio::util {
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
@@ -46,7 +48,11 @@ double interp1(const std::vector<double>& xs, const std::vector<double>& ys,
   return ys[lo] + t * (ys[hi] - ys[lo]);
 }
 
-double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+double q_function(double x) {
+  BRAIDIO_REQUIRE(!std::isnan(x), "x", x);
+  return contract::check_probability(0.5 * std::erfc(x / std::sqrt(2.0)),
+                                     "q_function");
+}
 
 double q_function_inv(double p) {
   if (!(p > 0.0) || !(p < 1.0)) {
@@ -96,6 +102,7 @@ double marcum_q1(double a, double b) {
   if (a < 0.0 || b < 0.0) {
     throw std::domain_error("marcum_q1: arguments must be >= 0");
   }
+  BRAIDIO_REQUIRE(std::isfinite(a) && std::isfinite(b), "a", a, "b", b);
   if (b == 0.0) return 1.0;
   // For large arguments fall back to a normal approximation to avoid
   // overflow in the series; Q1(a,b) ~ Q(b - a) when a*b is large.

@@ -1,10 +1,31 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
 namespace braidio::util {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  BRAIDIO_REQUIRE(lo <= hi, "lo", lo, "hi", hi);
+  const std::uint64_t span = hi - lo;
+  if (span == std::numeric_limits<std::uint64_t>::max()) return engine_();
+  // Bitmask rejection: mask draws down to the smallest all-ones cover of
+  // `span` and retry the few that land above it. Unbiased, and — unlike
+  // std::uniform_int_distribution — fully specified, so the stream is
+  // identical on every standard library.
+  std::uint64_t mask = span;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  std::uint64_t draw = engine_() & mask;
+  while (draw > span) draw = engine_() & mask;
+  return lo + draw;
+}
 
 double Rng::rayleigh(double sigma) {
   if (!(sigma > 0.0)) throw std::domain_error("rayleigh: sigma must be > 0");

@@ -4,8 +4,11 @@
 // that experiments are replayable bit-for-bit. Never use global RNG state.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
+
+#include "util/contract.hpp"
 
 namespace braidio::util {
 
@@ -18,12 +21,20 @@ class Rng {
   double uniform() { return unit_(engine_); }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  double uniform(double lo, double hi) {
+    BRAIDIO_REQUIRE(lo <= hi, "lo", lo, "hi", hi);
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
-  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
-    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
-  }
+  ///
+  /// Implemented with bitmask rejection sampling directly on the engine
+  /// rather than std::uniform_int_distribution: the standard leaves that
+  /// distribution's algorithm implementation-defined (streams differ across
+  /// libstdc++/libc++/MSVC, and a fresh distribution object was constructed
+  /// per call). This version is portable bit-for-bit and allocation-free;
+  /// the deterministic stream is pinned by util_rng_test.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
 
   /// Standard normal (mean 0, stddev 1).
   double gaussian() { return normal_(engine_); }
@@ -35,6 +46,7 @@ class Rng {
 
   /// Bernoulli draw with success probability p (clamped to [0,1]).
   bool bernoulli(double p) {
+    BRAIDIO_REQUIRE(!std::isnan(p), "p", p);
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return uniform() < p;

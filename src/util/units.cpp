@@ -3,9 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contract.hpp"
+
 namespace braidio::util {
 
-double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+double dbm_to_watts(double dbm) {
+  BRAIDIO_REQUIRE(!std::isnan(dbm), "dbm", dbm);
+  return std::pow(10.0, dbm / 10.0) * 1e-3;
+}
 
 double watts_to_dbm(double watts) {
   if (!(watts > 0.0)) {
@@ -14,7 +19,10 @@ double watts_to_dbm(double watts) {
   return 10.0 * std::log10(watts * 1e3);
 }
 
-double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+double db_to_linear(double db) {
+  BRAIDIO_REQUIRE(!std::isnan(db), "db", db);
+  return std::pow(10.0, db / 10.0);
+}
 
 double linear_to_db(double ratio) {
   if (!(ratio > 0.0)) {
@@ -23,9 +31,15 @@ double linear_to_db(double ratio) {
   return 10.0 * std::log10(ratio);
 }
 
-double wh_to_joules(double wh) { return wh * 3600.0; }
+double wh_to_joules(double wh) {
+  BRAIDIO_REQUIRE(!std::isnan(wh), "wh", wh);
+  return wh * 3600.0;
+}
 
-double joules_to_wh(double joules) { return joules / 3600.0; }
+double joules_to_wh(double joules) {
+  BRAIDIO_REQUIRE(!std::isnan(joules), "joules", joules);
+  return joules / 3600.0;
+}
 
 double wavelength_m(double freq_hz) {
   if (!(freq_hz > 0.0)) {
@@ -38,7 +52,11 @@ double thermal_noise_watts(double bandwidth_hz, double temperature_k) {
   if (bandwidth_hz < 0.0 || temperature_k < 0.0) {
     throw std::domain_error("thermal_noise_watts: negative argument");
   }
-  return kBoltzmann * temperature_k * bandwidth_hz;
+  BRAIDIO_REQUIRE(std::isfinite(bandwidth_hz) && std::isfinite(temperature_k),
+                  "bandwidth_hz", bandwidth_hz, "temperature_k", temperature_k);
+  const double noise_w = kBoltzmann * temperature_k * bandwidth_hz;
+  BRAIDIO_ENSURE(std::isfinite(noise_w) && noise_w >= 0.0, "noise_w", noise_w);
+  return noise_w;
 }
 
 }  // namespace braidio::util

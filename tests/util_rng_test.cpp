@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include <gtest/gtest.h>
@@ -107,6 +108,39 @@ TEST(Rng, PhaseWithinCircle) {
     EXPECT_GE(p, 0.0);
     EXPECT_LT(p, 2.0 * std::numbers::pi);
   }
+}
+
+// Pins the exact output stream of uniform_int. The implementation uses
+// bitmask rejection sampling on the raw engine (not the stdlib's
+// implementation-defined std::uniform_int_distribution), so these values
+// must reproduce bit-for-bit on every platform and stdlib. If this test
+// fails, the change silently re-randomised every seeded experiment.
+TEST(Rng, UniformIntStreamPinnedBitForBit) {
+  Rng rng(2016);
+  const std::uint64_t expected[] = {
+      494592u,  43785u,  54216u,  351193u,
+      332690u, 77789u, 313035u, 391672u,
+  };
+  for (std::uint64_t want : expected) {
+    EXPECT_EQ(rng.uniform_int(0, 999'999), want);
+  }
+
+  // A span whose mask spans well past 32 bits, exercising the wide path.
+  Rng wide(7);
+  const std::uint64_t expected_wide[] = {
+      6'711'960'922'535u,
+      6'227'518'977'998u,
+      5'418'883'779'830u,
+      7'399'534'684'524u,
+  };
+  for (std::uint64_t want : expected_wide) {
+    EXPECT_EQ(wide.uniform_int(1'000'000'000'000u, 9'000'000'000'000u), want);
+  }
+
+  // Degenerate span: lo == hi must not consume entropy-independent paths
+  // differently across platforms — it is a single deterministic value.
+  Rng fixed(3);
+  EXPECT_EQ(fixed.uniform_int(42, 42), 42u);
 }
 
 TEST(Rng, ForkProducesIndependentStream) {
