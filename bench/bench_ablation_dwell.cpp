@@ -2,15 +2,20 @@
 // switching overhead really is "negligible"? (DESIGN.md design-choice
 // ablation — the paper asserts negligibility, we locate its boundary.)
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/lifetime_sim.hpp"
+#include "sim/run_report.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep_runner.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braidio;
-  bench::header("Ablation", "Mode-switch dwell vs lifetime impact");
+  sim::RunReport report(std::cout, "Ablation",
+                        "Mode-switch dwell vs lifetime impact");
 
   core::PowerTable table;
   phy::LinkBudget budget;
@@ -24,19 +29,34 @@ int main() {
   base.include_switch_overhead = false;
   const double ideal = sim.braidio(e1, e2, base).bits;
 
-  util::TablePrinter out({"dwell [bits]", "dwell @1 Mbps", "bits vs ideal"});
-  for (double dwell : {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}) {
-    core::LifetimeConfig cfg = base;
-    cfg.include_switch_overhead = true;
-    cfg.bits_per_dwell = dwell;
-    const double bits = sim.braidio(e1, e2, cfg).bits;
-    out.add_row({util::format_scientific(dwell, 2),
-                 util::format_fixed(dwell / 1e6, 3) + " s",
-                 util::format_fixed(100.0 * bits / ideal, 2) + " %"});
+  const std::vector<double> dwells{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+  std::vector<std::string> dwell_labels;
+  for (double dwell : dwells) {
+    dwell_labels.push_back(util::format_scientific(dwell, 2));
   }
-  out.print(std::cout);
 
-  bench::note("Below ~10 ms dwells the 8.58e-8 Wh backscatter switch-in "
+  sim::Scenario scenario(
+      "ablation_dwell", {{"dwell [bits]", dwell_labels}},
+      {"dwell @1 Mbps", "bits vs ideal"}, [&](sim::SweepPoint& p) {
+        const double dwell = dwells[p.axis_index(0)];
+        core::LifetimeConfig cfg = base;
+        cfg.include_switch_overhead = true;
+        cfg.bits_per_dwell = dwell;
+        const double bits = sim.braidio(e1, e2, cfg).bits;
+        sim::RunRecord record;
+        record.cells = {util::format_fixed(dwell / 1e6, 3) + " s",
+                        util::format_fixed(100.0 * bits / ideal, 2) + " %"};
+        record.numbers = {bits};
+        return record;
+      });
+
+  const auto out =
+      sim::SweepRunner(bench::sweep_options(argc, argv)).run(scenario);
+  report.table(out);
+  report.metrics(out);
+  report.export_csv("ablation_dwell", out);
+
+  report.note("Below ~10 ms dwells the 8.58e-8 Wh backscatter switch-in "
               "cost dominates the braid; at second-scale dwells the paper's "
               "'negligible' claim holds. This is why the offload layer "
               "switches per-schedule-slot, not per-packet.");

@@ -1,9 +1,16 @@
 // Shared helpers for the reproduction bench binaries.
+//
+// New benches should construct a `sim::RunReport` directly (see
+// bench_fig15_gain_matrix.cpp for the pattern); the free functions below
+// keep the older binaries working on top of the same reporting layer.
 #pragma once
 
-#include <cstdio>
 #include <iostream>
 #include <string>
+
+#include "sim/run_report.hpp"
+#include "sim/sweep_runner.hpp"
+#include "util/table.hpp"
 
 namespace braidio::bench {
 
@@ -25,29 +32,21 @@ inline void check_line(const std::string& what, const std::string& paper,
               measured.c_str());
 }
 
-}  // namespace braidio::bench
-
-#include <cstdlib>
-#include <fstream>
-
-#include "util/table.hpp"
-
-namespace braidio::bench {
-
 /// When BRAIDIO_CSV_DIR is set, dump `table` to <dir>/<name>.csv so plot
 /// scripts can regenerate the figures from the same data the bench prints.
+/// Failed or partial writes are reported on stderr; with BRAIDIO_CSV_STRICT
+/// set the process exits non-zero (CI mode) — see sim/run_report.hpp.
 inline void maybe_export_csv(const std::string& name,
                              const util::TablePrinter& table) {
-  const char* dir = std::getenv("BRAIDIO_CSV_DIR");
-  if (!dir || !*dir) return;
-  const std::string path = std::string(dir) + "/" + name + ".csv";
-  std::ofstream f(path);
-  if (f) {
-    f << table.to_csv();
-    std::cout << "  [csv] wrote " << path << '\n';
-  } else {
-    std::cerr << "  [csv] could not write " << path << '\n';
-  }
+  sim::export_artifact(name, ".csv", table.to_csv(), std::cout);
+}
+
+/// Sweep options for a bench main(): `--threads N` wins, then the
+/// BRAIDIO_THREADS env var, then hardware concurrency.
+inline sim::SweepOptions sweep_options(int argc, char** argv) {
+  sim::SweepOptions options;
+  options.threads = sim::threads_from_cli(argc, argv);
+  return options;
 }
 
 }  // namespace braidio::bench

@@ -1,57 +1,73 @@
 // Figure 13: BER vs distance for the backscatter and passive receiver
-// modes at 1 Mbps / 100 kbps / 10 kbps.
+// modes at 1 Mbps / 100 kbps / 10 kbps, swept on the sim engine.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "phy/link_budget.hpp"
+#include "sim/run_report.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep_runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braidio;
-  bench::header("Figure 13",
-                "BER vs distance, backscatter & passive modes x bitrates");
+  sim::RunReport report(std::cout, "Figure 13",
+                        "BER vs distance, backscatter & passive modes x "
+                        "bitrates");
 
   phy::LinkBudget budget;
-  util::TablePrinter out({"d [m]", "bs@1M", "bs@100k", "bs@10k", "pa@1M",
-                          "pa@100k", "pa@10k"});
   auto cell = [&](phy::LinkMode mode, phy::Bitrate rate, double d) {
     const double ber = budget.ber(mode, rate, d);
     return ber < 1e-9 ? std::string("<1e-9")
                       : util::format_scientific(ber, 2);
   };
-  for (double d = 0.25; d <= 6.01; d += 0.25) {
-    out.add_row({util::format_fixed(d, 2),
-                 cell(phy::LinkMode::Backscatter, phy::Bitrate::M1, d),
-                 cell(phy::LinkMode::Backscatter, phy::Bitrate::k100, d),
-                 cell(phy::LinkMode::Backscatter, phy::Bitrate::k10, d),
-                 cell(phy::LinkMode::PassiveRx, phy::Bitrate::M1, d),
-                 cell(phy::LinkMode::PassiveRx, phy::Bitrate::k100, d),
-                 cell(phy::LinkMode::PassiveRx, phy::Bitrate::k10, d)});
-  }
-  out.print(std::cout);
-  bench::maybe_export_csv("fig13_ber_modes", out);
+
+  std::vector<double> distances;
+  for (double d = 0.25; d <= 6.01; d += 0.25) distances.push_back(d);
+
+  sim::Scenario scenario(
+      "fig13_ber_modes", {sim::Axis::numeric("d [m]", distances, 2)},
+      {"bs@1M", "bs@100k", "bs@10k", "pa@1M", "pa@100k", "pa@10k"},
+      [&](sim::SweepPoint& p) {
+        const double d = distances[p.axis_index(0)];
+        sim::RunRecord record;
+        record.cells = {
+            cell(phy::LinkMode::Backscatter, phy::Bitrate::M1, d),
+            cell(phy::LinkMode::Backscatter, phy::Bitrate::k100, d),
+            cell(phy::LinkMode::Backscatter, phy::Bitrate::k10, d),
+            cell(phy::LinkMode::PassiveRx, phy::Bitrate::M1, d),
+            cell(phy::LinkMode::PassiveRx, phy::Bitrate::k100, d),
+            cell(phy::LinkMode::PassiveRx, phy::Bitrate::k10, d)};
+        return record;
+      });
+
+  const auto out =
+      sim::SweepRunner(bench::sweep_options(argc, argv)).run(scenario);
+  report.table(out);
+  report.metrics(out);
+  report.export_csv("fig13_ber_modes", out);
+  report.export_json("fig13_ber_modes", out);
 
   auto range = [&](phy::LinkMode mode, phy::Bitrate rate) {
     return util::format_fixed(budget.range_m(mode, rate), 2) + " m";
   };
-  bench::check_line("backscatter range @1M / @100k / @10k",
-                    "0.9 / 1.8 / 2.4 m",
-                    range(phy::LinkMode::Backscatter, phy::Bitrate::M1) +
-                        " / " +
-                        range(phy::LinkMode::Backscatter,
-                              phy::Bitrate::k100) +
-                        " / " +
-                        range(phy::LinkMode::Backscatter, phy::Bitrate::k10));
-  bench::check_line("passive range @1M / @100k / @10k", "3.9 / 4.2 / 5.1 m",
-                    range(phy::LinkMode::PassiveRx, phy::Bitrate::M1) +
-                        " / " +
-                        range(phy::LinkMode::PassiveRx, phy::Bitrate::k100) +
-                        " / " +
-                        range(phy::LinkMode::PassiveRx, phy::Bitrate::k10));
-  bench::check_line("active mode", "operates well beyond 6 m",
-                    util::format_fixed(budget.range_m(phy::LinkMode::Active,
-                                                      phy::Bitrate::M1),
-                                       0) +
-                        " m");
+  report.check("backscatter range @1M / @100k / @10k",
+               "0.9 / 1.8 / 2.4 m",
+               range(phy::LinkMode::Backscatter, phy::Bitrate::M1) + " / " +
+                   range(phy::LinkMode::Backscatter, phy::Bitrate::k100) +
+                   " / " +
+                   range(phy::LinkMode::Backscatter, phy::Bitrate::k10));
+  report.check("passive range @1M / @100k / @10k", "3.9 / 4.2 / 5.1 m",
+               range(phy::LinkMode::PassiveRx, phy::Bitrate::M1) + " / " +
+                   range(phy::LinkMode::PassiveRx, phy::Bitrate::k100) +
+                   " / " +
+                   range(phy::LinkMode::PassiveRx, phy::Bitrate::k10));
+  report.check("active mode", "operates well beyond 6 m",
+               util::format_fixed(budget.range_m(phy::LinkMode::Active,
+                                                 phy::Bitrate::M1),
+                                  0) +
+                   " m");
   return 0;
 }

@@ -9,10 +9,11 @@
 #include "bench_matrix_common.hpp"
 #include "core/lifetime_sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braidio;
-  bench::header("Figure 15",
-                "Total-bits gain of Braidio over Bluetooth (unidirectional)");
+  sim::RunReport report(
+      std::cout, "Figure 15",
+      "Total-bits gain of Braidio over Bluetooth (unidirectional)");
 
   core::PowerTable table;
   phy::LinkBudget budget;
@@ -20,11 +21,16 @@ int main() {
   core::LifetimeConfig cfg;
   cfg.distance_m = 0.5;
 
+  const auto results = bench::run_gain_matrix(
+      report, "fig15_gain_matrix", bench::sweep_options(argc, argv),
+      [&](const energy::DeviceSpec& tx, const energy::DeviceSpec& rx) {
+        return sim.gain_vs_bluetooth(tx, rx, cfg);
+      });
+
   double diag_min = 1e300, diag_max = -1e300, best = 0.0;
   std::string best_pair;
-  bench::print_gain_matrix([&](const energy::DeviceSpec& tx,
-                               const energy::DeviceSpec& rx) {
-    const double g = sim.gain_vs_bluetooth(tx, rx, cfg);
+  bench::for_each_pair(results, [&](const energy::DeviceSpec& tx,
+                                    const energy::DeviceSpec& rx, double g) {
     if (tx.name == rx.name) {
       diag_min = std::min(diag_min, g);
       diag_max = std::max(diag_max, g);
@@ -33,22 +39,21 @@ int main() {
       best = g;
       best_pair = tx.name + " -> " + rx.name;
     }
-    return g;
   });
 
-  bench::check_line("diagonal (1:1 energy) gain", "1.43x",
-                    util::format_fixed(diag_min, 2) + "x - " +
-                        util::format_fixed(diag_max, 2) + "x");
-  bench::check_line("maximum gain", "397x (FuelBand <-> MBP15 corner)",
-                    util::format_fixed(best, 0) + "x (" + best_pair + ")");
-  bench::check_line("Pivothead -> laptop (camera streaming)", "~35x",
-                    util::format_fixed(
-                        sim.gain_vs_bluetooth(
-                            *energy::find_device("Pivothead"),
-                            *energy::find_device("MacBook Pro 15"), cfg),
-                        1) +
-                        "x");
-  bench::note("Gains grow with battery asymmetry: small->large leans on "
+  report.check("diagonal (1:1 energy) gain", "1.43x",
+               util::format_fixed(diag_min, 2) + "x - " +
+                   util::format_fixed(diag_max, 2) + "x");
+  report.check("maximum gain", "397x (FuelBand <-> MBP15 corner)",
+               util::format_fixed(best, 0) + "x (" + best_pair + ")");
+  report.check("Pivothead -> laptop (camera streaming)", "~35x",
+               util::format_fixed(
+                   sim.gain_vs_bluetooth(
+                       *energy::find_device("Pivothead"),
+                       *energy::find_device("MacBook Pro 15"), cfg),
+                   1) +
+                   "x");
+  report.note("Gains grow with battery asymmetry: small->large leans on "
               "backscatter, large->small on the passive receiver.");
   return 0;
 }

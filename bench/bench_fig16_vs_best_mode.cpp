@@ -7,10 +7,11 @@
 #include "bench_matrix_common.hpp"
 #include "core/lifetime_sim.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braidio;
-  bench::header("Figure 16",
-                "Gain of Braidio over the best single operating mode");
+  sim::RunReport report(std::cout, "Figure 16",
+                        "Gain of Braidio over the best single operating "
+                        "mode");
 
   core::PowerTable table;
   phy::LinkBudget budget;
@@ -18,11 +19,16 @@ int main() {
   core::LifetimeConfig cfg;
   cfg.distance_m = 0.5;
 
+  const auto results = bench::run_gain_matrix(
+      report, "fig16_vs_best_mode", bench::sweep_options(argc, argv),
+      [&](const energy::DeviceSpec& tx, const energy::DeviceSpec& rx) {
+        return sim.gain_vs_best_mode(tx, rx, cfg);
+      });
+
   double max_gain = 0.0, corner = 0.0;
   std::string max_pair;
-  bench::print_gain_matrix([&](const energy::DeviceSpec& tx,
-                               const energy::DeviceSpec& rx) {
-    const double g = sim.gain_vs_best_mode(tx, rx, cfg);
+  bench::for_each_pair(results, [&](const energy::DeviceSpec& tx,
+                                    const energy::DeviceSpec& rx, double g) {
     if (g > max_gain) {
       max_gain = g;
       max_pair = tx.name + " -> " + rx.name;
@@ -30,14 +36,13 @@ int main() {
     if (tx.name == "Nike Fuel Band" && rx.name == "MacBook Pro 15") {
       corner = g;
     }
-    return g;
   });
 
-  bench::check_line("maximum switching benefit", "up to 1.78x",
-                    util::format_fixed(max_gain, 2) + "x (" + max_pair + ")");
-  bench::check_line("extreme-asymmetry corner", "~1.00x (single mode wins)",
-                    util::format_fixed(corner, 2) + "x");
-  bench::note("Near-symmetric pairs braid two modes; highly asymmetric "
+  report.check("maximum switching benefit", "up to 1.78x",
+               util::format_fixed(max_gain, 2) + "x (" + max_pair + ")");
+  report.check("extreme-asymmetry corner", "~1.00x (single mode wins)",
+               util::format_fixed(corner, 2) + "x");
+  report.note("Near-symmetric pairs braid two modes; highly asymmetric "
               "pairs run one mode almost exclusively — matching the "
               "paper's observation.");
   return 0;

@@ -1,14 +1,19 @@
 // Figure 18: performance gain of Braidio over Bluetooth vs distance for
-// three device pairs, both transfer directions.
+// three device pairs, both transfer directions, swept on the sim engine.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/lifetime_sim.hpp"
+#include "sim/run_report.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep_runner.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braidio;
-  bench::header("Figure 18", "Gain over Bluetooth vs distance");
+  sim::RunReport report(std::cout, "Figure 18",
+                        "Gain over Bluetooth vs distance");
 
   core::PowerTable table;
   phy::LinkBudget budget;
@@ -20,40 +25,52 @@ int main() {
   const auto nexus = *energy::find_device("Nexus 6P");
   const auto band = *energy::find_device("Nike Fuel Band");
 
-  util::TablePrinter out({"d [m]", "iP6S->Watch", "Watch->iP6S",
-                          "Surface->N6P", "N6P->Surface", "iP6S->FuelBand",
-                          "FuelBand->iP6S"});
   auto gain = [&](const energy::DeviceSpec& tx, const energy::DeviceSpec& rx,
                   double d) {
     core::LifetimeConfig cfg;
     cfg.distance_m = d;
     return util::format_fixed(sim.gain_vs_bluetooth(tx, rx, cfg), 2);
   };
-  for (double d = 0.3; d <= 6.01; d += 0.3) {
-    out.add_row({util::format_fixed(d, 1), gain(phone, watch, d),
-                 gain(watch, phone, d), gain(laptop, nexus, d),
-                 gain(nexus, laptop, d), gain(phone, band, d),
-                 gain(band, phone, d)});
-  }
-  out.print(std::cout);
-  bench::maybe_export_csv("fig18_distance", out);
+
+  std::vector<double> distances;
+  for (double d = 0.3; d <= 6.01; d += 0.3) distances.push_back(d);
+
+  sim::Scenario scenario(
+      "fig18_distance", {sim::Axis::numeric("d [m]", distances, 1)},
+      {"iP6S->Watch", "Watch->iP6S", "Surface->N6P", "N6P->Surface",
+       "iP6S->FuelBand", "FuelBand->iP6S"},
+      [&](sim::SweepPoint& p) {
+        const double d = distances[p.axis_index(0)];
+        sim::RunRecord record;
+        record.cells = {gain(phone, watch, d),  gain(watch, phone, d),
+                        gain(laptop, nexus, d), gain(nexus, laptop, d),
+                        gain(phone, band, d),   gain(band, phone, d)};
+        return record;
+      });
+
+  const auto out =
+      sim::SweepRunner(bench::sweep_options(argc, argv)).run(scenario);
+  report.table(out);
+  report.metrics(out);
+  report.export_csv("fig18_distance", out);
+  report.export_json("fig18_distance", out);
 
   core::LifetimeConfig near_cfg;
   near_cfg.distance_m = 0.3;
   core::LifetimeConfig far_cfg;
   far_cfg.distance_m = 5.7;
-  bench::check_line("short range", "strong gains (asymmetric modes viable)",
-                    "iP6S->FuelBand " +
-                        util::format_fixed(
-                            sim.gain_vs_bluetooth(phone, band, near_cfg), 1) +
-                        "x at 0.3 m");
-  bench::check_line("past 2.4 m", "only large->small keeps offloading",
-                    "Watch->iP6S " +
-                        gain(watch, phone, 3.0) + "x vs iP6S->Watch " +
-                        gain(phone, watch, 3.0) + "x at 3.0 m");
-  bench::check_line("past 5.1 m", "identical to Bluetooth (1.0x)",
-                    util::format_fixed(
-                        sim.gain_vs_bluetooth(phone, watch, far_cfg), 2) +
-                        "x");
+  report.check("short range", "strong gains (asymmetric modes viable)",
+               "iP6S->FuelBand " +
+                   util::format_fixed(
+                       sim.gain_vs_bluetooth(phone, band, near_cfg), 1) +
+                   "x at 0.3 m");
+  report.check("past 2.4 m", "only large->small keeps offloading",
+               "Watch->iP6S " + gain(watch, phone, 3.0) +
+                   "x vs iP6S->Watch " + gain(phone, watch, 3.0) +
+                   "x at 3.0 m");
+  report.check("past 5.1 m", "identical to Bluetooth (1.0x)",
+               util::format_fixed(
+                   sim.gain_vs_bluetooth(phone, watch, far_cfg), 2) +
+                   "x");
   return 0;
 }

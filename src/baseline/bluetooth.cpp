@@ -17,6 +17,8 @@ double BluetoothChipSpec::ratio_high() const {
 }
 
 const std::vector<BluetoothChipSpec>& bluetooth_chip_table() {
+  // Concurrency contract: const magic static, safe to read from concurrent
+  // sweep workers (audited for the sim engine).
   static const std::vector<BluetoothChipSpec> table = {
       // Table 1: CC2541 TX 55-60 mW, RX 59-67 mW -> ratio 0.82-1.0.
       {"CC2541", 55e-3, 60e-3, 59e-3, 67e-3},

@@ -10,6 +10,8 @@
 namespace braidio::baseline {
 
 const std::vector<ReaderSpec>& reader_table() {
+  // Concurrency contract: const magic static, safe to read from concurrent
+  // sweep workers (audited for the sim engine).
   static const std::vector<ReaderSpec> table = {
       {"AS3993", 0.64, 17.0, 0.25, 397.0},
       {"AS3992", 0.73, 20.0, 0.26, 303.0},

@@ -35,6 +35,11 @@ struct LifetimeOutcome {
   OffloadPlan plan;
 };
 
+/// Concurrency contract: every public method is const and touches only
+/// immutable state (the power table, regime map, and Bluetooth model are
+/// built in the constructor and never mutated), so one simulator instance
+/// may be shared by all sim-engine sweep workers. Audited for the sim
+/// engine; keep new members const-initialized or re-audit.
 class LifetimeSimulator {
  public:
   /// Both references must outlive the simulator.

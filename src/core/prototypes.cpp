@@ -5,6 +5,8 @@
 namespace braidio::core {
 
 const std::vector<PrototypeSpec>& prototype_table() {
+  // Concurrency contract: const magic static, safe to read from concurrent
+  // sweep workers (audited for the sim engine).
   static const std::vector<PrototypeSpec> table = {
       {"v1 (off-the-shelf)",
        "CC2541 + AS3993 reader IC + Moo tag",

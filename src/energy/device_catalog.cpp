@@ -5,6 +5,9 @@
 namespace braidio::energy {
 
 const std::vector<DeviceSpec>& device_catalog() {
+  // Concurrency contract: const magic static — initialized once under the
+  // C++11 thread-safe-statics guarantee, immutable afterwards, so sweep
+  // workers may call this concurrently (audited for the sim engine).
   static const std::vector<DeviceSpec> catalog = {
       {"Nike Fuel Band", 0.26, "70 mAh @ 3.7 V (teardown)"},
       {"Pebble Watch", 0.48, "130 mAh @ 3.7 V (iFixit teardown)"},

@@ -50,6 +50,10 @@ struct LinkBudgetConfig {
   double active_range = 25.0;
 };
 
+/// Concurrency contract: the calibrated noise floors are computed once in
+/// the constructor; every public method is const over immutable state, so
+/// one LinkBudget may be shared by concurrent sweep workers (audited for
+/// the sim engine).
 class LinkBudget {
  public:
   explicit LinkBudget(LinkBudgetConfig config = {});

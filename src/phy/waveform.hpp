@@ -50,6 +50,12 @@ struct WaveformSimResult {
 };
 
 /// Run the Monte-Carlo chain against a calibrated link budget.
+///
+/// Reentrant: all simulation state (RNG, detector, comparator, buffers) is
+/// local and seeded from `config.seed`, so concurrent calls with distinct
+/// configs are race-free — sweep benches run one call per grid point on
+/// the sim engine's thread pool, seeding each from the point's child
+/// stream (`SweepPoint::seed()`).
 WaveformSimResult simulate_waveform(const LinkBudget& budget,
                                     const WaveformSimConfig& config);
 

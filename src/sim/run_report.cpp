@@ -1,0 +1,87 @@
+#include "sim/run_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/log.hpp"
+
+namespace braidio::sim {
+
+bool export_artifact(const std::string& name, const std::string& ext,
+                     const std::string& payload, std::ostream& echo) {
+  const char* dir = std::getenv("BRAIDIO_CSV_DIR");
+  if (!dir || !*dir) return true;  // export not requested
+  const std::string path = std::string(dir) + "/" + name + ext;
+
+  bool ok = false;
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (f) {
+      f << payload;
+      f.flush();
+      // good() after flush catches partial writes (disk full, quota, I/O
+      // error), not just open failures.
+      ok = f.good();
+    }
+  }
+  if (ok) {
+    echo << "  [csv] wrote " << path << '\n';
+    return true;
+  }
+  BRAIDIO_LOG_ERROR << "artifact export failed: " << path
+                    << " (open or partial write error)";
+  if (const char* strict = std::getenv("BRAIDIO_CSV_STRICT");
+      strict && *strict) {
+    BRAIDIO_LOG_ERROR << "BRAIDIO_CSV_STRICT set: exiting non-zero";
+    std::exit(EXIT_FAILURE);
+  }
+  return false;
+}
+
+RunReport::RunReport(std::ostream& os, const std::string& id,
+                     const std::string& title)
+    : os_(&os) {
+  const std::string rule(64, '=');
+  *os_ << '\n' << rule << '\n' << id << " — " << title << '\n' << rule
+       << '\n';
+}
+
+void RunReport::note(const std::string& text) {
+  *os_ << "  " << text << '\n';
+}
+
+void RunReport::check(const std::string& what, const std::string& paper,
+                      const std::string& measured) {
+  *os_ << "  " << std::left << std::setw(44) << what << " paper: "
+       << std::setw(16) << paper << " ours: " << measured << '\n';
+}
+
+void RunReport::table(const util::TablePrinter& table) { table.print(*os_); }
+
+void RunReport::table(const ResultTable& results) {
+  results.to_printer().print(*os_);
+}
+
+void RunReport::metrics(const ResultTable& results) {
+  *os_ << "  [sweep] " << results.metrics_summary() << '\n';
+}
+
+bool RunReport::export_csv(const std::string& name,
+                           const ResultTable& results) {
+  return export_artifact(name, ".csv", results.to_csv(), *os_);
+}
+
+bool RunReport::export_csv(const std::string& name,
+                           const util::TablePrinter& table) {
+  return export_artifact(name, ".csv", table.to_csv(), *os_);
+}
+
+bool RunReport::export_json(const std::string& name,
+                            const ResultTable& results) {
+  return export_artifact(name, ".json", results.to_json(), *os_);
+}
+
+}  // namespace braidio::sim

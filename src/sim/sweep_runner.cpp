@@ -1,0 +1,58 @@
+#include "sim/sweep_runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "sim/thread_pool.hpp"
+#include "util/contract.hpp"
+
+namespace braidio::sim {
+
+unsigned threads_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[i + 1];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(10);
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end != value.c_str() && *end == '\0' && parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  return 0;
+}
+
+ResultTable SweepRunner::run(const Scenario& scenario) const {
+  using clock = std::chrono::steady_clock;
+
+  ResultTable table(scenario, options_.seed);
+  const std::size_t n = scenario.point_count();
+  table.records_.resize(n);
+  table.metrics_.resize(n);
+
+  ThreadPool pool(options_.threads);
+  table.threads_used_ = pool.size();
+
+  const auto run_start = clock::now();
+  pool.parallel_for(n, [&](std::size_t i) {
+    SweepPoint point(scenario, i, scenario.coords_of(i), options_.seed);
+    const auto t0 = clock::now();
+    table.records_[i] = scenario.evaluate(point);
+    table.metrics_[i].wall_seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+  });
+  table.total_wall_seconds_ =
+      std::chrono::duration<double>(clock::now() - run_start).count();
+
+  BRAIDIO_ENSURE(table.records_.size() == n, "rows", table.records_.size());
+  return table;
+}
+
+}  // namespace braidio::sim

@@ -42,6 +42,19 @@ double Rng::exponential(double mean) {
 
 double Rng::phase() { return uniform(0.0, 2.0 * std::numbers::pi); }
 
+std::uint64_t Rng::stream_seed(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 finalizer (Steele, Lea & Flood 2014): a bijective mixer
+  // whose output is statistically independent across consecutive inputs —
+  // the standard way to key independent sub-streams off (seed, index).
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  const std::uint64_t golden = 0x9E3779B97F4A7C15ull;
+  return mix(mix(seed + golden) + golden * (index + 1));
+}
+
 Rng Rng::fork() {
   // Draw a fresh 64-bit seed; distinct enough for simulation purposes.
   const std::uint64_t seed =

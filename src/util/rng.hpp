@@ -65,6 +65,21 @@ class Rng {
   /// Derive an independent child stream (for parallel components).
   Rng fork();
 
+  /// Deterministic sub-stream `index` of master seed `seed` (stateless:
+  /// does not consume from any engine). This is the seeding rule the sim
+  /// engine uses for parallel sweeps — grid point i always receives
+  /// `Rng::stream(seed, i)` regardless of which thread evaluates it, so
+  /// parallel results are bit-identical to serial runs. The derivation is
+  /// two rounds of the splitmix64 finalizer over seed and index, which
+  /// decorrelates even adjacent indices.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    return Rng(stream_seed(seed, index));
+  }
+
+  /// The raw 64-bit seed `stream()` would construct its engine from (for
+  /// components that take a seed rather than an Rng).
+  static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t index);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

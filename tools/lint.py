@@ -24,6 +24,14 @@ R3 test-registration  Every .cpp in src/ must be covered by a test that is
                       source file.
 R4 line-hygiene       No tabs, no trailing whitespace, 80-column limit in
                       C++ sources (matches .clang-format).
+R5 no-stray-threads   src/sim/ (the sweep engine) is the only place allowed
+                      to spawn threads. std::thread/std::jthread
+                      construction, std::async, and pthread_create are
+                      forbidden everywhere else; benches and tests
+                      parallelize through sim::SweepRunner / sim::ThreadPool
+                      so determinism and TSan coverage stay centralized.
+                      (Non-spawning statics like std::thread::id and
+                      std::this_thread are fine.)
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -61,6 +69,17 @@ STDOUT_PATTERNS = [
     (re.compile(r"\bstd::(?:cout|cerr|clog)\b"), "std::cout/cerr/clog"),
 ]
 STDOUT_ALLOWED = {Path("src/util/log.cpp"), Path("src/util/contract.cpp")}
+
+# R5 ---------------------------------------------------------------------
+# `(?!\s*::)` keeps non-spawning statics legal: std::thread::id,
+# std::thread::hardware_concurrency(). std::this_thread never matches
+# (the `::` between std and this_thread breaks the literal).
+THREAD_SPAWN_PATTERNS = [
+    (re.compile(r"\bstd::j?thread\b(?!\s*::)"), "std::thread/std::jthread"),
+    (re.compile(r"\bstd::async\s*\("), "std::async"),
+    (re.compile(r"\bpthread_create\s*\("), "pthread_create"),
+]
+THREAD_ALLOWED_PREFIX = Path("src/sim")
 
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -106,6 +125,19 @@ def check_naked_stdout(path: Path, lines: list[str], findings: list[str]):
                 findings.append(
                     f"{rel(path)}:{lineno}: [no-naked-stdout] {label} — "
                     "library code logs via util/log or returns data")
+
+
+def check_stray_threads(path: Path, lines: list[str], findings: list[str]):
+    if rel(path).parts[:2] == THREAD_ALLOWED_PREFIX.parts:
+        return
+    for lineno, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        for pattern, label in THREAD_SPAWN_PATTERNS:
+            if pattern.search(code):
+                findings.append(
+                    f"{rel(path)}:{lineno}: [no-stray-threads] {label} — "
+                    "only src/sim/ spawns threads; use sim::SweepRunner or "
+                    "sim::ThreadPool")
 
 
 def check_line_hygiene(path: Path, lines: list[str], findings: list[str]):
@@ -167,6 +199,7 @@ def main() -> int:
         lines = path.read_text().splitlines()
         check_global_rng(path, lines, findings)
         check_naked_stdout(path, lines, findings)
+        check_stray_threads(path, lines, findings)
         check_line_hygiene(path, lines, findings)
     check_test_registration(findings)
 
