@@ -1,12 +1,14 @@
 // Google-benchmark microbenchmarks for the library's hot paths: the
 // planner (runs on every replan), the BER evaluators (every packet), the
-// waveform Monte-Carlo, CRC, and the transient circuit solver.
+// waveform Monte-Carlo, CRC, the transient circuit solver, and the
+// observability overhead contract.
 #include <benchmark/benchmark.h>
 
 #include "core/lifetime_sim.hpp"
 #include "core/offload.hpp"
 #include "circuits/charge_pump.hpp"
 #include "mac/crc.hpp"
+#include "obs/obs.hpp"
 #include "phy/ber.hpp"
 #include "phy/link_budget.hpp"
 #include "phy/waveform.hpp"
@@ -95,5 +97,43 @@ void BM_LifetimeMatrixCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LifetimeMatrixCell);
+
+// Observability overhead contract: a Fig. 15-style gain-matrix inner
+// loop with instrumentation compiled in. Arg(0) runs with tracing
+// DISABLED — compare its time against a -DBRAIDIO_OBS=OFF build to see
+// the contract's <2% ceiling; the instrumented layers only pay a relaxed
+// atomic load per hook when the tracer is off. Arg(1) runs with tracing
+// ENABLED into a bounded ring (sample_every=1) to price the worst case.
+void BM_Fig15SweepObs(benchmark::State& state) {
+#if BRAIDIO_OBS_COMPILED
+  const bool trace = state.range(0) != 0;
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_lane_capacity(std::size_t{1} << 12);
+  tracer.clear();
+  tracer.set_enabled(trace);
+#endif
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::LifetimeSimulator sim(table, budget);
+  const auto& catalog = energy::device_catalog();
+  core::LifetimeConfig cfg;
+  cfg.distance_m = 0.5;
+  for (auto _ : state) {
+    double total = 0.0;
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t b = 0; b < 4; ++b) {
+        total += sim.gain_vs_bluetooth(catalog[a], catalog[b + 4], cfg);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+#if BRAIDIO_OBS_COMPILED
+  tracer.set_enabled(false);
+  tracer.set_lane_capacity(std::size_t{1} << 14);
+  tracer.clear();
+#endif
+}
+BENCHMARK(BM_Fig15SweepObs)->Arg(0)->Arg(1);
 
 }  // namespace

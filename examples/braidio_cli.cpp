@@ -7,6 +7,12 @@
 //   braidio_cli regimes
 //   braidio_cli devices
 //
+// Global flags (any command):
+//   --trace-out=<file>   enable the obs tracer, write Chrome trace JSON
+//                        (load in chrome://tracing / Perfetto) on exit
+//   --metrics            print the metrics registry after the command
+//   --log-level=<level>  trace|debug|info|warn|error|off (default warn)
+//
 // Device names are the Fig. 1 catalog entries ("Apple Watch", "iPhone 6S",
 // ...). All output is plain tables; exit code 2 flags usage errors.
 #include <cstring>
@@ -17,6 +23,9 @@
 
 #include "core/efficiency.hpp"
 #include "core/lifetime_sim.hpp"
+#include "obs/obs.hpp"
+#include "sim/run_report.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -32,9 +41,41 @@ int usage() {
       "  braidio_cli matrix [distance_m]\n"
       "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
       "  braidio_cli regimes\n"
-      "  braidio_cli devices\n";
+      "  braidio_cli devices\n"
+      "global flags: --trace-out=<file> --metrics --log-level=<level>\n";
   return 2;
 }
+
+struct GlobalOptions {
+  std::string trace_out;
+  bool metrics = false;
+};
+
+/// Strip the global flags out of `args`; returns false on a bad value.
+bool parse_global_flags(std::vector<std::string>& args,
+                        GlobalOptions& options) {
+  std::vector<std::string> rest;
+  for (const auto& arg : args) {
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+      if (options.trace_out.empty()) return false;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      util::LogLevel level;
+      if (!util::parse_log_level(arg.substr(12), level)) {
+        std::cerr << "bad --log-level value: " << arg.substr(12) << '\n';
+        return false;
+      }
+      util::set_log_level(level);
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  args = std::move(rest);
+  return true;
+}
+
 
 std::optional<phy::LinkMode> parse_mode(const std::string& s) {
   if (s == "active") return phy::LinkMode::Active;
@@ -183,16 +224,39 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  GlobalOptions options;
+  if (!parse_global_flags(args, options)) return usage();
+  if (!options.trace_out.empty()) {
+    obs::Tracer::instance().set_enabled(true);
+  }
+
+  int rc = 2;
+  bool ran = true;
   try {
-    if (cmd == "plan") return cmd_plan(args);
-    if (cmd == "lifetime") return cmd_lifetime(args);
-    if (cmd == "matrix") return cmd_matrix(args);
-    if (cmd == "ber") return cmd_ber(args);
-    if (cmd == "regimes") return cmd_regimes();
-    if (cmd == "devices") return cmd_devices();
+    if (cmd == "plan") rc = cmd_plan(args);
+    else if (cmd == "lifetime") rc = cmd_lifetime(args);
+    else if (cmd == "matrix") rc = cmd_matrix(args);
+    else if (cmd == "ber") rc = cmd_ber(args);
+    else if (cmd == "regimes") rc = cmd_regimes();
+    else if (cmd == "devices") rc = cmd_devices();
+    else ran = false;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (!ran) return usage();
+
+  if (options.metrics) {
+    const auto snapshot = obs::global_metrics_snapshot();
+    if (snapshot.empty()) {
+      std::cout << "(no metrics recorded)\n";
+    } else {
+      snapshot.to_table().print(std::cout);
+    }
+  }
+  if (!options.trace_out.empty() &&
+      !sim::write_trace_json(options.trace_out, std::cout)) {
+    rc = rc == 0 ? 1 : rc;
+  }
+  return rc;
 }

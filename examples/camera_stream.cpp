@@ -9,6 +9,7 @@
 
 #include "core/lifetime_sim.hpp"
 #include "energy/device_catalog.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -68,5 +69,11 @@ int main() {
                "once the wearer passes ~2.4 m the gain falls to the "
                "active/passive braid, and past ~5.1 m Braidio degenerates "
                "to Bluetooth.\n";
+
+  const auto metrics = obs::global_metrics_snapshot();
+  if (!metrics.empty()) {
+    std::cout << "\nobs metrics for this run:\n";
+    metrics.to_table().print(std::cout);
+  }
   return 0;
 }

@@ -6,11 +6,13 @@
 // Ported onto the sim engine: a Scenario over independent random walks
 // (one axis = walk replica, each seeded from its own child stream) runs on
 // the thread pool, then the first walk's plan transitions are replayed in
-// detail. Try `--threads N`.
+// detail. Try `--threads N`, and `--trace-out=walk.json` for a Chrome
+// trace timeline of the whole run (mode switches, dwells, energy posts).
 #include <iostream>
 #include <vector>
 
 #include "core/mobility_sim.hpp"
+#include "obs/obs.hpp"
 #include "sim/run_report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep_runner.hpp"
@@ -19,6 +21,9 @@
 
 int main(int argc, char** argv) {
   using namespace braidio;
+  const std::string trace_out = sim::trace_out_from_cli(argc, argv);
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
+
   sim::RunReport report(std::cout, "Example",
                         "Mobility walk: phone -> watch across regimes");
 
@@ -90,5 +95,14 @@ int main(int argc, char** argv) {
               util::format_fixed(
                   outcome.samples.back().device2_joules_used, 1) +
               " J on walk 0; braids reform at every regime crossing.");
+
+  // The walk-0 replay ran outside the sweep, so its posts landed in the
+  // process-global registry.
+  report.metrics(obs::global_metrics_snapshot());
+  report.export_trace("mobility_walks");
+  if (!trace_out.empty() &&
+      !sim::write_trace_json(trace_out, report.stream())) {
+    return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "core/braided_link.hpp"
 #include "core/lifetime_sim.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -54,5 +55,12 @@ int main() {
   }
   std::cout << "\nphone " << phone.ledger().report() << "\nwatch "
             << watch.ledger().report();
+
+  // 5. Everything above also streamed into the obs metrics registry.
+  const auto metrics = obs::global_metrics_snapshot();
+  if (!metrics.empty()) {
+    std::cout << "\nobs metrics for this run:\n";
+    metrics.to_table().print(std::cout);
+  }
   return 0;
 }

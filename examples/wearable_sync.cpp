@@ -10,6 +10,7 @@
 #include "core/braided_link.hpp"
 #include "core/lifetime_sim.hpp"
 #include "energy/device_catalog.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -72,5 +73,11 @@ int main() {
                    b.battery().remaining_joules()
             << " J\n";
   std::cout << "executed plan: " << stats.last_plan << '\n';
+
+  const auto metrics = obs::global_metrics_snapshot();
+  if (!metrics.empty()) {
+    std::cout << "\nobs metrics for this run:\n";
+    metrics.to_table().print(std::cout);
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "mac/probe.hpp"
+#include "obs/obs.hpp"
 
 namespace braidio::core {
 
@@ -131,6 +132,10 @@ void BraidedLink::replan() {
                                      b_.battery().remaining_joules());
   stats_.last_plan = plan_.summary();
   ++stats_.replans;
+  obs::count(obs::Counter::Replans);
+  BRAIDIO_TRACE_EVENT(obs::EventType::ModeSwitch, stats_.last_plan.c_str(),
+                      stats_.elapsed_s,
+                      static_cast<double>(stats_.replans));
 }
 
 std::vector<BraidedLink::SlotEntry> BraidedLink::build_schedule() const {
@@ -169,6 +174,15 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
     dead_ = true;
     return false;
   }
+  const double dwell_start_s = stats_.elapsed_s;
+  BRAIDIO_TRACE_EVENT(obs::EventType::DwellStart, point.label().c_str(),
+                      dwell_start_s, 0.0);
+  const auto end_dwell = [&] {
+    const double dwell_s = stats_.elapsed_s - dwell_start_s;
+    obs::observe(obs::Histogram::DwellSeconds, dwell_s);
+    BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd, point.label().c_str(),
+                        stats_.elapsed_s, dwell_s);
+  };
   std::vector<std::uint8_t> payload(config_.payload_bytes,
                                     forward ? 0xA5 : 0x5A);
   if (!sender.submit(std::move(payload))) {
@@ -204,12 +218,14 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
       } else {
         stats_.payload_bits_delivered_reverse += bits;
       }
+      end_dwell();
       return true;
     }
     ++stats_.retransmissions;
     if (!sender.on_timeout()) break;  // retry budget exhausted
   }
   if (!dead_) ++stats_.data_packets_dropped;
+  end_dwell();
   return false;
 }
 
@@ -267,7 +283,10 @@ BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
                           : static_cast<double>(slot_delivered) /
                                 static_cast<double>(slot_offered);
     if (ratio < config_.fallback_delivery_ratio) {
-      if (!fallback_pending) ++stats_.fallbacks;
+      if (!fallback_pending) {
+        ++stats_.fallbacks;
+        obs::count(obs::Counter::Fallbacks);
+      }
       fallback_pending = true;
       replan();
       since_replan = 0;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+#include "phy/link_mode.hpp"
+
 namespace braidio::core {
 
 const char* to_string(Role role) {
@@ -48,9 +51,15 @@ bool BraidioRadio::switch_to(const ModeCandidate& candidate, Role role) {
     const double cost = role == Role::DataTransmitter ? overhead.tx_joules
                                                       : overhead.rx_joules;
     const double taken = battery_.drain(cost);
-    ledger_.charge(energy::EnergyCategory::ModeSwitch, taken);
+    ledger_.charge(energy::EnergyCategory::ModeSwitch, taken, clock_s_);
     ++switches_;
+    obs::count(obs::Counter::ModeSwitches);
+    BRAIDIO_TRACE_EVENT(obs::EventType::ModeSwitch,
+                        phy::to_string(candidate.mode), clock_s_, taken);
     if (taken < cost) {
+      obs::count(obs::Counter::BatteryDeaths);
+      BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath, name_.c_str(),
+                          clock_s_, battery_.remaining_joules());
       go_idle();
       return false;
     }
@@ -71,8 +80,12 @@ bool BraidioRadio::advance(double seconds) {
   }
   const double want = power_draw_w() * seconds;
   const double taken = battery_.drain(want);
-  ledger_.charge(active_category(), taken);
+  clock_s_ += seconds;
+  ledger_.charge(active_category(), taken, clock_s_);
   if (taken < want) {
+    obs::count(obs::Counter::BatteryDeaths);
+    BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath, name_.c_str(),
+                        clock_s_, battery_.remaining_joules());
     go_idle();
     return false;
   }

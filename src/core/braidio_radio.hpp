@@ -52,6 +52,10 @@ class BraidioRadio {
   /// ledger. Returns false when the battery empties (radio goes idle).
   bool advance(double seconds);
 
+  /// Simulated seconds accumulated over every advance() so far. Stamped
+  /// onto this radio's trace events (ModeSwitch, EnergyPost, ...).
+  double clock_s() const { return clock_s_; }
+
   std::uint64_t mode_switches() const { return switches_; }
 
   /// Sleep-state floor draw [W] (MCU retention + RTC).
@@ -68,6 +72,7 @@ class BraidioRadio {
   std::optional<ModeCandidate> point_;
   std::optional<Role> role_;
   std::uint64_t switches_ = 0;
+  double clock_s_ = 0.0;
 };
 
 }  // namespace braidio::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "mac/arq.hpp"
+#include "obs/obs.hpp"
 #include "util/units.hpp"
 
 namespace braidio::core {
@@ -98,6 +99,9 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
         if (hub.battery().empty()) break;
         continue;
       }
+      const double slot_start_s = stats.elapsed_s;
+      BRAIDIO_TRACE_EVENT(obs::EventType::DwellStart, nc.name.c_str(),
+                          slot_start_s, static_cast<double>(round));
       for (unsigned p = 0; p < config_.packets_per_slot; ++p) {
         std::vector<std::uint8_t> payload(nc.payload_bytes,
                                           static_cast<std::uint8_t>(i));
@@ -150,6 +154,10 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
         }
         if (hub.battery().empty() || !node.alive) break;
       }
+      obs::observe(obs::Histogram::DwellSeconds,
+                   stats.elapsed_s - slot_start_s);
+      BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd, nc.name.c_str(),
+                          stats.elapsed_s, stats.elapsed_s - slot_start_s);
       if (hub.battery().empty()) break;
     }
   }

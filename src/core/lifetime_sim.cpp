@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/contract.hpp"
 #include "util/units.hpp"
 
@@ -116,6 +117,7 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
     }
   }
   outcome.seconds = outcome.bits * plan_seconds_per_bit(outcome.plan);
+  obs::count(obs::Counter::LifetimeRuns);
   // Lifetime monotonicity: a braid never moves fewer bits than the best
   // exclusive mode (the loop above falls back to it), and both outputs are
   // finite and non-negative.

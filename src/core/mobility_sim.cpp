@@ -6,6 +6,7 @@
 
 #include "baseline/bluetooth.hpp"
 #include "core/braidio_radio.hpp"
+#include "obs/obs.hpp"
 #include "util/units.hpp"
 
 namespace braidio::core {
@@ -92,10 +93,14 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
     const double dt =
         std::min(config.replan_interval_s, trace.duration_s() - t);
     const double d = trace.distance_at(t);
+    const double e1_before = e1, e2_before = e2;
     MobilitySample sample;
     sample.time_s = t;
     sample.distance_m = d;
     sample.regime = regimes_.regime(d);
+    BRAIDIO_TRACE_EVENT(obs::EventType::DwellStart,
+                        to_string(sample.regime), t, d);
+    obs::observe(obs::Histogram::DwellSeconds, dt);
 
     const auto candidates = regimes_.available_best_rate(d);
     if (candidates.empty()) {
@@ -110,10 +115,13 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
               ? OffloadPlanner::plan_bidirectional(candidates, e1, e2)
               : OffloadPlanner::plan(candidates, e1, e2);
       ++outcome.replans;
+      obs::count(obs::Counter::Replans);
       sample.plan = plan.summary();
       if (sample.plan != last_plan) {
         if (!last_plan.empty()) ++outcome.plan_changes;
         last_plan = sample.plan;
+        BRAIDIO_TRACE_EVENT(obs::EventType::ModeSwitch,
+                            sample.plan.c_str(), t, d);
       }
       // Throughput of the braid: seconds per bit from the mode mix.
       double s_per_bit = 0.0;
@@ -147,6 +155,21 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
     sample.bits_so_far = outcome.total_bits;
     sample.device1_joules_used = e1_0 - e1;
     sample.device2_joules_used = e2_0 - e2;
+    obs::count(obs::Counter::EnergyPosts, 2);
+    obs::observe(obs::Histogram::EnergyPostJoules, e1_before - e1);
+    obs::observe(obs::Histogram::EnergyPostJoules, e2_before - e2);
+    BRAIDIO_TRACE_EVENT(obs::EventType::EnergyPost, "device1", t + dt,
+                        e1_before - e1);
+    BRAIDIO_TRACE_EVENT(obs::EventType::EnergyPost, "device2", t + dt,
+                        e2_before - e2);
+    BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd,
+                        to_string(sample.regime), t + dt, dt);
+    if (e1 <= 0.0 || e2 <= 0.0) {
+      obs::count(obs::Counter::BatteryDeaths);
+      BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath,
+                          e1 <= 0.0 ? "device1" : "device2", t + dt,
+                          std::max(e1, e2));
+    }
     outcome.samples.push_back(std::move(sample));
   }
   outcome.device1_joules = e1_0 - e1;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/contract.hpp"
 
 namespace braidio::core {
@@ -187,6 +188,7 @@ std::string OffloadPlan::summary() const {
 OffloadPlan OffloadPlanner::plan(const std::vector<ModeCandidate>& candidates,
                                  double e1_joules, double e2_joules) {
   check_inputs(candidates, e1_joules, e2_joules);
+  obs::count(obs::Counter::OffloadPlans);
   std::vector<CostPoint> costs;
   costs.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -374,6 +376,7 @@ OffloadPlan OffloadPlanner::plan_bidirectional(
     const std::vector<ModeCandidate>& candidates, double e1_joules,
     double e2_joules) {
   check_inputs(candidates, e1_joules, e2_joules);
+  obs::count(obs::Counter::OffloadPlans);
   // A composite bit is half a bit device1 -> device2 using candidate i plus
   // half a bit device2 -> device1 using candidate j (roles swapped).
   std::vector<CostPoint> costs;

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/contract.hpp"
 #include "util/table.hpp"
 
@@ -22,12 +23,17 @@ const char* to_string(EnergyCategory category) {
   return "?";
 }
 
-void EnergyLedger::charge(EnergyCategory category, double joules) {
+void EnergyLedger::charge(EnergyCategory category, double joules,
+                          double sim_time_s) {
   if (joules < 0.0) {
     throw std::invalid_argument("EnergyLedger::charge: negative energy");
   }
   util::contract::check_nonneg_energy_j(joules, "EnergyLedger::charge");
   entries_[category] += joules;
+  obs::count(obs::Counter::EnergyPosts);
+  obs::observe(obs::Histogram::EnergyPostJoules, joules);
+  BRAIDIO_TRACE_EVENT(obs::EventType::EnergyPost, to_string(category),
+                      sim_time_s, joules);
 }
 
 double EnergyLedger::total_joules() const {

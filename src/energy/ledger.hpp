@@ -5,6 +5,7 @@
 // the joules went, not just totals.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <string>
 
@@ -27,8 +28,11 @@ const char* to_string(EnergyCategory category);
 
 class EnergyLedger {
  public:
-  /// Post `joules` (>= 0) against a category.
-  void charge(EnergyCategory category, double joules);
+  /// Post `joules` (>= 0) against a category. `sim_time_s` is only used
+  /// for observability (the EnergyPost trace event); callers that do not
+  /// track simulated time leave it NaN.
+  void charge(EnergyCategory category, double joules,
+              double sim_time_s = std::numeric_limits<double>::quiet_NaN());
 
   /// Total posted across all categories.
   double total_joules() const;

@@ -1,5 +1,6 @@
 #include "mac/arq.hpp"
 
+#include "obs/obs.hpp"
 #include "util/contract.hpp"
 
 namespace braidio::mac {
@@ -52,9 +53,14 @@ bool ArqSender::on_timeout() {
     in_flight_ = false;
     ++sequence_;  // never reuse the sequence of a dropped frame
     ++dropped_;
+    obs::count(obs::Counter::ArqDrops);
     return false;
   }
   ++attempts_;
+  obs::count(obs::Counter::ArqRetries);
+  BRAIDIO_TRACE_EVENT(obs::EventType::ArqRetry, "stop-and-wait",
+                      obs::no_sim_time(),
+                      static_cast<double>(attempts_));
   BRAIDIO_INVARIANT(attempts_ <= config_.max_retransmissions, "attempts",
                     attempts_, "budget", config_.max_retransmissions);
   return true;

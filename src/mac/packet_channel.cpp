@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "phy/ber.hpp"
 #include "rf/fading.hpp"
 #include "util/contract.hpp"
@@ -56,6 +57,10 @@ std::optional<Frame> PacketChannel::transmit(const Frame& frame,
   const double ber = phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
                                          util::db_to_linear(snr_db));
   auto bytes = serialize(frame);
+  obs::count(obs::Counter::PacketsTx);
+  BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, phy::to_string(mode),
+                      obs::no_sim_time(),
+                      static_cast<double>(bytes.size()));
   if (ber > 0.0) {
     for (auto& byte : bytes) {
       for (int bit = 0; bit < 8; ++bit) {
@@ -66,8 +71,16 @@ std::optional<Frame> PacketChannel::transmit(const Frame& frame,
   auto parsed = deserialize(bytes);
   if (parsed) {
     ++delivered_;
+    obs::count(obs::Counter::PacketsRx);
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketRx, phy::to_string(mode),
+                        obs::no_sim_time(),
+                        static_cast<double>(bytes.size()));
   } else {
     ++corrupted_;
+    obs::count(obs::Counter::PacketsDropped);
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, phy::to_string(mode),
+                        obs::no_sim_time(),
+                        static_cast<double>(bytes.size()));
   }
   return parsed;
 }

@@ -1,0 +1,65 @@
+// Typed trace events — the observability vocabulary of the simulator.
+//
+// Every run-time question a Braidio experiment asks ("which mode was the
+// link in at t = 3.2 s, where did the joules go, which ARQ retries burned
+// the budget") maps onto a small closed taxonomy of timestamped events.
+// Events are fixed-size PODs so the tracer's ring buffers never allocate
+// on the hot path; labels are truncated into an inline char array.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace braidio::obs {
+
+/// The closed event taxonomy. Span-like pairs (DwellStart/DwellEnd,
+/// SweepPointStart/SweepPointEnd) export as Chrome trace "B"/"E" phases;
+/// everything else is an instant ("i") event.
+enum class EventType : std::uint8_t {
+  ModeSwitch,       // a radio (or plan) changed operating mode
+  DwellStart,       // start of a stay in one operating point / interval
+  DwellEnd,         // end of that stay
+  PacketTx,         // frame put on the air
+  PacketRx,         // frame survived the channel (CRC passed)
+  PacketDrop,       // frame corrupted in flight
+  ArqRetry,         // stop-and-wait timeout -> retransmission
+  EnergyPost,       // joules posted against an energy category
+  BatteryDeath,     // a battery emptied mid-run
+  SweepPointStart,  // sweep engine began evaluating a grid point
+  SweepPointEnd,    // sweep engine finished a grid point
+};
+
+inline constexpr std::size_t kEventTypeCount = 11;
+
+/// Human-readable event-type name (also the CSV `type` column).
+const char* to_string(EventType type);
+
+/// Chrome trace_event phase for the type: 'B', 'E', or 'i'.
+char chrome_phase(EventType type);
+
+/// Sentinel "no simulation timestamp" (events from layers that do not
+/// track simulated time, e.g. the packet channel).
+inline double no_sim_time() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+inline constexpr std::size_t kEventLabelCapacity = 23;
+
+/// One recorded event. 64 bytes, no heap: `label` is truncated to
+/// kEventLabelCapacity characters and always NUL-terminated.
+struct Event {
+  double wall_s = 0.0;  // monotonic wall clock (util::monotonic_seconds)
+  double sim_s = 0.0;   // simulated time [s]; NaN when not applicable
+  double value = 0.0;   // type-specific magnitude (joules, bytes, index)
+  std::uint64_t seq = 0;  // per-lane sequence number (drop accounting)
+  EventType type = EventType::ModeSwitch;
+  char label[kEventLabelCapacity + 1] = {};
+
+  bool has_sim_time() const { return !std::isnan(sim_s); }
+};
+
+static_assert(sizeof(Event) <= 64, "Event must stay one cache line");
+
+}  // namespace braidio::obs

@@ -1,0 +1,412 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+
+#include "util/contract.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace braidio::obs {
+
+const char* to_string(Counter counter) {
+  switch (counter) {
+    case Counter::ModeSwitches: return "mode_switches";
+    case Counter::OffloadPlans: return "offload_plans";
+    case Counter::Replans: return "replans";
+    case Counter::Fallbacks: return "fallbacks";
+    case Counter::LifetimeRuns: return "lifetime_runs";
+    case Counter::PacketsTx: return "packets_tx";
+    case Counter::PacketsRx: return "packets_rx";
+    case Counter::PacketsDropped: return "packets_dropped";
+    case Counter::ArqRetries: return "arq_retries";
+    case Counter::ArqDrops: return "arq_drops";
+    case Counter::EnergyPosts: return "energy_posts";
+    case Counter::BatteryDeaths: return "battery_deaths";
+    case Counter::SweepPoints: return "sweep_points";
+    case Counter::SweepFailures: return "sweep_failures";
+  }
+  return "?";
+}
+
+const char* to_string(Histogram histogram) {
+  switch (histogram) {
+    case Histogram::EnergyPostJoules: return "energy_post_joules";
+    case Histogram::DwellSeconds: return "dwell_seconds";
+  }
+  return "?";
+}
+
+const std::vector<double>& bucket_bounds(Histogram histogram) {
+  // Log-spaced decades covering the simulator's dynamic range: energy
+  // posts span nJ..kJ, dwells span µs..hours.
+  static const std::vector<double> energy{1e-9, 1e-8, 1e-7, 1e-6, 1e-5,
+                                          1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+                                          1e1,  1e2,  1e3};
+  static const std::vector<double> seconds{1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                           1e-1, 1.0,  1e1,  1e2,  1e3,
+                                           1e4};
+  switch (histogram) {
+    case Histogram::EnergyPostJoules: return energy;
+    case Histogram::DwellSeconds: return seconds;
+  }
+  return seconds;
+}
+
+HistogramData::HistogramData(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  BRAIDIO_REQUIRE(!bounds_.empty(), "bounds", bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    BRAIDIO_REQUIRE(std::isfinite(bounds_[i]), "bound", bounds_[i]);
+    if (i > 0) {
+      BRAIDIO_REQUIRE(bounds_[i] > bounds_[i - 1], "bound", bounds_[i],
+                      "previous", bounds_[i - 1]);
+    }
+  }
+}
+
+void HistogramData::record(double value) {
+  BRAIDIO_REQUIRE(!buckets_.empty(), "buckets", buckets_.size());
+  if (std::isnan(value)) return;  // NaN carries no information
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double HistogramData::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double HistogramData::max() const { return count_ == 0 ? 0.0 : max_; }
+
+std::uint64_t HistogramData::bucket(std::size_t index) const {
+  BRAIDIO_REQUIRE(index < buckets_.size(), "bucket", index);
+  return buckets_[index];
+}
+
+double HistogramData::quantile(double q) const {
+  BRAIDIO_REQUIRE(q >= 0.0 && q <= 1.0, "q", q);
+  if (count_ == 0) return 0.0;
+  // Rank of the q-th sample (1-based, ceil), then walk the buckets.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] < rank) {
+      seen += buckets_[b];
+      continue;
+    }
+    if (b == bounds_.size()) return max();  // overflow bucket
+    const double hi = bounds_[b];
+    const double lo = b == 0 ? std::min(min(), hi) : bounds_[b - 1];
+    const double within = (static_cast<double>(rank - seen)) /
+                          static_cast<double>(buckets_[b]);
+    // Clamp into the observed range so degenerate cases (single sample,
+    // all samples in one bucket) report exact values, not bucket edges.
+    return std::clamp(lo + within * (hi - lo), min(), max());
+  }
+  return max();
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count_ == 0 && other.bounds_.empty()) return;
+  if (bounds_.empty()) {
+    *this = other;
+    return;
+  }
+  BRAIDIO_REQUIRE(bounds_ == other.bounds_, "bounds", bounds_.size(),
+                  "other", other.bounds_.size());
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void HistogramData::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+MetricsRegistry::MetricsRegistry()
+    : builtin_counters_(kCounterCount, 0) {
+  builtin_histograms_.reserve(kHistogramCount);
+  for (std::size_t h = 0; h < kHistogramCount; ++h) {
+    builtin_histograms_.emplace_back(
+        bucket_bounds(static_cast<Histogram>(h)));
+  }
+}
+
+void MetricsRegistry::add(Counter counter, std::uint64_t n) {
+  builtin_counters_[static_cast<std::size_t>(counter)] += n;
+}
+
+std::uint64_t MetricsRegistry::value(Counter counter) const {
+  return builtin_counters_[static_cast<std::size_t>(counter)];
+}
+
+void MetricsRegistry::observe(Histogram histogram, double value) {
+  builtin_histograms_[static_cast<std::size_t>(histogram)].record(value);
+}
+
+const HistogramData& MetricsRegistry::histogram(
+    Histogram histogram) const {
+  return builtin_histograms_[static_cast<std::size_t>(histogram)];
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return named_counters_[name];
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return named_gauges_[name];
+}
+
+HistogramData& MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  auto it = named_histograms_.find(name);
+  if (it == named_histograms_.end()) {
+    it = named_histograms_
+             .emplace(name, HistogramData(std::move(upper_bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    builtin_counters_[c] += other.builtin_counters_[c];
+  }
+  for (std::size_t h = 0; h < kHistogramCount; ++h) {
+    builtin_histograms_[h].merge(other.builtin_histograms_[h]);
+  }
+  for (const auto& [name, v] : other.named_counters_) {
+    named_counters_[name] += v;
+  }
+  for (const auto& [name, v] : other.named_gauges_) {
+    named_gauges_[name] = v;
+  }
+  for (const auto& [name, h] : other.named_histograms_) {
+    auto it = named_histograms_.find(name);
+    if (it == named_histograms_.end()) {
+      named_histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+void MetricsRegistry::clear() { *this = MetricsRegistry(); }
+
+bool MetricsRegistry::empty() const {
+  for (const auto v : builtin_counters_) {
+    if (v != 0) return false;
+  }
+  for (const auto& h : builtin_histograms_) {
+    if (h.count() != 0) return false;
+  }
+  return named_counters_.empty() && named_gauges_.empty() &&
+         named_histograms_.empty();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip decimal rendering (deterministic, locale-free).
+std::string number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void histogram_json(std::ostringstream& os, const HistogramData& h) {
+  os << "{\"count\": " << h.count() << ", \"sum\": " << number(h.sum())
+     << ", \"min\": " << number(h.min())
+     << ", \"max\": " << number(h.max())
+     << ", \"p50\": " << number(h.p50())
+     << ", \"p95\": " << number(h.p95())
+     << ", \"p99\": " << number(h.p99()) << ", \"buckets\": [";
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    os << (b ? ", " : "") << h.bucket(b);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    if (builtin_counters_[c] == 0) continue;
+    os << (first ? "" : ", ") << '"'
+       << to_string(static_cast<Counter>(c))
+       << "\": " << builtin_counters_[c];
+    first = false;
+  }
+  for (const auto& [name, v] : named_counters_) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": " << v;
+    first = false;
+  }
+  os << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : named_gauges_) {
+    os << (first ? "" : ", ") << '"' << json_escape(name)
+       << "\": " << number(v);
+    first = false;
+  }
+  os << "},\n  \"histograms\": {";
+  first = true;
+  for (std::size_t h = 0; h < kHistogramCount; ++h) {
+    if (builtin_histograms_[h].count() == 0) continue;
+    os << (first ? "" : ", ") << "\n    \""
+       << to_string(static_cast<Histogram>(h)) << "\": ";
+    histogram_json(os, builtin_histograms_[h]);
+    first = false;
+  }
+  for (const auto& [name, h] : named_histograms_) {
+    os << (first ? "" : ", ") << "\n    \"" << json_escape(name)
+       << "\": ";
+    histogram_json(os, h);
+    first = false;
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+util::TablePrinter MetricsRegistry::to_table() const {
+  util::TablePrinter table(
+      {"metric", "kind", "count", "value", "p50", "p95", "p99"});
+  const auto add_histogram_row = [&](const std::string& name,
+                                     const HistogramData& h) {
+    table.add_row({name, "histogram", std::to_string(h.count()),
+                   util::format_engineering(h.sum(), 3),
+                   util::format_engineering(h.p50(), 3),
+                   util::format_engineering(h.p95(), 3),
+                   util::format_engineering(h.p99(), 3)});
+  };
+  for (std::size_t c = 0; c < kCounterCount; ++c) {
+    if (builtin_counters_[c] == 0) continue;
+    table.add_row({to_string(static_cast<Counter>(c)), "counter",
+                   std::to_string(builtin_counters_[c]), "-", "-", "-",
+                   "-"});
+  }
+  for (const auto& [name, v] : named_counters_) {
+    table.add_row(
+        {name, "counter", std::to_string(v), "-", "-", "-", "-"});
+  }
+  for (const auto& [name, v] : named_gauges_) {
+    table.add_row({name, "gauge", "-", util::format_engineering(v, 3),
+                   "-", "-", "-"});
+  }
+  for (std::size_t h = 0; h < kHistogramCount; ++h) {
+    if (builtin_histograms_[h].count() == 0) continue;
+    add_histogram_row(to_string(static_cast<Histogram>(h)),
+                      builtin_histograms_[h]);
+  }
+  for (const auto& [name, h] : named_histograms_) {
+    add_histogram_row(name, h);
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Hook plumbing: thread-local scoped registry + global fallback.
+// ---------------------------------------------------------------------
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+namespace {
+
+thread_local MetricsRegistry* t_current = nullptr;
+
+std::mutex& global_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry* current_metrics() { return t_current; }
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry* registry)
+    : previous_(t_current) {
+  t_current = registry;
+}
+
+ScopedMetrics::~ScopedMetrics() { t_current = previous_; }
+
+MetricsRegistry global_metrics_snapshot() {
+  std::lock_guard<std::mutex> lock(global_mu());
+  return global_registry();
+}
+
+void reset_global_metrics() {
+  std::lock_guard<std::mutex> lock(global_mu());
+  global_registry().clear();
+}
+
+namespace detail {
+
+void count_slow(Counter counter, std::uint64_t n) {
+  if (MetricsRegistry* r = t_current) {
+    r->add(counter, n);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(global_mu());
+  global_registry().add(counter, n);
+}
+
+void observe_slow(Histogram histogram, double value) {
+  if (MetricsRegistry* r = t_current) {
+    r->observe(histogram, value);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(global_mu());
+  global_registry().observe(histogram, value);
+}
+
+}  // namespace detail
+
+}  // namespace braidio::obs

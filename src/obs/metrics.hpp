@@ -1,0 +1,227 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// Two kinds of metrics coexist:
+//   - BUILT-IN metrics (the `Counter` / `Histogram` enums) are the ones
+//     the instrumented simulator layers post on hot paths — an array
+//     index, no string hashing, no allocation;
+//   - NAMED metrics (string-keyed counters/gauges/histograms) are for
+//     examples, CLIs, and tests that want ad-hoc instrumentation.
+//
+// Attribution and determinism: a registry is a plain value owned by ONE
+// thread at a time. The sweep engine installs a per-point registry via
+// ScopedMetrics before evaluating each grid point, so everything a point's
+// evaluation posts lands in that point's registry; SweepRunner then merges
+// the per-point registries in flat-index order, which makes the merged
+// result byte-identical for any thread count — the same discipline the
+// per-point RNG streams use. Outside a sweep, posts fall through to a
+// mutex-guarded process-global registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs_config.hpp"
+
+namespace braidio::util {
+class TablePrinter;
+}  // namespace braidio::util
+
+namespace braidio::obs {
+
+/// Built-in counters posted by the instrumented layers.
+enum class Counter : std::uint8_t {
+  ModeSwitches,    // BraidioRadio actually changed (mode, role)
+  OffloadPlans,    // OffloadPlanner solved Eq. 1
+  Replans,         // a running session recomputed its plan
+  Fallbacks,       // braided link fell back to the active mode
+  LifetimeRuns,    // fluid lifetime simulations completed
+  PacketsTx,       // frames put on the air
+  PacketsRx,       // frames that survived the channel
+  PacketsDropped,  // frames corrupted in flight
+  ArqRetries,      // stop-and-wait retransmissions
+  ArqDrops,        // transfers dropped after the retry budget
+  EnergyPosts,     // ledger/interval energy postings
+  BatteryDeaths,   // batteries that emptied mid-run
+  SweepPoints,     // grid points evaluated by the sweep engine
+  SweepFailures,   // grid-point evaluations that threw
+};
+
+inline constexpr std::size_t kCounterCount = 14;
+
+const char* to_string(Counter counter);
+
+/// Built-in fixed-bucket histograms.
+enum class Histogram : std::uint8_t {
+  EnergyPostJoules,  // magnitude of individual energy postings
+  DwellSeconds,      // lengths of mode dwells / replan intervals
+};
+
+inline constexpr std::size_t kHistogramCount = 2;
+
+const char* to_string(Histogram histogram);
+
+/// The fixed bucket upper bounds used for a built-in histogram.
+const std::vector<double>& bucket_bounds(Histogram histogram);
+
+/// Fixed-bucket histogram with quantile accessors. Buckets are defined by
+/// ascending finite upper bounds; one implicit overflow bucket catches
+/// everything beyond the last bound. Single-thread-owned (see file
+/// comment); merge requires identical bounds.
+class HistogramData {
+ public:
+  HistogramData() = default;
+  explicit HistogramData(std::vector<double> upper_bounds);
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 buckets; the last one is the overflow bucket.
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t index) const;
+
+  /// Quantile estimate by linear interpolation inside the owning bucket.
+  /// Empty histogram -> 0. Quantiles that land in the overflow bucket
+  /// return the maximum observed value (the bucket has no upper bound).
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Fold another histogram in (bounds must match).
+  void merge(const HistogramData& other);
+
+  void clear();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// A value-semantics registry of metrics. Single-thread-owned; see the
+/// file comment for the sweep-merge discipline.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  // --- built-in fast path -------------------------------------------
+  void add(Counter counter, std::uint64_t n = 1);
+  std::uint64_t value(Counter counter) const;
+  void observe(Histogram histogram, double value);
+  const HistogramData& histogram(Histogram histogram) const;
+
+  // --- named metrics ------------------------------------------------
+  /// Create-or-get; returned references stay valid until clear().
+  std::uint64_t& counter(const std::string& name);
+  double& gauge(const std::string& name);
+  HistogramData& histogram(const std::string& name,
+                           std::vector<double> upper_bounds);
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return named_counters_;
+  }
+  const std::map<std::string, double>& gauges() const {
+    return named_gauges_;
+  }
+  const std::map<std::string, HistogramData>& histograms() const {
+    return named_histograms_;
+  }
+
+  // --- aggregation & rendering --------------------------------------
+  /// Fold `other` in: counters/histograms add, gauges take the other's
+  /// value when it was ever set (last-merged-wins, so merging per-point
+  /// registries in index order stays deterministic).
+  void merge(const MetricsRegistry& other);
+
+  void clear();
+
+  /// True when nothing has ever been posted.
+  bool empty() const;
+
+  /// Deterministic JSON document (enum order, then sorted names).
+  std::string to_json() const;
+
+  /// Rendered table of every non-zero metric: name, type, count/value,
+  /// and p50/p95/p99 for histograms.
+  util::TablePrinter to_table() const;
+
+ private:
+  std::vector<std::uint64_t> builtin_counters_;
+  std::vector<HistogramData> builtin_histograms_;
+  std::map<std::string, std::uint64_t> named_counters_;
+  std::map<std::string, double> named_gauges_;
+  std::map<std::string, HistogramData> named_histograms_;
+};
+
+// ---------------------------------------------------------------------
+// Hook entry points for instrumented layers.
+// ---------------------------------------------------------------------
+
+/// Master runtime gate for metric collection (default ON — counters are a
+/// relaxed load plus an array increment).
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// The registry hooks currently post into: the thread's scoped registry
+/// if one is installed, else nullptr (posts then go to the process-global
+/// registry under its mutex).
+MetricsRegistry* current_metrics();
+
+/// Install `registry` as this thread's post target for the scope's
+/// lifetime (used by SweepRunner around each grid-point evaluation).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* registry);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Copy of the process-global registry (posts made outside any scope).
+MetricsRegistry global_metrics_snapshot();
+void reset_global_metrics();
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+void count_slow(Counter counter, std::uint64_t n);
+void observe_slow(Histogram histogram, double value);
+}  // namespace detail
+
+/// Post to a built-in counter/histogram. Compiled out entirely when
+/// BRAIDIO_OBS is off; a relaxed load + branch when disabled at runtime.
+inline void count(Counter counter, std::uint64_t n = 1) {
+#if BRAIDIO_OBS_COMPILED
+  if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+  detail::count_slow(counter, n);
+#else
+  (void)counter;
+  (void)n;
+#endif
+}
+
+inline void observe(Histogram histogram, double value) {
+#if BRAIDIO_OBS_COMPILED
+  if (!detail::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+  detail::observe_slow(histogram, value);
+#else
+  (void)histogram;
+  (void)value;
+#endif
+}
+
+}  // namespace braidio::obs

@@ -1,0 +1,15 @@
+// Compile-time switch for the observability subsystem.
+//
+// The BRAIDIO_OBS CMake option (default ON) controls whether the
+// instrumentation hooks threaded through core/mac/energy/sim compile to
+// real code or to nothing. The obs LIBRARY itself (Tracer,
+// MetricsRegistry) always builds — only the hook macros and the inline
+// count()/observe() entry points vanish, so a BRAIDIO_OBS=OFF build still
+// links anything that manipulates tracers or registries explicitly.
+#pragma once
+
+#ifdef BRAIDIO_OBS_DISABLED
+#define BRAIDIO_OBS_COMPILED 0
+#else
+#define BRAIDIO_OBS_COMPILED 1
+#endif

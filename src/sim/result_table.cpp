@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "util/contract.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -117,6 +118,25 @@ std::string ResultTable::to_json() const {
     os << '}' << (r + 1 < records_.size() ? "," : "") << '\n';
   }
   os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string ResultTable::to_json_with_meta() const {
+  std::ostringstream os;
+  os << "{\n  \"meta\": {\n"
+     << "    \"scenario\": \"" << json_escape(name_) << "\",\n"
+     << "    \"seed\": " << seed_ << ",\n"
+     << "    \"points\": " << records_.size() << ",\n"
+     << "    \"threads\": " << threads_used_ << ",\n"
+     << "    \"wall_seconds\": " << total_wall_seconds_ << ",\n"
+     << "    \"obs_compiled\": " << (BRAIDIO_OBS_COMPILED ? "true" : "false")
+     << ",\n"
+     << "    \"trace_enabled\": " << (obs::tracing() ? "true" : "false")
+     << "\n  },\n"
+     << "  \"metrics\": "
+     << (metrics_registry_.empty() ? std::string("null\n")
+                                   : metrics_registry_.to_json())
+     << ",\n  \"data\": " << to_json() << "}\n";
   return os.str();
 }
 

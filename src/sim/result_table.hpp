@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +47,13 @@ class ResultTable {
   /// (deterministic across thread counts).
   std::string to_json() const;
 
+  /// JSON document with a run-metadata envelope: seed, thread count,
+  /// wall-clock duration, whether BRAIDIO_OBS was compiled in, the merged
+  /// metrics registry, and the deterministic data from to_json() under
+  /// "data". Unlike to_json(), this output varies between runs (wall
+  /// time, threads) — use to_json() when diffing results.
+  std::string to_json_with_meta() const;
+
   /// Matrix view: rows = `row_axis` values, columns = `col_axis` values,
   /// cells = value column `value_col`. Requires exactly two axes worth of
   /// variation (other axes must have size 1).
@@ -60,6 +68,13 @@ class ResultTable {
   /// One-line human summary: points, threads, wall time, evals/s.
   std::string metrics_summary() const;
 
+  /// Everything the grid-point evaluations posted to the obs hooks,
+  /// merged in flat-index order (byte-identical for any thread count;
+  /// empty when BRAIDIO_OBS is compiled out or metrics are disabled).
+  const obs::MetricsRegistry& metrics_registry() const {
+    return metrics_registry_;
+  }
+
  private:
   friend class SweepRunner;
 
@@ -69,6 +84,7 @@ class ResultTable {
   std::vector<std::string> columns_;
   std::vector<RunRecord> records_;
   std::vector<PointMetrics> metrics_;
+  obs::MetricsRegistry metrics_registry_;
   unsigned threads_used_ = 1;
   double total_wall_seconds_ = 0.0;
 };

@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 
 namespace braidio::sim {
@@ -41,6 +42,21 @@ bool export_artifact(const std::string& name, const std::string& ext,
   return false;
 }
 
+bool write_trace_json(const std::string& path, std::ostream& echo) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (f) {
+    f << obs::Tracer::instance().to_chrome_json();
+    f.flush();
+  }
+  if (!f.good()) {
+    BRAIDIO_LOG_ERROR << "trace export failed: " << path;
+    return false;
+  }
+  echo << "  [trace] wrote " << path
+       << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  return true;
+}
+
 RunReport::RunReport(std::ostream& os, const std::string& id,
                      const std::string& title)
     : os_(&os) {
@@ -67,6 +83,25 @@ void RunReport::table(const ResultTable& results) {
 
 void RunReport::metrics(const ResultTable& results) {
   *os_ << "  [sweep] " << results.metrics_summary() << '\n';
+  if (!results.metrics().empty()) {
+    // Per-point duration spread (display only: wall times are
+    // nondeterministic, so they never enter the merged registry).
+    obs::HistogramData durations(
+        obs::bucket_bounds(obs::Histogram::DwellSeconds));
+    for (const auto& m : results.metrics()) {
+      durations.record(m.wall_seconds);
+    }
+    *os_ << "  [sweep] point duration p50/p95/p99: "
+         << util::format_engineering(durations.p50(), 3) << "s / "
+         << util::format_engineering(durations.p95(), 3) << "s / "
+         << util::format_engineering(durations.p99(), 3) << "s\n";
+  }
+  metrics(results.metrics_registry());
+}
+
+void RunReport::metrics(const obs::MetricsRegistry& registry) {
+  if (registry.empty()) return;
+  registry.to_table().print(*os_);
 }
 
 bool RunReport::export_csv(const std::string& name,
@@ -81,7 +116,18 @@ bool RunReport::export_csv(const std::string& name,
 
 bool RunReport::export_json(const std::string& name,
                             const ResultTable& results) {
-  return export_artifact(name, ".json", results.to_json(), *os_);
+  return export_artifact(name, ".json", results.to_json_with_meta(), *os_);
+}
+
+bool RunReport::export_trace(const std::string& name) {
+  const auto snapshot = obs::Tracer::instance().snapshot();
+  if (snapshot.total_events() == 0) return true;
+  const bool json_ok = export_artifact(name, ".trace.json",
+                                       obs::chrome_trace_json(snapshot),
+                                       *os_);
+  const bool csv_ok =
+      export_artifact(name, ".trace.csv", obs::trace_csv(snapshot), *os_);
+  return json_ok && csv_ok;
 }
 
 }  // namespace braidio::sim

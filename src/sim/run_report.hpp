@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/result_table.hpp"
 #include "util/table.hpp"
 
@@ -26,6 +27,12 @@ namespace braidio::sim {
 /// `echo` receives a one-line "[csv] wrote <path>" confirmation.
 bool export_artifact(const std::string& name, const std::string& ext,
                      const std::string& payload, std::ostream& echo);
+
+/// Write the obs tracer's current contents as Chrome trace JSON to `path`
+/// (an explicit file path, independent of BRAIDIO_CSV_DIR — the
+/// `--trace-out=<file>` flag lands here). Returns false on I/O failure
+/// (logged). `echo` receives a one-line confirmation.
+bool write_trace_json(const std::string& path, std::ostream& echo);
 
 class RunReport {
  public:
@@ -48,14 +55,27 @@ class RunReport {
   /// Print a ResultTable in long format.
   void table(const ResultTable& results);
 
-  /// Print the run's execution metrics (threads, wall time, evals/s).
+  /// Print the run's execution metrics (threads, wall time, evals/s) plus
+  /// per-point duration percentiles, and — when the sweep collected obs
+  /// metrics — the merged metrics registry table.
   void metrics(const ResultTable& results);
+
+  /// Print a metrics registry as a table (no-op when empty).
+  void metrics(const obs::MetricsRegistry& registry);
 
   /// Export the table as <name>.csv / <name>.json under BRAIDIO_CSV_DIR
   /// (no-ops when the env var is unset). Returns false on write failure.
+  /// The JSON export carries the run-metadata envelope
+  /// (ResultTable::to_json_with_meta).
   bool export_csv(const std::string& name, const ResultTable& results);
   bool export_csv(const std::string& name, const util::TablePrinter& table);
   bool export_json(const std::string& name, const ResultTable& results);
+
+  /// Export the current contents of the obs tracer as <name>.trace.json
+  /// (Chrome trace_event) and <name>.trace.csv under BRAIDIO_CSV_DIR.
+  /// No-op (returns true) when tracing is disabled or nothing was
+  /// recorded.
+  bool export_trace(const std::string& name);
 
  private:
   std::ostream* os_;

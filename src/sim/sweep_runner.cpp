@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/contract.hpp"
 
@@ -29,6 +31,15 @@ unsigned threads_from_cli(int argc, char** argv) {
   return 0;
 }
 
+std::string trace_out_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--trace-out=", 0) == 0) return arg.substr(12);
+  }
+  return "";
+}
+
 ResultTable SweepRunner::run(const Scenario& scenario) const {
   using clock = std::chrono::steady_clock;
 
@@ -40,16 +51,44 @@ ResultTable SweepRunner::run(const Scenario& scenario) const {
   ThreadPool pool(options_.threads);
   table.threads_used_ = pool.size();
 
+  // One registry per grid point: whatever point i's evaluation posts to
+  // the obs hooks lands in slot i, and the slots are merged in flat-index
+  // order below — the merged registry is byte-identical for any thread
+  // count, the same discipline as the per-point RNG streams.
+  std::vector<obs::MetricsRegistry> point_metrics(n);
+
   const auto run_start = clock::now();
   pool.parallel_for(n, [&](std::size_t i) {
     SweepPoint point(scenario, i, scenario.coords_of(i), options_.seed);
+    BRAIDIO_TRACE_EVENT(obs::EventType::SweepPointStart,
+                        table.scenario_name().c_str(), obs::no_sim_time(),
+                        static_cast<double>(i));
     const auto t0 = clock::now();
-    table.records_[i] = scenario.evaluate(point);
+    try {
+      obs::ScopedMetrics scoped(&point_metrics[i]);
+      table.records_[i] = scenario.evaluate(point);
+      obs::count(obs::Counter::SweepPoints);
+    } catch (...) {
+      // Outside the scoped registry: the failure survives in the
+      // process-global registry even though the rethrow (from
+      // parallel_for) discards the table.
+      obs::count(obs::Counter::SweepFailures);
+      BRAIDIO_TRACE_EVENT(obs::EventType::SweepPointEnd, "failed",
+                          obs::no_sim_time(), static_cast<double>(i));
+      throw;
+    }
     table.metrics_[i].wall_seconds =
         std::chrono::duration<double>(clock::now() - t0).count();
+    BRAIDIO_TRACE_EVENT(obs::EventType::SweepPointEnd,
+                        table.scenario_name().c_str(), obs::no_sim_time(),
+                        table.metrics_[i].wall_seconds);
   });
   table.total_wall_seconds_ =
       std::chrono::duration<double>(clock::now() - run_start).count();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    table.metrics_registry_.merge(point_metrics[i]);
+  }
 
   BRAIDIO_ENSURE(table.records_.size() == n, "rows", table.records_.size());
   return table;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/result_table.hpp"
 #include "sim/scenario.hpp"
@@ -26,6 +27,12 @@ struct SweepOptions {
 /// Parse a `--threads N` / `--threads=N` option from a bench/example
 /// command line. Returns 0 (= use the default) when absent or malformed.
 unsigned threads_from_cli(int argc, char** argv);
+
+/// Parse a `--trace-out FILE` / `--trace-out=FILE` option from a
+/// bench/example command line. Returns "" when absent. Callers enable the
+/// obs tracer when this is non-empty and write the Chrome trace JSON to
+/// the file on exit (see sim::write_trace_json).
+std::string trace_out_from_cli(int argc, char** argv);
 
 class SweepRunner {
  public:

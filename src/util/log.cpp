@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 namespace braidio::util {
@@ -19,6 +21,10 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
@@ -27,9 +33,42 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower += ascii_lower(c);
+  if (lower == "trace") out = LogLevel::Trace;
+  else if (lower == "debug") out = LogLevel::Debug;
+  else if (lower == "info") out = LogLevel::Info;
+  else if (lower == "warn") out = LogLevel::Warn;
+  else if (lower == "error") out = LogLevel::Error;
+  else if (lower == "off") out = LogLevel::Off;
+  else return false;
+  return true;
+}
+
+double monotonic_seconds() {
+  using clock = std::chrono::steady_clock;
+  // First caller fixes the epoch; everything after is relative to it.
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level() || level == LogLevel::Off) return;
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  // snprintf keeps std::cerr's format flags untouched and the prefix a
+  // single write, so concurrent loggers interleave at line granularity.
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%.6f] [%s] [T%u] ",
+                monotonic_seconds(), level_name(level), thread_ordinal());
+  std::cerr << prefix << message << '\n';
 }
 
 }  // namespace braidio::util

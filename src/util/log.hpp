@@ -1,5 +1,14 @@
 // Tiny leveled logger. Default level is Warn so library code stays quiet in
 // tests and benches; simulators raise it for debugging.
+//
+// Line format (pinned by tests/util_log_test.cpp):
+//
+//   [<monotonic seconds, 6 decimals>] [LEVEL] [T<thread ordinal>] message
+//
+// The timestamp shares its epoch with the obs tracer
+// (util::monotonic_seconds), so log lines correlate 1:1 with trace-event
+// timestamps; the thread ordinal is the same compact id the tracer's
+// lanes start from.
 #pragma once
 
 #include <sstream>
@@ -13,7 +22,21 @@ enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emit one line to stderr: "[LEVEL] message".
+/// Parse "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-insensitive). Returns false and leaves `out` untouched on
+/// unknown input.
+bool parse_log_level(const std::string& text, LogLevel& out);
+
+/// Seconds elapsed on the steady clock since this process first touched
+/// the logger/tracer (a process-wide monotonic epoch).
+double monotonic_seconds();
+
+/// Small dense per-thread id: 0 for the first thread that asks, 1 for the
+/// next, ... Stable for the thread's lifetime.
+unsigned thread_ordinal();
+
+/// Emit one line to stderr:
+/// "[<seconds>] [LEVEL] [T<ordinal>] message".
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

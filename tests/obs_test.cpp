@@ -1,0 +1,569 @@
+// Observability subsystem tests: histogram edge cases, ring-buffer
+// wraparound + drop accounting, Chrome trace JSON parse-back, the runtime
+// sampling gate, and the serial-vs-parallel determinism of the merged
+// sweep metrics.
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/tracer.hpp"
+#include "sim/result_table.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace {
+
+using namespace braidio;
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON parser, enough to parse back what
+// chrome_trace_json / to_json_with_meta emit. Throws on malformed input.
+// ---------------------------------------------------------------------
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("no key: " + key);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing junk");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("eof");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected ") + c);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::Bool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 't': v.string += '\t'; break;
+          case 'r': v.string += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              throw std::runtime_error("bad \\u");
+            }
+            const int code =
+                std::stoi(text_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            v.string += static_cast<char>(code);
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+TEST(HistogramData, EmptyHistogramReportsZeros) {
+  obs::HistogramData h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(HistogramData, SingleSampleQuantilesAreExact) {
+  obs::HistogramData h({1.0, 10.0, 100.0});
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  // With one observation every quantile must report that value, not a
+  // bucket-interpolated bound.
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+}
+
+TEST(HistogramData, OverflowBucketSaturatesToObservedMax) {
+  obs::HistogramData h({1.0, 2.0});
+  // All samples land beyond the last bound -> the implicit overflow
+  // bucket; quantiles must clamp to the observed max, not infinity.
+  h.record(50.0);
+  h.record(75.0);
+  h.record(100.0);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+}
+
+TEST(HistogramData, NanObservationsAreIgnored) {
+  obs::HistogramData h({1.0, 10.0});
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  h.record(2.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramData, QuantileIsMonotonicAndBounded) {
+  obs::HistogramData h(obs::bucket_bounds(obs::Histogram::DwellSeconds));
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);  // 1 ms .. 1 s
+  double last = 0.0;
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, last) << q;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    last = v;
+  }
+  EXPECT_NEAR(h.p50(), 0.5, 0.2);
+}
+
+TEST(HistogramData, MergeAddsAndRejectsMismatchedBounds) {
+  obs::HistogramData a({1.0, 10.0});
+  obs::HistogramData b({1.0, 10.0});
+  a.record(0.5);
+  b.record(5.0);
+  b.record(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+
+  obs::HistogramData other({2.0, 20.0});
+  other.record(1.0);
+  EXPECT_DEATH(a.merge(other), "REQUIRE");
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+TEST(MetricsRegistry, BuiltinAndNamedMetricsRoundTrip) {
+  obs::MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  r.add(obs::Counter::PacketsTx, 3);
+  r.observe(obs::Histogram::EnergyPostJoules, 1e-6);
+  r.counter("custom_total") += 7;
+  r.gauge("battery_frac") = 0.25;
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.value(obs::Counter::PacketsTx), 3u);
+  EXPECT_EQ(r.histogram(obs::Histogram::EnergyPostJoules).count(), 1u);
+  EXPECT_EQ(r.counters().at("custom_total"), 7u);
+  EXPECT_DOUBLE_EQ(r.gauges().at("battery_frac"), 0.25);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndKeepsLastGauge) {
+  obs::MetricsRegistry a, b;
+  a.add(obs::Counter::ArqRetries, 2);
+  b.add(obs::Counter::ArqRetries, 5);
+  a.gauge("g") = 1.0;
+  b.gauge("g") = 2.0;
+  a.merge(b);
+  EXPECT_EQ(a.value(obs::Counter::ArqRetries), 7u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 2.0);
+}
+
+TEST(MetricsRegistry, ToJsonParsesBackAndIsDeterministic) {
+  obs::MetricsRegistry r;
+  r.add(obs::Counter::ModeSwitches, 4);
+  r.observe(obs::Histogram::DwellSeconds, 0.125);
+  r.observe(obs::Histogram::DwellSeconds, 2.5);
+  r.counter("zeta") += 1;
+  r.counter("alpha") += 2;
+  const std::string json = r.to_json();
+  EXPECT_EQ(json, r.to_json());  // stable rendering
+  const auto doc = parse_json(json);
+  EXPECT_EQ(doc.at("counters").at("mode_switches").number, 4.0);
+  EXPECT_EQ(doc.at("counters").at("alpha").number, 2.0);
+  const auto& dwell = doc.at("histograms").at("dwell_seconds");
+  EXPECT_EQ(dwell.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(dwell.at("sum").number, 2.625);
+  // Named metrics render in sorted order.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+// ---------------------------------------------------------------------
+// Tracer ring buffers
+// ---------------------------------------------------------------------
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tracer = obs::Tracer::instance();
+    tracer.set_enabled(false);
+    tracer.set_sample_every(1);
+    tracer.set_lane_capacity(kCapacity);
+    tracer.clear();
+    tracer.set_enabled(true);
+  }
+
+  void TearDown() override {
+    auto& tracer = obs::Tracer::instance();
+    tracer.set_enabled(false);
+    tracer.set_sample_every(1);
+    tracer.set_lane_capacity(std::size_t{1} << 14);
+    tracer.clear();
+  }
+
+  static constexpr std::size_t kCapacity = 8;
+};
+
+TEST_F(TracerTest, RingWrapsAndCountsDrops) {
+  auto& tracer = obs::Tracer::instance();
+  for (int i = 0; i < 20; ++i) {
+    tracer.record(obs::EventType::PacketTx, "frame", obs::no_sim_time(),
+                  static_cast<double>(i));
+  }
+  const auto snapshot = tracer.snapshot();
+  EXPECT_EQ(snapshot.total_recorded(), 20u);
+  EXPECT_EQ(snapshot.total_dropped(), 12u);
+  EXPECT_EQ(snapshot.total_events(), kCapacity);
+  // The survivors are the newest events, oldest-first, with contiguous
+  // sequence numbers.
+  const auto& lane = snapshot.lanes.front();
+  ASSERT_EQ(lane.events.size(), kCapacity);
+  for (std::size_t i = 0; i < lane.events.size(); ++i) {
+    EXPECT_EQ(lane.events[i].seq, 12 + i);
+    EXPECT_DOUBLE_EQ(lane.events[i].value,
+                     12.0 + static_cast<double>(i));
+  }
+}
+
+TEST_F(TracerTest, SamplingGateKeepsEveryNth) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_sample_every(4);
+  for (int i = 0; i < 16; ++i) {
+    tracer.record(obs::EventType::ArqRetry, nullptr, obs::no_sim_time(),
+                  static_cast<double>(i));
+  }
+  const auto snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.total_events(), 4u);
+  EXPECT_DOUBLE_EQ(snapshot.lanes.front().events[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.lanes.front().events[1].value, 4.0);
+}
+
+TEST_F(TracerTest, LabelsAreTruncatedAndSanitized) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.record(obs::EventType::ModeSwitch,
+                "a,very\"long\nlabel that keeps going and going", 1.0,
+                0.0);
+  const auto snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.total_events(), 1u);
+  const std::string label = snapshot.lanes.front().events[0].label;
+  EXPECT_LE(label.size(), obs::kEventLabelCapacity);
+  EXPECT_EQ(label.find(','), std::string::npos);
+  EXPECT_EQ(label.find('"'), std::string::npos);
+  EXPECT_EQ(label.find('\n'), std::string::npos);
+  EXPECT_EQ(label.substr(0, 7), "a;very;");
+}
+
+#if BRAIDIO_OBS_COMPILED
+TEST_F(TracerTest, DisabledMacroRecordsNothingAndSkipsArguments) {
+  obs::Tracer::instance().set_enabled(false);
+  int evaluated = 0;
+  const auto label = [&]() {
+    ++evaluated;
+    return "label";
+  };
+  BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, label(), 0.0, 0.0);
+  EXPECT_EQ(obs::Tracer::instance().snapshot().total_events(), 0u);
+  // The macro must not evaluate its arguments while disabled.
+  EXPECT_EQ(evaluated, 0);
+}
+#endif  // BRAIDIO_OBS_COMPILED
+
+TEST_F(TracerTest, ChromeJsonParsesBackWithTypedEvents) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.record(obs::EventType::DwellStart, "passive@1M", 1.0, 0.0);
+  tracer.record(obs::EventType::EnergyPost, "carrier", 1.25, 3.5e-6);
+  tracer.record(obs::EventType::DwellEnd, "passive@1M", 2.0, 1.0);
+  const std::string json = tracer.to_chrome_json();
+
+  const auto doc = parse_json(json);
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 3u);
+
+  EXPECT_EQ(events[0].at("ph").string, "B");
+  EXPECT_EQ(events[0].at("name").string, "passive@1M");
+  EXPECT_EQ(events[0].at("args").at("type").string, "DwellStart");
+
+  EXPECT_EQ(events[1].at("ph").string, "i");
+  EXPECT_EQ(events[1].at("name").string, "EnergyPost");
+  EXPECT_NEAR(events[1].at("args").at("value").number, 3.5e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(events[1].at("args").at("sim_s").number, 1.25);
+
+  EXPECT_EQ(events[2].at("ph").string, "E");
+  // Timestamps are microseconds and non-decreasing within a lane.
+  EXPECT_LE(events[0].at("ts").number, events[2].at("ts").number);
+
+  EXPECT_EQ(doc.at("otherData").at("recorded").number, 3.0);
+  EXPECT_EQ(doc.at("otherData").at("dropped").number, 0.0);
+}
+
+TEST_F(TracerTest, CsvHasHeaderAndOneLinePerEvent) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.record(obs::EventType::PacketRx, "active@1M",
+                obs::no_sim_time(), 37.0);
+  const std::string csv = tracer.to_csv();
+  EXPECT_EQ(csv.rfind("wall_s,lane,seq,type,label,sim_s,value\n", 0),
+            0u);
+  // NaN sim time renders as an empty field.
+  EXPECT_NE(csv.find(",PacketRx,active@1M,,37"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Sweep integration: merged metrics must be byte-identical for any
+// thread count, like the data itself.
+// ---------------------------------------------------------------------
+#if BRAIDIO_OBS_COMPILED
+
+sim::Scenario counting_scenario(std::size_t points) {
+  return sim::Scenario(
+      "obs_counting", {sim::Axis::indexed("point", points)}, {"value"},
+      [](sim::SweepPoint& p) {
+        // Deterministic per-point posting pattern.
+        obs::count(obs::Counter::PacketsTx, p.flat_index() + 1);
+        obs::observe(obs::Histogram::EnergyPostJoules,
+                     1e-6 * static_cast<double>(p.flat_index() + 1));
+        sim::RunRecord record;
+        record.cells = {std::to_string(p.flat_index())};
+        record.numbers = {static_cast<double>(p.flat_index())};
+        return record;
+      });
+}
+
+TEST(SweepMetrics, MergedRegistryIsIdenticalSerialVsParallel) {
+  const std::size_t points = 64;
+  const auto scenario = counting_scenario(points);
+
+  sim::SweepOptions serial;
+  serial.threads = 1;
+  const auto reference = sim::SweepRunner(serial).run(scenario);
+
+  const std::string expected = reference.metrics_registry().to_json();
+  EXPECT_EQ(
+      reference.metrics_registry().value(obs::Counter::SweepPoints),
+      points);
+  EXPECT_EQ(reference.metrics_registry().value(obs::Counter::PacketsTx),
+            points * (points + 1) / 2);
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    sim::SweepOptions options;
+    options.threads = threads;
+    const auto parallel = sim::SweepRunner(options).run(scenario);
+    EXPECT_EQ(parallel.metrics_registry().to_json(), expected)
+        << threads;
+    EXPECT_EQ(parallel.to_json(), reference.to_json()) << threads;
+  }
+}
+
+TEST(SweepMetrics, ScopedRegistryCapturesAndGlobalCatchesTheRest) {
+  obs::reset_global_metrics();
+  obs::MetricsRegistry local;
+  {
+    obs::ScopedMetrics scoped(&local);
+    obs::count(obs::Counter::ArqRetries, 3);
+  }
+  obs::count(obs::Counter::ArqDrops, 2);  // outside any scope -> global
+  EXPECT_EQ(local.value(obs::Counter::ArqRetries), 3u);
+  EXPECT_EQ(local.value(obs::Counter::ArqDrops), 0u);
+  const auto global = obs::global_metrics_snapshot();
+  EXPECT_EQ(global.value(obs::Counter::ArqDrops), 2u);
+  EXPECT_EQ(global.value(obs::Counter::ArqRetries), 0u);
+  obs::reset_global_metrics();
+}
+
+TEST(SweepMetrics, MetricsGateStopsPosting) {
+  obs::reset_global_metrics();
+  obs::set_metrics_enabled(false);
+  obs::count(obs::Counter::PacketsTx, 5);
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(
+      obs::global_metrics_snapshot().value(obs::Counter::PacketsTx),
+      0u);
+  obs::reset_global_metrics();
+}
+
+#endif  // BRAIDIO_OBS_COMPILED
+
+TEST(ResultTableMeta, JsonWithMetaParsesBackAndEmbedsRunInfo) {
+  const auto scenario = sim::Scenario(
+      "meta_demo", {sim::Axis::indexed("i", 4)}, {"v"},
+      [](sim::SweepPoint& p) {
+        sim::RunRecord record;
+        record.cells = {std::to_string(p.flat_index())};
+        record.numbers = {static_cast<double>(p.flat_index())};
+        return record;
+      });
+  sim::SweepOptions options;
+  options.threads = 2;
+  options.seed = 1234;
+  const auto table = sim::SweepRunner(options).run(scenario);
+
+  const auto doc = parse_json(table.to_json_with_meta());
+  EXPECT_EQ(doc.at("meta").at("scenario").string, "meta_demo");
+  EXPECT_EQ(doc.at("meta").at("seed").number, 1234.0);
+  EXPECT_EQ(doc.at("meta").at("points").number, 4.0);
+  EXPECT_GE(doc.at("meta").at("threads").number, 1.0);
+  EXPECT_GE(doc.at("meta").at("wall_seconds").number, 0.0);
+  EXPECT_EQ(doc.at("meta").at("obs_compiled").kind,
+            JsonValue::Kind::Bool);
+  EXPECT_EQ(doc.at("data").at("rows").array.size(), 4u);
+  // The deterministic rendering must stay free of run metadata.
+  EXPECT_EQ(table.to_json().find("wall"), std::string::npos);
+}
+
+}  // namespace

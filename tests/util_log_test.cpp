@@ -1,0 +1,103 @@
+// Pins the logger's line format (other tooling greps these lines and the
+// obs tracer shares the timestamp epoch) and covers level parsing and
+// filtering.
+#include <regex>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace braidio;
+
+class UtilLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = util::log_level(); }
+  void TearDown() override { util::set_log_level(saved_); }
+
+ private:
+  util::LogLevel saved_ = util::LogLevel::Warn;
+};
+
+TEST_F(UtilLogTest, LineFormatIsPinned) {
+  util::set_log_level(util::LogLevel::Info);
+  testing::internal::CaptureStderr();
+  BRAIDIO_LOG_INFO << "hello";
+  const std::string out = testing::internal::GetCapturedStderr();
+  // [<monotonic seconds, 6 decimals>] [LEVEL] [T<thread ordinal>] msg
+  const std::regex pinned(
+      R"(^\[[0-9]+\.[0-9]{6}\] \[INFO\] \[T[0-9]+\] hello\n$)");
+  EXPECT_TRUE(std::regex_match(out, pinned)) << "got: " << out;
+}
+
+TEST_F(UtilLogTest, LevelsRenderWithTheirOwnTags) {
+  util::set_log_level(util::LogLevel::Trace);
+  testing::internal::CaptureStderr();
+  BRAIDIO_LOG_WARN << "w";
+  BRAIDIO_LOG_ERROR << "e";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN]"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(UtilLogTest, MessagesBelowTheLevelAreDropped) {
+  util::set_log_level(util::LogLevel::Warn);
+  testing::internal::CaptureStderr();
+  BRAIDIO_LOG_DEBUG << "invisible";
+  BRAIDIO_LOG_INFO << "also invisible";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  util::set_log_level(util::LogLevel::Off);
+  testing::internal::CaptureStderr();
+  BRAIDIO_LOG_ERROR << "even errors";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(UtilLogTest, ParseLogLevelCoversEveryLevel) {
+  const struct {
+    const char* text;
+    util::LogLevel level;
+  } cases[] = {
+      {"trace", util::LogLevel::Trace}, {"debug", util::LogLevel::Debug},
+      {"info", util::LogLevel::Info},   {"warn", util::LogLevel::Warn},
+      {"error", util::LogLevel::Error}, {"off", util::LogLevel::Off},
+  };
+  for (const auto& c : cases) {
+    util::LogLevel out = util::LogLevel::Warn;
+    EXPECT_TRUE(util::parse_log_level(c.text, out)) << c.text;
+    EXPECT_EQ(out, c.level) << c.text;
+  }
+}
+
+TEST_F(UtilLogTest, ParseLogLevelIsCaseInsensitive) {
+  util::LogLevel out = util::LogLevel::Warn;
+  EXPECT_TRUE(util::parse_log_level("INFO", out));
+  EXPECT_EQ(out, util::LogLevel::Info);
+  EXPECT_TRUE(util::parse_log_level("Error", out));
+  EXPECT_EQ(out, util::LogLevel::Error);
+}
+
+TEST_F(UtilLogTest, ParseLogLevelRejectsUnknownInput) {
+  util::LogLevel out = util::LogLevel::Debug;
+  EXPECT_FALSE(util::parse_log_level("loud", out));
+  EXPECT_FALSE(util::parse_log_level("", out));
+  EXPECT_EQ(out, util::LogLevel::Debug);  // untouched on failure
+}
+
+TEST_F(UtilLogTest, MonotonicSecondsNeverGoesBackwards) {
+  const double a = util::monotonic_seconds();
+  const double b = util::monotonic_seconds();
+  const double c = util::monotonic_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, b);
+  EXPECT_LE(b, c);
+}
+
+TEST_F(UtilLogTest, ThreadOrdinalIsStableWithinAThread) {
+  const unsigned first = util::thread_ordinal();
+  EXPECT_EQ(util::thread_ordinal(), first);
+  EXPECT_EQ(util::thread_ordinal(), first);
+}
+
+}  // namespace

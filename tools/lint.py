@@ -32,6 +32,14 @@ R5 no-stray-threads   src/sim/ (the sweep engine) is the only place allowed
                       so determinism and TSan coverage stay centralized.
                       (Non-spawning statics like std::thread::id and
                       std::this_thread are fine.)
+R6 events-not-logs    Simulator state changes are trace events, not log
+                      lines: library code (src/, outside src/util and
+                      src/obs) must not emit informational logging
+                      (BRAIDIO_LOG_TRACE/DEBUG/INFO or BRAIDIO_LOG(...)
+                      below Warn) — post a typed event through
+                      obs::Tracer / BRAIDIO_TRACE_EVENT instead, so the
+                      information lands in the machine-readable timeline.
+                      Warn/Error logging (real problems) stays legal.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
@@ -69,6 +77,15 @@ STDOUT_PATTERNS = [
     (re.compile(r"\bstd::(?:cout|cerr|clog)\b"), "std::cout/cerr/clog"),
 ]
 STDOUT_ALLOWED = {Path("src/util/log.cpp"), Path("src/util/contract.cpp")}
+
+# R6 ---------------------------------------------------------------------
+INFO_LOG_PATTERNS = [
+    (re.compile(r"\bBRAIDIO_LOG_(?:TRACE|DEBUG|INFO)\b"),
+     "BRAIDIO_LOG_TRACE/DEBUG/INFO"),
+    (re.compile(r"\bBRAIDIO_LOG\s*\(\s*LogLevel::(?:Trace|Debug|Info)\b"),
+     "BRAIDIO_LOG(LogLevel::Trace/Debug/Info)"),
+]
+INFO_LOG_ALLOWED_PREFIXES = (Path("src/util"), Path("src/obs"))
 
 # R5 ---------------------------------------------------------------------
 # `(?!\s*::)` keeps non-spawning statics legal: std::thread::id,
@@ -140,6 +157,24 @@ def check_stray_threads(path: Path, lines: list[str], findings: list[str]):
                     "sim::ThreadPool")
 
 
+def check_events_not_logs(path: Path, lines: list[str],
+                          findings: list[str]):
+    relative = rel(path)
+    if relative.parts[0] != "src":
+        return
+    if any(relative.parts[:2] == prefix.parts
+           for prefix in INFO_LOG_ALLOWED_PREFIXES):
+        return
+    for lineno, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        for pattern, label in INFO_LOG_PATTERNS:
+            if pattern.search(code):
+                findings.append(
+                    f"{relative}:{lineno}: [events-not-logs] {label} — "
+                    "sim state goes through obs::Tracer "
+                    "(BRAIDIO_TRACE_EVENT), not informational logging")
+
+
 def check_line_hygiene(path: Path, lines: list[str], findings: list[str]):
     for lineno, line in enumerate(lines, 1):
         if "\t" in line:
@@ -200,6 +235,7 @@ def main() -> int:
         check_global_rng(path, lines, findings)
         check_naked_stdout(path, lines, findings)
         check_stray_threads(path, lines, findings)
+        check_events_not_logs(path, lines, findings)
         check_line_hygiene(path, lines, findings)
     check_test_registration(findings)
 
