@@ -1,6 +1,8 @@
 // braidio_cli: command-line front end to the library.
 //
 //   braidio_cli plan <e1_wh> <e2_wh> <distance_m> [--bidirectional]
+//   braidio_cli braid <e1_wh> <e2_wh> <distance_m> [packets]
+//                     [--bidirectional]
 //   braidio_cli lifetime <tx-device> <rx-device> [distance_m]
 //   braidio_cli matrix [distance_m]
 //   braidio_cli ber <active|passive|backscatter> <10k|100k|1M>
@@ -12,6 +14,9 @@
 //                        (load in chrome://tracing / Perfetto) on exit
 //   --metrics            print the metrics registry after the command
 //   --log-level=<level>  trace|debug|info|warn|error|off (default warn)
+//   --faults=<file>      scripted fault timeline (sim/faults text format)
+//                        injected into commands that run the event
+//                        simulator (currently: braid)
 //
 // Device names are the Fig. 1 catalog entries ("Apple Watch", "iPhone 6S",
 // ...). All output is plain tables; exit code 2 flags usage errors.
@@ -21,9 +26,12 @@
 #include <string>
 #include <vector>
 
+#include "core/braided_link.hpp"
 #include "core/efficiency.hpp"
 #include "core/lifetime_sim.hpp"
 #include "obs/obs.hpp"
+#include "sim/faults/fault_timeline.hpp"
+#include "sim/faults/impairment.hpp"
 #include "sim/run_report.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -37,18 +45,22 @@ int usage() {
   std::cerr <<
       "usage:\n"
       "  braidio_cli plan <e1_wh> <e2_wh> <distance_m> [--bidirectional]\n"
+      "  braidio_cli braid <e1_wh> <e2_wh> <distance_m> [packets]"
+      " [--bidirectional]\n"
       "  braidio_cli lifetime <tx-device> <rx-device> [distance_m]\n"
       "  braidio_cli matrix [distance_m]\n"
       "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
       "  braidio_cli regimes\n"
       "  braidio_cli devices\n"
-      "global flags: --trace-out=<file> --metrics --log-level=<level>\n";
+      "global flags: --trace-out=<file> --metrics --log-level=<level>\n"
+      "              --faults=<file>\n";
   return 2;
 }
 
 struct GlobalOptions {
   std::string trace_out;
   bool metrics = false;
+  std::optional<sim::faults::ImpairmentSchedule> faults;
 };
 
 /// Strip the global flags out of `args`; returns false on a bad value.
@@ -61,6 +73,15 @@ bool parse_global_flags(std::vector<std::string>& args,
       if (options.trace_out.empty()) return false;
     } else if (arg == "--metrics") {
       options.metrics = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      std::string error;
+      const auto timeline =
+          sim::faults::FaultTimeline::parse_file(arg.substr(9), &error);
+      if (!timeline) {
+        std::cerr << "bad --faults file: " << error << '\n';
+        return false;
+      }
+      options.faults.emplace(*timeline);
     } else if (arg.rfind("--log-level=", 0) == 0) {
       util::LogLevel level;
       if (!util::parse_log_level(arg.substr(12), level)) {
@@ -117,6 +138,51 @@ int cmd_plan(const std::vector<std::string>& args) {
             << " nJ/bit\n"
             << "  bits until first battery dies: "
             << plan.bits_until_depletion(e1, e2) << '\n';
+  return 0;
+}
+
+int cmd_braid(const std::vector<std::string>& args,
+              const GlobalOptions& options) {
+  if (args.size() < 3) return usage();
+  const double e1_wh = std::stod(args[0]);
+  const double e2_wh = std::stod(args[1]);
+  const double d = std::stod(args[2]);
+  std::uint64_t packets = 4096;
+  bool bidir = false;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--bidirectional") {
+      bidir = true;
+    } else {
+      packets = std::stoull(args[i]);
+    }
+  }
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::RegimeMap regimes(table, budget);
+  core::BraidioRadio device1("device1", 1, e1_wh, table);
+  core::BraidioRadio device2("device2", 2, e2_wh, table);
+  core::BraidedLinkConfig cfg;
+  cfg.distance_m = d;
+  cfg.bidirectional = bidir;
+  if (options.faults) cfg.impairments = &*options.faults;
+  core::BraidedLink link(device1, device2, regimes, cfg);
+  const auto stats = link.run(packets);
+
+  util::TablePrinter out({"metric", "value"});
+  out.add_row({"packets offered", std::to_string(stats.data_packets_offered)});
+  out.add_row({"packets delivered",
+               std::to_string(stats.data_packets_delivered)});
+  out.add_row({"delivery ratio",
+               util::format_fixed(stats.delivery_ratio(), 4)});
+  out.add_row({"retransmissions", std::to_string(stats.retransmissions)});
+  out.add_row({"fallbacks", std::to_string(stats.fallbacks)});
+  out.add_row({"replans", std::to_string(stats.replans)});
+  out.add_row({"fault activations",
+               std::to_string(stats.fault_activations)});
+  out.add_row({"elapsed", util::format_fixed(stats.elapsed_s, 3) + " s"});
+  out.add_row({"plan", stats.last_plan});
+  out.print(std::cout);
   return 0;
 }
 
@@ -227,6 +293,11 @@ int main(int argc, char** argv) {
   GlobalOptions options;
   if (!parse_global_flags(args, options)) return usage();
   if (!options.trace_out.empty()) {
+    // An explicit file export asks for the whole run, not a tail window:
+    // widen the ring so rare early events (e.g. FaultActive) survive the
+    // flood of per-packet events in long runs. ~256k events per lane is
+    // still bounded memory, and drops are reported on export either way.
+    obs::Tracer::instance().set_lane_capacity(std::size_t{1} << 18);
     obs::Tracer::instance().set_enabled(true);
   }
 
@@ -234,6 +305,7 @@ int main(int argc, char** argv) {
   bool ran = true;
   try {
     if (cmd == "plan") rc = cmd_plan(args);
+    else if (cmd == "braid") rc = cmd_braid(args, options);
     else if (cmd == "lifetime") rc = cmd_lifetime(args);
     else if (cmd == "matrix") rc = cmd_matrix(args);
     else if (cmd == "ber") rc = cmd_ber(args);

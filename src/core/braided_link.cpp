@@ -35,11 +35,26 @@ BraidedLink::BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
       config_(config),
       rng_(config.seed),
       channel_(regimes.budget(),
-               {config.distance_m, config.block_fading, config.extra_loss_db},
+               {config.distance_m, config.block_fading, config.extra_loss_db,
+                config.coherence_time_s},
                util::Rng(config.seed ^ 0xC3A5C85C97CB3127ull)) {
   if (config_.packets_per_slot == 0) {
     throw std::invalid_argument("BraidedLink: packets_per_slot must be >= 1");
   }
+  if (config_.fallback_trigger_slots == 0 ||
+      config_.fallback_recovery_slots == 0) {
+    throw std::invalid_argument(
+        "BraidedLink: fallback hysteresis slot counts must be >= 1");
+  }
+  if (!(config_.ack_timeout_s >= 0.0) || !(config_.backoff_base_s >= 0.0)) {
+    throw std::invalid_argument(
+        "BraidedLink: ack_timeout_s / backoff_base_s must be >= 0");
+  }
+  if (!(config_.backoff_jitter >= 0.0) || config_.backoff_jitter >= 1.0) {
+    throw std::invalid_argument(
+        "BraidedLink: backoff_jitter must lie in [0, 1)");
+  }
+  channel_.set_impairments(config_.impairments);
 }
 
 ModeCandidate BraidedLink::active_point() const {
@@ -47,6 +62,59 @@ ModeCandidate BraidedLink::active_point() const {
       regimes_.budget().best_bitrate(phy::LinkMode::Active, config_.distance_m);
   return regimes_.table().candidate(phy::LinkMode::Active,
                                     rate.value_or(phy::Bitrate::k10));
+}
+
+double BraidedLink::ack_timeout_s(const ModeCandidate& point) const {
+  if (config_.ack_timeout_s > 0.0) return config_.ack_timeout_s;
+  // Auto: the sender must stay in receive for at least one ACK airtime at
+  // the operating rate plus the peer's half-duplex turnaround before it can
+  // declare the exchange lost.
+  mac::Frame ack;
+  ack.type = mac::FrameType::Ack;
+  return mac::PacketChannel::airtime_s(ack, point.rate) + kTurnaroundS;
+}
+
+double BraidedLink::backoff_s(const ModeCandidate& point, unsigned attempt) {
+  const double base = config_.backoff_base_s > 0.0 ? config_.backoff_base_s
+                                                   : ack_timeout_s(point);
+  const unsigned doublings =
+      std::min(attempt > 0 ? attempt - 1 : 0u, config_.backoff_max_doublings);
+  const double factor = std::ldexp(1.0, static_cast<int>(doublings));
+  const double jitter =
+      config_.backoff_jitter > 0.0
+          ? rng_.uniform(1.0 - config_.backoff_jitter,
+                         1.0 + config_.backoff_jitter)
+          : 1.0;
+  return base * factor * jitter;
+}
+
+void BraidedLink::apply_fault_edges() {
+  const auto* schedule = config_.impairments;
+  if (schedule == nullptr) return;
+  const double now = stats_.elapsed_s;
+  if (now <= faults_applied_to_s_) return;
+  for (const auto& event :
+       schedule->activations_in(faults_applied_to_s_, now)) {
+    ++stats_.fault_activations;
+    obs::count(obs::Counter::FaultActivations);
+    BRAIDIO_TRACE_EVENT(obs::EventType::FaultActive,
+                        sim::faults::to_string(event.kind), event.start_s,
+                        event.magnitude);
+    if (event.kind == sim::faults::FaultKind::DistanceJump) {
+      // The link moved; the channel sees it immediately, the protocol only
+      // through its own Sec. 4.2 dynamics (poor slots -> fallback/replan).
+      config_.distance_m = event.magnitude;
+      channel_.set_distance(event.magnitude);
+    }
+  }
+  const double a_joules = schedule->brownout_joules(
+      faults_applied_to_s_, now, sim::faults::kTargetA);
+  const double b_joules = schedule->brownout_joules(
+      faults_applied_to_s_, now, sim::faults::kTargetB);
+  if (a_joules > 0.0) a_.battery().drain(a_joules);
+  if (b_joules > 0.0) b_.battery().drain(b_joules);
+  if (a_.battery().empty() || b_.battery().empty()) dead_ = true;
+  faults_applied_to_s_ = now;
 }
 
 bool BraidedLink::spend(const ModeCandidate& point, double seconds) {
@@ -64,13 +132,18 @@ bool BraidedLink::spend(const ModeCandidate& point, double seconds) {
 bool BraidedLink::send_control(mac::FrameType type,
                                std::vector<std::uint8_t> payload,
                                const ModeCandidate& point) {
-  // Control frames ride the active link: best-effort with a few tries.
+  // Control frames ride the active link: best-effort with a few tries,
+  // separated by the same jittered exponential backoff the data plane uses
+  // so a burst outage does not hammer the channel at line rate.
   const auto frame = make_frame(type, a_.address(), b_.address(), 0,
                                 std::move(payload));
-  for (int attempt = 0; attempt < 4 && !dead_; ++attempt) {
+  for (unsigned attempt = 0; attempt < 4 && !dead_; ++attempt) {
+    apply_fault_edges();
+    if (attempt > 0 && !spend(point, backoff_s(point, attempt))) return false;
     ++stats_.control_frames;
     const double air = mac::PacketChannel::airtime_s(frame, point.rate);
     if (!spend(point, air + kTurnaroundS)) return false;
+    channel_.set_clock(stats_.elapsed_s);
     if (channel_.transmit(frame, point.mode, point.rate)) return true;
   }
   return false;
@@ -190,11 +263,14 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
   }
   ++stats_.data_packets_offered;
   while (!dead_) {
+    apply_fault_edges();
+    if (dead_) break;
     const auto frame = sender.frame_to_send();
     if (!frame) break;
     sender.note_transmission();
     const double air = mac::PacketChannel::airtime_s(*frame, point.rate);
     if (!spend(point, air + kTurnaroundS)) break;
+    channel_.set_clock(stats_.elapsed_s);
     const auto arrived = channel_.transmit(*frame, point.mode, point.rate);
     bool acked = false;
     if (arrived) {
@@ -203,6 +279,7 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
         const double ack_air =
             mac::PacketChannel::airtime_s(*result.ack, point.rate);
         if (!spend(point, ack_air + kTurnaroundS)) break;
+        channel_.set_clock(stats_.elapsed_s);
         const auto ack_arrived =
             channel_.transmit(*result.ack, point.mode, point.rate);
         if (ack_arrived && sender.on_ack(*ack_arrived)) {
@@ -221,8 +298,15 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
       end_dwell();
       return true;
     }
+    // The exchange failed (data or ACK lost): the sender sat through its
+    // full ACK-timeout listen window before deciding to act — energy that
+    // is exactly what lossy links cost and that was previously uncharged.
+    if (!spend(point, ack_timeout_s(point))) break;
+    if (!sender.on_timeout()) break;  // retry budget exhausted, no retry
+    // A retransmission is actually going to happen; wait out the jittered
+    // exponential backoff first so sustained outages are not hammered.
     ++stats_.retransmissions;
-    if (!sender.on_timeout()) break;  // retry budget exhausted
+    if (!spend(point, backoff_s(point, sender.attempts()))) break;
   }
   if (!dead_) ++stats_.data_packets_dropped;
   end_dwell();
@@ -232,6 +316,10 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
 BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
   stats_ = BraidedLinkStats{};
   dead_ = false;
+  // (faults_applied_to_s_, t] windows: start below zero so events scripted
+  // at exactly t = 0 fire on the first edge scan.
+  faults_applied_to_s_ = -1.0;
+  apply_fault_edges();
   setup_control_plane();
   if (!dead_) replan();
 
@@ -242,9 +330,16 @@ BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
 
   std::uint64_t offered = 0;
   std::uint64_t since_replan = 0;
-  bool fallback_pending = false;
+  // Sec. 4.2 fallback with hysteresis: `poor_streak` consecutive slots
+  // below the delivery threshold arm the fallback, `healthy_streak`
+  // consecutive slots at/above it disarm it. The streak counters keep a
+  // single bad (or good) slot from ping-ponging the plan.
+  bool fallback_active = false;
+  unsigned poor_streak = 0;
+  unsigned healthy_streak = 0;
 
   while (offered < packets && !dead_) {
+    apply_fault_edges();
     const auto schedule = build_schedule();
     // Per-slot delivery tracking drives the fallback rule. Bidirectional
     // slots batch all forward packets before all reverse packets — the
@@ -259,12 +354,16 @@ BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
       for (const auto& scheduled : schedule) {
         if (offered >= packets || dead_) break;
         SlotEntry entry = scheduled;
-        if (fallback_pending) {
+        if (fallback_active) {
           entry.forward = active_point();
           if (entry.reverse) entry.reverse = active_point();
         }
+        // A bidirectional slot without a reverse candidate must NOT reuse
+        // the forward point: its energy split was optimized for the
+        // opposite asymmetry. Fall back to the symmetric active point.
         const ModeCandidate point =
-            forward ? entry.forward : entry.reverse.value_or(entry.forward);
+            forward ? entry.forward
+                    : (entry.reverse ? *entry.reverse : active_point());
         ++offered;
         ++since_replan;
         ++slot_offered;
@@ -276,22 +375,27 @@ BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
       }
     }
     if (dead_) break;
-    // Sec. 4.2 dynamics: poor slot -> fall back to active and replan;
-    // healthy slot clears any standing fallback.
     const double ratio =
         slot_offered == 0 ? 1.0
                           : static_cast<double>(slot_delivered) /
                                 static_cast<double>(slot_offered);
     if (ratio < config_.fallback_delivery_ratio) {
-      if (!fallback_pending) {
+      ++poor_streak;
+      healthy_streak = 0;
+      if (!fallback_active && poor_streak >= config_.fallback_trigger_slots) {
+        fallback_active = true;
         ++stats_.fallbacks;
         obs::count(obs::Counter::Fallbacks);
+        replan();
+        since_replan = 0;
       }
-      fallback_pending = true;
-      replan();
-      since_replan = 0;
     } else {
-      fallback_pending = false;
+      ++healthy_streak;
+      poor_streak = 0;
+      if (fallback_active &&
+          healthy_streak >= config_.fallback_recovery_slots) {
+        fallback_active = false;
+      }
     }
     if (since_replan >= config_.replan_every_packets) {
       replan();

@@ -8,9 +8,17 @@
 //   3. a packet schedule that realizes the planned mode fractions
 //      ("Active-Active-Passive-Backscatter (repeated)") with Table 5
 //      switching costs charged on every transition;
-//   4. ARQ on the data plane; fallback to the active mode when the current
-//      mode's loss rate spikes (SNR drop), and periodic replanning as
+//   4. ARQ on the data plane with exponential backoff, an ACK-timeout
+//      listen window charged on every loss, and fallback to the active
+//      mode when the current mode's loss rate stays poor across
+//      `fallback_trigger_slots` consecutive slots (hysteresis: a single
+//      bad slot cannot ping-pong the plan), plus periodic replanning as
 //      battery levels drift.
+//
+// A deterministic fault schedule (sim/faults) can be attached: channel
+// impairments (shadowing, interference, dropout, fade bursts) are consumed
+// by the packet channel; distance jumps and battery brownouts are consumed
+// here, and every activation becomes a FaultActive trace event + counter.
 //
 // The session uses the *fluid* simulator for the headline matrices
 // (Figs. 15-18, where transfers run to battery exhaustion); this event
@@ -29,6 +37,7 @@
 #include "core/regimes.hpp"
 #include "mac/arq.hpp"
 #include "mac/packet_channel.hpp"
+#include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
 
 namespace braidio::core {
@@ -43,14 +52,41 @@ struct BraidedLinkConfig {
   /// Fall back to active mode when a slot's delivery ratio drops below
   /// this (the Sec. 4.2 "performing poorly" trigger).
   double fallback_delivery_ratio = 0.5;
+  /// Hysteresis on the fallback: consecutive poor slots required to fall
+  /// back to the active mode, and consecutive healthy slots required to
+  /// clear it again. Both >= 1; 1/1 restores the seed's edge-triggered
+  /// behavior where one bad slot ping-pongs the plan.
+  unsigned fallback_trigger_slots = 2;
+  unsigned fallback_recovery_slots = 2;
+  /// Listen window [s] the sender is charged while waiting for an ACK
+  /// that never arrives (data frame or ACK lost). 0 = auto: one ACK
+  /// airtime at the operating rate plus the half-duplex turnaround. The
+  /// seed charged nothing here, undercharging lossy links and inflating
+  /// long-distance lifetimes.
+  double ack_timeout_s = 0.0;
+  /// Exponential-backoff base [s] waited before an ARQ retransmission or
+  /// a control-plane retry: base * 2^min(attempt-1, max_doublings),
+  /// jittered uniformly by +/- backoff_jitter. 0 = auto (the ACK-timeout
+  /// window).
+  double backoff_base_s = 0.0;
+  unsigned backoff_max_doublings = 4;
+  double backoff_jitter = 0.5;  // in [0, 1)
   /// Extra path loss [dB] applied mid-run, for failure-injection tests.
   double extra_loss_db = 0.0;
   bool block_fading = false;
+  /// Block-fade coherence time [s] handed to the packet channel. > 0
+  /// keeps the fade coherent across a data+ACK exchange (the physically
+  /// honest model); 0 restores the seed's independent per-transmission
+  /// redraw. Only meaningful with block_fading.
+  double coherence_time_s = 5e-3;
   /// Alternate transfer direction packet-by-packet with an equal data
   /// split (the Fig. 17 traffic pattern); plans come from
   /// OffloadPlanner::plan_bidirectional and each schedule slot carries a
   /// forward and a reverse operating point.
   bool bidirectional = false;
+  /// Scripted fault schedule (not owned; must outlive the link). nullptr
+  /// = clean run.
+  const sim::faults::ImpairmentSchedule* impairments = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -62,6 +98,7 @@ struct BraidedLinkStats {
   std::uint64_t control_frames = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t replans = 0;
+  std::uint64_t fault_activations = 0;
   double payload_bits_delivered = 0.0;          // a -> b
   double payload_bits_delivered_reverse = 0.0;  // b -> a (bidirectional)
   double elapsed_s = 0.0;
@@ -110,6 +147,13 @@ class BraidedLink {
   ModeCandidate active_point() const;
   /// Build the slot-level schedule realizing the plan fractions.
   std::vector<SlotEntry> build_schedule() const;
+  /// The ACK-timeout listen window for `point` (config or auto-derived).
+  double ack_timeout_s(const ModeCandidate& point) const;
+  /// Jittered exponential backoff before retry `attempt` (1-based).
+  double backoff_s(const ModeCandidate& point, unsigned attempt);
+  /// Consume fault-schedule edges up to the current sim time: trace
+  /// activations, apply distance jumps and battery brownouts.
+  void apply_fault_edges();
 
   BraidioRadio& a_;
   BraidioRadio& b_;
@@ -119,6 +163,7 @@ class BraidedLink {
   mac::PacketChannel channel_;
   OffloadPlan plan_;
   BraidedLinkStats stats_;
+  double faults_applied_to_s_ = 0.0;
   bool dead_ = false;
 };
 

@@ -80,17 +80,40 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
         point,
         true,
         HubNodeStats{nc.name, 0, 0, 0.0, plan.summary()}});
+    states.back().channel.set_impairments(config_.impairments);
     ++address;
   }
 
   HubStats stats;
   stats.nodes.reserve(states.size());
 
+  // Consume fault activation edges crossed since the last scan: the hub
+  // only traces/counts them (channel-level impairments are read by each
+  // node's PacketChannel at transmit time; DistanceJump/Brownout are
+  // braid-level events the hub documents but does not apply).
+  double faults_seen_to_s = -1.0;
+  const auto scan_fault_edges = [&] {
+    if (config_.impairments == nullptr) return;
+    if (stats.elapsed_s <= faults_seen_to_s) return;
+    for (const auto& event :
+         config_.impairments->activations_in(faults_seen_to_s,
+                                             stats.elapsed_s)) {
+      ++stats.fault_activations;
+      obs::count(obs::Counter::FaultActivations);
+      BRAIDIO_TRACE_EVENT(obs::EventType::FaultActive,
+                          sim::faults::to_string(event.kind), event.start_s,
+                          event.magnitude);
+    }
+    faults_seen_to_s = stats.elapsed_s;
+  };
+  scan_fault_edges();
+
   for (std::uint64_t round = 0; round < rounds; ++round) {
     if (hub.battery().empty()) break;
     for (std::size_t i = 0; i < states.size(); ++i) {
       auto& node = states[i];
       if (!node.alive) continue;
+      scan_fault_edges();
       const auto& nc = node_configs_[i];
       // Enter the slot: both ends adopt the node's operating point.
       if (!hub.switch_to(node.point, Role::DataReceiver) ||
@@ -122,6 +145,7 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
             done = true;
             break;
           }
+          node.channel.set_clock(stats.elapsed_s);
           const auto arrived =
               node.channel.transmit(*frame, node.point.mode,
                                     node.point.rate);
@@ -138,6 +162,7 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
                 done = true;
                 break;
               }
+              node.channel.set_clock(stats.elapsed_s);
               const auto ack_arrived = node.channel.transmit(
                   *result.ack, node.point.mode, node.point.rate);
               if (ack_arrived && node.sender.on_ack(*ack_arrived)) {

@@ -23,6 +23,7 @@
 #include "core/offload.hpp"
 #include "core/regimes.hpp"
 #include "mac/packet_channel.hpp"
+#include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
 
 namespace braidio::core {
@@ -38,6 +39,13 @@ struct HubNodeConfig {
 struct HubConfig {
   double hub_battery_wh = 99.5;
   unsigned packets_per_slot = 8;
+  /// Scripted fault schedule (not owned; must outlive the hub). Channel
+  /// impairments (shadowing, interference, dropout, fade bursts) hit every
+  /// node's link identically — the hub's carrier is the shared medium.
+  /// DistanceJump and Brownout events are two-endpoint concepts consumed
+  /// by BraidedLink; the hub traces their activation edges but does not
+  /// apply them.
+  const sim::faults::ImpairmentSchedule* impairments = nullptr;
   std::uint64_t seed = 1;
 };
 
@@ -54,6 +62,7 @@ struct HubStats {
   double hub_joules = 0.0;
   double elapsed_s = 0.0;
   std::uint64_t mode_switches = 0;
+  std::uint64_t fault_activations = 0;
 
   double delivered_total() const;
   /// Hub energy per delivered payload bit [J/bit] — the amortization

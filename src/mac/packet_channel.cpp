@@ -5,7 +5,6 @@
 
 #include "obs/obs.hpp"
 #include "phy/ber.hpp"
-#include "rf/fading.hpp"
 #include "util/contract.hpp"
 #include "util/units.hpp"
 
@@ -17,9 +16,14 @@ PacketChannel::PacketChannel(const phy::LinkBudget& budget,
   if (config_.distance_m < 0.0) {
     throw std::invalid_argument("PacketChannel: negative distance");
   }
+  if (config_.coherence_time_s < 0.0) {
+    throw std::invalid_argument("PacketChannel: negative coherence time");
+  }
   BRAIDIO_REQUIRE(
       std::isfinite(config_.distance_m) && std::isfinite(config_.extra_loss_db),
       "distance_m", config_.distance_m, "extra_loss_db", config_.extra_loss_db);
+  BRAIDIO_REQUIRE(std::isfinite(config_.coherence_time_s),
+                  "coherence_time_s", config_.coherence_time_s);
 }
 
 double PacketChannel::current_ber(phy::LinkMode mode,
@@ -44,23 +48,79 @@ void PacketChannel::set_distance(double distance_m) {
   config_.distance_m = distance_m;
 }
 
+void PacketChannel::set_clock(double sim_s) {
+  BRAIDIO_REQUIRE(std::isfinite(sim_s) && sim_s >= clock_s_, "sim_s", sim_s,
+                  "clock_s", clock_s_);
+  clock_s_ = sim_s;
+}
+
+double PacketChannel::fade_power_gain() {
+  if (config_.coherence_time_s <= 0.0) {
+    // Seed behavior: every transmission draws an unrelated channel — even
+    // an ACK 150 us after its data frame.
+    return rf::rayleigh_power_gain(rng_);
+  }
+  if (!fade_) {
+    fade_.emplace(config_.coherence_time_s, config_.coherence_time_s,
+                  std::complex<double>(0.0, 0.0), 1.0, rng_.fork());
+    fade_->reset_stationary();
+  } else {
+    fade_->advance(std::max(clock_s_ - fade_clock_s_, 0.0));
+  }
+  fade_clock_s_ = clock_s_;
+  return std::norm(fade_->current());
+}
+
+double PacketChannel::fault_fade_power_gain(
+    const sim::faults::ImpairmentState& state) {
+  const double coherence = std::max(state.fade_coherence_s, 1e-9);
+  if (!fault_fade_ || fault_fade_coherence_s_ != coherence) {
+    fault_fade_.emplace(coherence, coherence, std::complex<double>(0.0, 0.0),
+                        1.0, rng_.fork());
+    fault_fade_->reset_stationary();
+    fault_fade_coherence_s_ = coherence;
+  } else {
+    fault_fade_->advance(std::max(clock_s_ - fault_fade_clock_s_, 0.0));
+  }
+  fault_fade_clock_s_ = clock_s_;
+  // Unit-mean Rayleigh gain scaled down by the burst's mean depth.
+  return std::norm(fault_fade_->current()) *
+         util::db_to_linear(-state.fade_depth_db);
+}
+
 std::optional<Frame> PacketChannel::transmit(const Frame& frame,
                                              phy::LinkMode mode,
                                              phy::Bitrate rate) {
   ++sent_;
-  double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
-                  config_.extra_loss_db;
-  if (config_.block_fading) {
-    snr_db += util::linear_to_db(
-        std::max(rf::rayleigh_power_gain(rng_), 1e-9));
+  sim::faults::ImpairmentState impairment;
+  if (impairments_ != nullptr) {
+    impairment = impairments_->state_at(clock_s_);
   }
-  const double ber = phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
-                                         util::db_to_linear(snr_db));
   auto bytes = serialize(frame);
   obs::count(obs::Counter::PacketsTx);
   BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, phy::to_string(mode),
                       obs::no_sim_time(),
                       static_cast<double>(bytes.size()));
+  if (impairment.carrier_dropout) {
+    // Carrier gone: nothing reaches the receiver, deterministically.
+    ++corrupted_;
+    obs::count(obs::Counter::PacketsDropped);
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, phy::to_string(mode),
+                        obs::no_sim_time(),
+                        static_cast<double>(bytes.size()));
+    return std::nullopt;
+  }
+  double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
+                  config_.extra_loss_db - impairment.extra_loss_db;
+  if (config_.block_fading) {
+    snr_db += util::linear_to_db(std::max(fade_power_gain(), 1e-9));
+  }
+  if (impairment.fade_active) {
+    snr_db += util::linear_to_db(
+        std::max(fault_fade_power_gain(impairment), 1e-9));
+  }
+  const double ber = phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
+                                         util::db_to_linear(snr_db));
   if (ber > 0.0) {
     for (auto& byte : bytes) {
       for (int bit = 0; bit < 8; ++bit) {

@@ -2,8 +2,18 @@
 //
 // Uses the calibrated LinkBudget to derive the bit error rate for the
 // current (mode, bitrate, distance), flips bits independently, and lets the
-// frame CRC do its job at the receiver. Supports optional Rayleigh block
-// fading per packet to stress the fallback logic.
+// frame CRC do its job at the receiver. Supports Rayleigh block fading to
+// stress the fallback logic — either redrawn independently per packet
+// (coherence_time_s == 0, the seed behavior) or held coherent across
+// nearby transmissions via a Gauss-Markov process (coherence_time_s > 0),
+// so a data frame and the ACK 150 us behind it see the same fade.
+//
+// A deterministic fault schedule (sim/faults) can be attached: the channel
+// reads the impairment state at its simulated clock before every
+// transmission — extra shadowing/interference loss, carrier dropout, and
+// coherent fade bursts all land here. Callers advance the clock with
+// set_clock(); distance jumps and brownouts are consumed by the session
+// layer (BraidedLink), not the channel.
 #pragma once
 
 #include <cstdint>
@@ -12,14 +22,20 @@
 
 #include "mac/frame.hpp"
 #include "phy/link_budget.hpp"
+#include "rf/fading.hpp"
+#include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
 
 namespace braidio::mac {
 
 struct PacketChannelConfig {
   double distance_m = 0.5;
-  bool block_fading = false;      // per-packet Rayleigh power scaling
+  bool block_fading = false;      // Rayleigh power scaling on each packet
   double extra_loss_db = 0.0;     // shadowing / antenna misalignment knob
+  /// Block-fade coherence time [s]. 0 = an independent fade per
+  /// transmission (each ACK sees a channel unrelated to its data frame);
+  /// > 0 = first-order Gauss-Markov evolution over the simulated clock.
+  double coherence_time_s = 0.0;
 };
 
 class PacketChannel {
@@ -33,7 +49,7 @@ class PacketChannel {
   std::optional<Frame> transmit(const Frame& frame, phy::LinkMode mode,
                                 phy::Bitrate rate);
 
-  /// The BER the next packet would see (before fading).
+  /// The BER the next packet would see (before fading and faults).
   double current_ber(phy::LinkMode mode, phy::Bitrate rate) const;
 
   /// Airtime of a frame at `rate` [s].
@@ -42,14 +58,40 @@ class PacketChannel {
   void set_distance(double distance_m);
   double distance() const { return config_.distance_m; }
 
+  /// Advance the channel's simulated clock [s]; drives fade decorrelation
+  /// and fault-schedule lookups. Must be non-decreasing.
+  void set_clock(double sim_s);
+  double clock_s() const { return clock_s_; }
+
+  /// Attach a fault schedule (not owned; may be nullptr to detach). The
+  /// schedule must outlive the channel's use of it.
+  void set_impairments(const sim::faults::ImpairmentSchedule* schedule) {
+    impairments_ = schedule;
+  }
+
   std::uint64_t frames_sent() const { return sent_; }
   std::uint64_t frames_delivered() const { return delivered_; }
   std::uint64_t frames_corrupted() const { return corrupted_; }
 
  private:
+  /// Rayleigh block-fade power gain: coherent (Gauss-Markov over the sim
+  /// clock) when configured, independent per call otherwise.
+  double fade_power_gain();
+  /// Power gain of an active fault fade burst (depth-scaled, coherent).
+  double fault_fade_power_gain(const sim::faults::ImpairmentState& state);
+
   const phy::LinkBudget& budget_;
   PacketChannelConfig config_;
   util::Rng rng_;
+  const sim::faults::ImpairmentSchedule* impairments_ = nullptr;
+  double clock_s_ = 0.0;
+  // Coherent block-fade process (lazily built on first faded transmit).
+  std::optional<rf::CoherentChannelProcess> fade_;
+  double fade_clock_s_ = 0.0;
+  // Fault fade-burst process (rebuilt when a burst's parameters change).
+  std::optional<rf::CoherentChannelProcess> fault_fade_;
+  double fault_fade_clock_s_ = 0.0;
+  double fault_fade_coherence_s_ = 0.0;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t corrupted_ = 0;

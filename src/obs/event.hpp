@@ -29,9 +29,10 @@ enum class EventType : std::uint8_t {
   BatteryDeath,     // a battery emptied mid-run
   SweepPointStart,  // sweep engine began evaluating a grid point
   SweepPointEnd,    // sweep engine finished a grid point
+  FaultActive,      // a scripted fault event fired (sim/faults)
 };
 
-inline constexpr std::size_t kEventTypeCount = 11;
+inline constexpr std::size_t kEventTypeCount = 12;
 
 /// Human-readable event-type name (also the CSV `type` column).
 const char* to_string(EventType type);

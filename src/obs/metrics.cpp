@@ -27,6 +27,7 @@ const char* to_string(Counter counter) {
     case Counter::BatteryDeaths: return "battery_deaths";
     case Counter::SweepPoints: return "sweep_points";
     case Counter::SweepFailures: return "sweep_failures";
+    case Counter::FaultActivations: return "fault_activations";
   }
   return "?";
 }

@@ -46,11 +46,12 @@ enum class Counter : std::uint8_t {
   ArqDrops,        // transfers dropped after the retry budget
   EnergyPosts,     // ledger/interval energy postings
   BatteryDeaths,   // batteries that emptied mid-run
-  SweepPoints,     // grid points evaluated by the sweep engine
-  SweepFailures,   // grid-point evaluations that threw
+  SweepPoints,       // grid points evaluated by the sweep engine
+  SweepFailures,     // grid-point evaluations that threw
+  FaultActivations,  // scripted fault events fired (sim/faults)
 };
 
-inline constexpr std::size_t kCounterCount = 14;
+inline constexpr std::size_t kCounterCount = 15;
 
 const char* to_string(Counter counter);
 

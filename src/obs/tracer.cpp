@@ -23,6 +23,7 @@ const char* to_string(EventType type) {
     case EventType::BatteryDeath: return "BatteryDeath";
     case EventType::SweepPointStart: return "SweepPointStart";
     case EventType::SweepPointEnd: return "SweepPointEnd";
+    case EventType::FaultActive: return "FaultActive";
   }
   return "?";
 }

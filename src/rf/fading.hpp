@@ -38,15 +38,31 @@ class CoherentChannelProcess {
   /// Advance one sample interval and return the new channel gain.
   std::complex<double> step();
 
+  /// Advance by an arbitrary (possibly zero) elapsed time, with the
+  /// correlation computed as exp(-dt/tau) for this step. Lets event-driven
+  /// consumers (the packet channel) evolve the fade by exactly the airtime
+  /// between transmissions instead of a fixed sampling grid — a data frame
+  /// and its ACK 150 us apart see an almost-identical channel while
+  /// packets seconds apart decorrelate fully.
+  std::complex<double> advance(double dt_s);
+
+  /// Replace the scatter component with a draw from its stationary
+  /// distribution CN(0, sigma^2). Without this the process starts at the
+  /// (deterministic) mean and only reaches Rayleigh statistics after a few
+  /// coherence times.
+  void reset_stationary();
+
   std::complex<double> current() const { return mean_ + scatter_; }
 
   double rho() const { return rho_; }
+  double coherence_time_s() const { return coherence_time_s_; }
 
  private:
   std::complex<double> mean_;
   std::complex<double> scatter_{0.0, 0.0};
   double rho_;
   double stddev_;
+  double coherence_time_s_;
   util::Rng rng_;
 };
 

@@ -1,0 +1,82 @@
+// ImpairmentSchedule: the single interface consumers read faults through.
+//
+// PacketChannel, BraidedLink, and CarrierHub never interpret raw fault
+// events; they ask the schedule two questions:
+//   * state_at(t): the superposed channel impairment at sim time t
+//     (extra loss dB from shadowing + interferer beat leakage, carrier
+//     dropout, an active coherent-fade burst, the current distance
+//     override), a pure thread-safe query; and
+//   * one-shot accounting: brownout joules and activation edges crossed
+//     when a consumer's clock advances from t0 to t1.
+// Interferer bursts are converted to an SNR penalty with the calibrated
+// envelope-detector model from rf/interference.hpp — Table 3's "may be
+// interfered by in-band signal" cost made quantitative.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rf/interference.hpp"
+#include "sim/faults/fault_timeline.hpp"
+
+namespace braidio::sim::faults {
+
+/// The superposed impairment at one instant of simulated time.
+struct ImpairmentState {
+  /// Shadowing losses plus interferer SNR penalties, summed in dB.
+  double extra_loss_db = 0.0;
+  /// True while any CarrierDropout window is active: nothing gets through.
+  bool carrier_dropout = false;
+  /// Coherent-fade burst (FadeBurst window active).
+  bool fade_active = false;
+  double fade_depth_db = 0.0;      // mean power loss of the burst
+  double fade_coherence_s = 0.0;   // Gauss-Markov coherence time
+  /// Distance of the most recent DistanceJump at or before t, if any.
+  std::optional<double> distance_m;
+
+  bool impaired() const {
+    return extra_loss_db > 0.0 || carrier_dropout || fade_active;
+  }
+};
+
+struct ImpairmentConfig {
+  /// Noise floor the interferer penalty is computed against.
+  double noise_floor_dbm = -90.0;
+  /// Envelope-detector band (high-pass / low-pass corners) that filters
+  /// the interferer beat.
+  rf::EnvelopeInterferenceModel detector{};
+};
+
+class ImpairmentSchedule {
+ public:
+  ImpairmentSchedule() = default;
+  explicit ImpairmentSchedule(FaultTimeline timeline,
+                              ImpairmentConfig config = {});
+
+  const FaultTimeline& timeline() const { return timeline_; }
+  bool empty() const { return timeline_.empty(); }
+
+  /// Superposed impairment at sim time t. Pure function of (timeline, t):
+  /// safe to call concurrently from sweep workers.
+  ImpairmentState state_at(double sim_s) const;
+
+  /// Joules to drain from endpoint `device` (kTargetA / kTargetB) for
+  /// Brownout events starting in (t0, t1].
+  double brownout_joules(double t0, double t1, int device) const;
+
+  /// Fault activations (window or instant starts) in (t0, t1], for trace
+  /// events and counters.
+  std::vector<FaultEvent> activations_in(double t0, double t1) const {
+    return timeline_.starting_in(t0, t1);
+  }
+
+  /// The SNR penalty [dB] this schedule charges for one interferer event
+  /// (exposed for tests and for the DESIGN.md tables).
+  double interferer_penalty_db(const FaultEvent& event) const;
+
+ private:
+  FaultTimeline timeline_;
+  ImpairmentConfig config_;
+};
+
+}  // namespace braidio::sim::faults

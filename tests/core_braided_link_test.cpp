@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "sim/faults/fault_timeline.hpp"
+#include "sim/faults/impairment.hpp"
+
 namespace braidio::core {
 namespace {
 
@@ -230,6 +235,111 @@ TEST(BraidedLink, BidirectionalSmallDeviceMostlyAvoidsTheCarrier) {
   }
   EXPECT_LT(watch_carrier_fraction, 0.25);
   EXPECT_GT(watch_carrier_fraction, 0.0);
+}
+
+TEST(BraidedLink, RetransmissionCountExactlyMatchesRetryBudget) {
+  // Off-by-one regression: at 100% loss every packet makes 1 + 7 attempts
+  // but only 7 of them are retransmissions. The seed also counted the
+  // refused 8th on_timeout() call, reporting 8 per packet.
+  Rig rig;
+  const sim::faults::ImpairmentSchedule schedule{sim::faults::FaultTimeline{
+      {{sim::faults::FaultKind::CarrierDropout, 0.0, 1e9, 0.0, 0.0,
+        sim::faults::kTargetBoth}}}};
+  BraidedLinkConfig cfg;
+  cfg.distance_m = 0.4;
+  cfg.impairments = &schedule;
+  BraidedLink link(rig.a, rig.b, rig.regimes, cfg);
+  const auto stats = link.run(12);
+  EXPECT_EQ(stats.data_packets_delivered, 0u);
+  EXPECT_EQ(stats.data_packets_dropped, 12u);
+  EXPECT_EQ(stats.retransmissions, 12u * 7u);
+}
+
+TEST(BraidedLink, AckTimeoutListenWindowIsCharged) {
+  // Energy-ledger regression: the seed charged nothing for the listen
+  // window after a lost exchange, so a dead link cost the same energy and
+  // time as the airtime alone. A longer configured timeout must now cost
+  // strictly more time and strictly more battery on the identical run.
+  const sim::faults::ImpairmentSchedule schedule{sim::faults::FaultTimeline{
+      {{sim::faults::FaultKind::CarrierDropout, 0.0, 1e9, 0.0, 0.0,
+        sim::faults::kTargetBoth}}}};
+  const auto run_with_timeout = [&](double timeout_s) {
+    Rig rig;
+    BraidedLinkConfig cfg;
+    cfg.distance_m = 0.4;
+    cfg.seed = 3;
+    cfg.impairments = &schedule;
+    cfg.ack_timeout_s = timeout_s;
+    // Fixed backoff base so only the timeout term differs between runs.
+    cfg.backoff_base_s = 1e-4;
+    BraidedLink link(rig.a, rig.b, rig.regimes, cfg);
+    const auto stats = link.run(8);
+    const double drained = rig.a.battery().capacity_joules() -
+                           rig.a.battery().remaining_joules();
+    return std::pair<double, double>{stats.elapsed_s, drained};
+  };
+  const auto [short_elapsed, short_drained] = run_with_timeout(1e-3);
+  const auto [long_elapsed, long_drained] = run_with_timeout(10e-3);
+  // 8 packets x 8 attempts x 9 ms of extra listening = 576 ms minimum gap.
+  EXPECT_GT(long_elapsed, short_elapsed + 0.5);
+  EXPECT_GT(long_drained, short_drained);
+}
+
+TEST(BraidedLink, FallbackHysteresisIgnoresASingleLossySlot) {
+  // One sustained outage burst long enough to ruin a single schedule slot
+  // but not two consecutive ones. The seed's edge-triggered rule
+  // (trigger = 1) falls back and replans; the default hysteresis
+  // (trigger = 2) must ride it out without thrashing the plan.
+  const auto run_with_trigger = [](unsigned trigger_slots) {
+    Rig rig;
+    const sim::faults::ImpairmentSchedule schedule{
+        sim::faults::FaultTimeline{
+            {{sim::faults::FaultKind::CarrierDropout, 0.05, 0.2, 0.0, 0.0,
+              sim::faults::kTargetBoth}}}};
+    BraidedLinkConfig cfg;
+    cfg.distance_m = 0.4;
+    cfg.packets_per_slot = 8;
+    cfg.seed = 5;
+    cfg.impairments = &schedule;
+    cfg.fallback_trigger_slots = trigger_slots;
+    BraidedLink link(rig.a, rig.b, rig.regimes, cfg);
+    return link.run(512);
+  };
+  const auto edge = run_with_trigger(1);
+  const auto hysteresis = run_with_trigger(2);
+  EXPECT_GE(edge.fallbacks, 1u);
+  EXPECT_EQ(hysteresis.fallbacks, 0u);
+  // Both variants recover: the outage costs packets, not the session.
+  EXPECT_GT(hysteresis.delivery_ratio(), 0.8);
+}
+
+TEST(BraidedLink, HysteresisConfigValidation) {
+  Rig rig;
+  BraidedLinkConfig cfg;
+  cfg.fallback_trigger_slots = 0;
+  EXPECT_THROW(BraidedLink(rig.a, rig.b, rig.regimes, cfg),
+               std::invalid_argument);
+  BraidedLinkConfig jitter_cfg;
+  jitter_cfg.backoff_jitter = 1.0;
+  EXPECT_THROW(BraidedLink(rig.a, rig.b, rig.regimes, jitter_cfg),
+               std::invalid_argument);
+}
+
+TEST(BraidedLink, DistanceJumpFaultDegradesTheLink) {
+  // A mid-run jump far out of range: everything before the jump delivers,
+  // everything after is lost, and the activation is counted.
+  Rig rig;
+  const sim::faults::ImpairmentSchedule schedule{sim::faults::FaultTimeline{
+      {{sim::faults::FaultKind::DistanceJump, 0.5, 0.0, 50.0, 0.0,
+        sim::faults::kTargetBoth}}}};
+  BraidedLinkConfig cfg;
+  cfg.distance_m = 0.4;
+  cfg.impairments = &schedule;
+  BraidedLink link(rig.a, rig.b, rig.regimes, cfg);
+  const auto stats = link.run(2048);
+  EXPECT_EQ(stats.fault_activations, 1u);
+  EXPECT_GT(stats.data_packets_delivered, 0u);
+  EXPECT_GT(stats.data_packets_dropped, 0u);
 }
 
 }  // namespace

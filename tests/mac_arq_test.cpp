@@ -152,5 +152,107 @@ TEST(Arq, LossyRoundTripEventuallyDelivers) {
   EXPECT_GT(receiver.duplicates(), 0u);  // lost acks force duplicates
 }
 
+/// Happy-path exchanges until the sender's next sequence equals `target`.
+void advance_sequence_to(ArqSender& sender, ArqReceiver& receiver,
+                         std::uint16_t target) {
+  while (sender.next_sequence() != target) {
+    ASSERT_TRUE(sender.submit({0x11}));
+    const auto frame = sender.frame_to_send();
+    ASSERT_TRUE(frame.has_value());
+    const auto result = receiver.on_data(*frame);
+    ASSERT_TRUE(result.ack.has_value());
+    ASSERT_TRUE(sender.on_ack(*result.ack));
+  }
+}
+
+TEST(Arq, SequenceWrapsAroundCleanly) {
+  // Drive the uint16 sequence through the full space and across the wrap:
+  // 65535 -> 0 must behave exactly like any other increment.
+  ArqSender sender(1, 2);
+  ArqReceiver receiver(2);
+  advance_sequence_to(sender, receiver, 65535);
+  EXPECT_EQ(sender.next_sequence(), 65535u);
+
+  // The wrap exchange itself.
+  ASSERT_TRUE(sender.submit({0xFF}));
+  const auto frame = sender.frame_to_send();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sequence, 65535u);
+  const auto result = receiver.on_data(*frame);
+  ASSERT_TRUE(result.ack.has_value());
+  EXPECT_TRUE(result.fresh);
+  ASSERT_TRUE(sender.on_ack(*result.ack));
+  EXPECT_EQ(sender.next_sequence(), 0u);
+
+  // Post-wrap, sequence 0 is a fresh payload, not a duplicate of the
+  // very first exchange.
+  ASSERT_TRUE(sender.submit({0x00}));
+  const auto wrapped = sender.frame_to_send();
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_EQ(wrapped->sequence, 0u);
+  const auto wrapped_result = receiver.on_data(*wrapped);
+  ASSERT_TRUE(wrapped_result.ack.has_value());
+  EXPECT_TRUE(wrapped_result.fresh);
+  EXPECT_TRUE(sender.on_ack(*wrapped_result.ack));
+}
+
+TEST(Arq, WraparoundSurvivesDataLossAndDuplicateAcks) {
+  // The wrap exchange under fire: the 65535-sequence data frame is lost
+  // once, then delivered but its ACK lost (forcing a duplicate + dup-ACK),
+  // and the retransmitted ACK completes the transfer across the wrap.
+  ArqSender sender(1, 2);
+  ArqReceiver receiver(2);
+  advance_sequence_to(sender, receiver, 65535);
+
+  ASSERT_TRUE(sender.submit({0xEE}));
+  // Attempt 1: data frame lost on the air.
+  ASSERT_TRUE(sender.frame_to_send().has_value());
+  ASSERT_TRUE(sender.on_timeout());
+  // Attempt 2: data delivered, ACK lost.
+  const auto retry = sender.frame_to_send();
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->sequence, 65535u);
+  const auto first_rx = receiver.on_data(*retry);
+  ASSERT_TRUE(first_rx.ack.has_value());
+  EXPECT_TRUE(first_rx.fresh);
+  ASSERT_TRUE(sender.on_timeout());  // the ACK never arrived
+  // Attempt 3: duplicate data; receiver must re-ACK without re-delivering.
+  const auto dup = sender.frame_to_send();
+  ASSERT_TRUE(dup.has_value());
+  const auto dup_rx = receiver.on_data(*dup);
+  ASSERT_TRUE(dup_rx.ack.has_value());
+  EXPECT_FALSE(dup_rx.fresh);
+  EXPECT_TRUE(sender.on_ack(*dup_rx.ack));
+  EXPECT_EQ(sender.next_sequence(), 0u);
+  EXPECT_EQ(receiver.duplicates(), 1u);
+
+  // A stale 65535 dup-ACK arriving after the wrap must not complete the
+  // NEXT transfer (sequence 0).
+  ASSERT_TRUE(sender.submit({0x01}));
+  EXPECT_FALSE(sender.on_ack(*first_rx.ack));
+  const auto next = sender.frame_to_send();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->sequence, 0u);
+  const auto next_rx = receiver.on_data(*next);
+  ASSERT_TRUE(next_rx.ack.has_value());
+  EXPECT_TRUE(next_rx.fresh);
+  EXPECT_TRUE(sender.on_ack(*next_rx.ack));
+}
+
+TEST(Arq, WraparoundDropAdvancesSequenceToZero) {
+  // Exhausting the retry budget at sequence 65535 must wrap the sequence
+  // to 0 for the next transfer, exactly like a delivery would.
+  ArqSender sender(1, 2, {.max_retransmissions = 2});
+  ArqReceiver receiver(2);
+  advance_sequence_to(sender, receiver, 65535);
+  ASSERT_TRUE(sender.submit({0xDD}));
+  EXPECT_TRUE(sender.on_timeout());
+  EXPECT_TRUE(sender.on_timeout());
+  EXPECT_FALSE(sender.on_timeout());  // budget exhausted, dropped
+  EXPECT_TRUE(sender.idle());
+  EXPECT_EQ(sender.dropped(), 1u);
+  EXPECT_EQ(sender.next_sequence(), 0u);
+}
+
 }  // namespace
 }  // namespace braidio::mac
