@@ -5,9 +5,12 @@
 // keep the older binaries working on top of the same reporting layer.
 #pragma once
 
+#include <cmath>
 #include <iostream>
+#include <limits>
 #include <string>
 
+#include "sim/bench_telemetry.hpp"
 #include "sim/run_report.hpp"
 #include "sim/sweep_runner.hpp"
 #include "util/table.hpp"
@@ -47,6 +50,23 @@ inline sim::SweepOptions sweep_options(int argc, char** argv) {
   sim::SweepOptions options;
   options.threads = sim::threads_from_cli(argc, argv);
   return options;
+}
+
+/// Distill a finished sweep into the schema-versioned BENCH_<name>.json
+/// telemetry record and export it under BRAIDIO_CSV_DIR (plus the
+/// attributed energy profile when one was collected). `bits_per_joule`
+/// is the bench's representative delivered-bits-per-joule figure; leave
+/// it NaN when the bench has no natural value. Returns false on write
+/// failure.
+inline bool export_bench_telemetry(
+    sim::RunReport& report, const std::string& name,
+    const sim::ResultTable& results,
+    double bits_per_joule = std::numeric_limits<double>::quiet_NaN()) {
+  auto telemetry = sim::BenchTelemetry::from_table(name, results);
+  telemetry.delivered_bits_per_joule = bits_per_joule;
+  const bool profile_ok =
+      report.export_profile(name, results.energy_profile());
+  return report.export_bench(telemetry) && profile_ok;
 }
 
 }  // namespace braidio::bench

@@ -8,6 +8,8 @@
 #include "bench_common.hpp"
 #include "bench_matrix_common.hpp"
 #include "core/lifetime_sim.hpp"
+#include "obs/obs.hpp"
+#include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace braidio;
@@ -21,11 +23,26 @@ int main(int argc, char** argv) {
   core::LifetimeConfig cfg;
   cfg.distance_m = 0.5;
 
+  // Collect per-mode energy attribution for the telemetry record; the
+  // per-point profiles merge in flat-index order, so BENCH_*.json stays
+  // deterministic for any --threads value.
+  obs::set_attribution_enabled(true);
+
+  // Representative delivered bits/J for the telemetry record: the
+  // phone -> watch braid, total bits over both batteries.
+  const double e1 =
+      util::wh_to_joules(energy::find_device("iPhone 6S")->battery_wh);
+  const double e2 =
+      util::wh_to_joules(energy::find_device("Apple Watch")->battery_wh);
+  const double bits_per_joule =
+      sim.braidio(e1, e2, cfg).bits / (e1 + e2);
+
   const auto results = bench::run_gain_matrix(
       report, "fig15_gain_matrix", bench::sweep_options(argc, argv),
       [&](const energy::DeviceSpec& tx, const energy::DeviceSpec& rx) {
         return sim.gain_vs_bluetooth(tx, rx, cfg);
-      });
+      },
+      bits_per_joule);
 
   double diag_min = 1e300, diag_max = -1e300, best = 0.0;
   std::string best_pair;

@@ -5,15 +5,21 @@
 
 #include "bench_common.hpp"
 #include "core/lifetime_sim.hpp"
+#include "obs/obs.hpp"
 #include "sim/run_report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep_runner.hpp"
 #include "util/table.hpp"
+#include "util/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace braidio;
   sim::RunReport report(std::cout, "Figure 18",
                         "Gain over Bluetooth vs distance");
+
+  // Attribute every ledger charge during the sweep so the telemetry
+  // record carries the per-mode energy split (merged deterministically).
+  obs::set_attribution_enabled(true);
 
   core::PowerTable table;
   phy::LinkBudget budget;
@@ -57,6 +63,17 @@ int main(int argc, char** argv) {
 
   core::LifetimeConfig near_cfg;
   near_cfg.distance_m = 0.3;
+
+  // Representative delivered bits/J: the close-range phone -> watch braid.
+  {
+    const double e1 = util::wh_to_joules(phone.battery_wh);
+    const double e2 = util::wh_to_joules(watch.battery_wh);
+    const double bits_per_joule =
+        sim.braidio(e1, e2, near_cfg).bits / (e1 + e2);
+    bench::export_bench_telemetry(report, "fig18_distance", out,
+                                  bits_per_joule);
+  }
+
   core::LifetimeConfig far_cfg;
   far_cfg.distance_m = 5.7;
   report.check("short range", "strong gains (asymmetric modes viable)",

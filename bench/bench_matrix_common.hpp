@@ -6,10 +6,12 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "energy/device_catalog.hpp"
 #include "sim/run_report.hpp"
 #include "sim/scenario.hpp"
@@ -59,17 +61,21 @@ inline sim::Scenario gain_matrix_scenario(std::string name, GainFn gain) {
 }
 
 /// Run the matrix sweep, print the pivoted 10x10 matrix + run metrics, and
-/// export CSV/JSON artifacts. Returns the table for check-line scans.
-inline sim::ResultTable run_gain_matrix(sim::RunReport& report,
-                                        const std::string& csv_name,
-                                        const sim::SweepOptions& options,
-                                        GainFn gain) {
+/// export CSV/JSON artifacts plus the BENCH_<name>.json telemetry record
+/// (and, when attribution was enabled, the energy profile). Returns the
+/// table for check-line scans. `bits_per_joule` feeds the telemetry
+/// record's delivered_bits_per_joule field.
+inline sim::ResultTable run_gain_matrix(
+    sim::RunReport& report, const std::string& csv_name,
+    const sim::SweepOptions& options, GainFn gain,
+    double bits_per_joule = std::numeric_limits<double>::quiet_NaN()) {
   const auto scenario = gain_matrix_scenario(csv_name, std::move(gain));
   const auto table = sim::SweepRunner(options).run(scenario);
   report.table(table.pivot(/*row_axis=*/0, /*col_axis=*/1, /*value_col=*/0));
   report.metrics(table);
   report.export_csv(csv_name, table);
   report.export_json(csv_name, table);
+  export_bench_telemetry(report, csv_name, table, bits_per_joule);
   return table;
 }
 

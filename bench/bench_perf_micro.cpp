@@ -99,18 +99,23 @@ void BM_LifetimeMatrixCell(benchmark::State& state) {
 BENCHMARK(BM_LifetimeMatrixCell);
 
 // Observability overhead contract: a Fig. 15-style gain-matrix inner
-// loop with instrumentation compiled in. Arg(0) runs with tracing
+// loop with instrumentation compiled in. Arg(0) runs with everything
 // DISABLED — compare its time against a -DBRAIDIO_OBS=OFF build to see
 // the contract's <2% ceiling; the instrumented layers only pay a relaxed
 // atomic load per hook when the tracer is off. Arg(1) runs with tracing
 // ENABLED into a bounded ring (sample_every=1) to price the worst case.
+// Arg(2) additionally turns on energy attribution (span paths + profile
+// posts on every ledger charge) to price full provenance collection.
 void BM_Fig15SweepObs(benchmark::State& state) {
 #if BRAIDIO_OBS_COMPILED
   const bool trace = state.range(0) != 0;
+  const bool attribute = state.range(0) >= 2;
   auto& tracer = obs::Tracer::instance();
   tracer.set_lane_capacity(std::size_t{1} << 12);
   tracer.clear();
   tracer.set_enabled(trace);
+  obs::set_attribution_enabled(attribute);
+  obs::reset_global_energy_profile();
 #endif
   core::PowerTable table;
   phy::LinkBudget budget;
@@ -132,8 +137,10 @@ void BM_Fig15SweepObs(benchmark::State& state) {
   tracer.set_enabled(false);
   tracer.set_lane_capacity(std::size_t{1} << 14);
   tracer.clear();
+  obs::set_attribution_enabled(false);
+  obs::reset_global_energy_profile();
 #endif
 }
-BENCHMARK(BM_Fig15SweepObs)->Arg(0)->Arg(1);
+BENCHMARK(BM_Fig15SweepObs)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace

@@ -3,6 +3,8 @@
 //   braidio_cli plan <e1_wh> <e2_wh> <distance_m> [--bidirectional]
 //   braidio_cli braid <e1_wh> <e2_wh> <distance_m> [packets]
 //                     [--bidirectional]
+//   braidio_cli profile <e1_wh> <e2_wh> <distance_m> [packets]
+//                     [--bidirectional] [--flame-out=<file>]
 //   braidio_cli lifetime <tx-device> <rx-device> [distance_m]
 //   braidio_cli matrix [distance_m]
 //   braidio_cli ber <active|passive|backscatter> <10k|100k|1M>
@@ -12,6 +14,8 @@
 // Global flags (any command):
 //   --trace-out=<file>   enable the obs tracer, write Chrome trace JSON
 //                        (load in chrome://tracing / Perfetto) on exit
+//   --trace-ring=<n>     per-lane trace ring capacity in events (default
+//                        262144); requires --trace-out
 //   --metrics            print the metrics registry after the command
 //   --log-level=<level>  trace|debug|info|warn|error|off (default warn)
 //   --faults=<file>      scripted fault timeline (sim/faults text format)
@@ -20,7 +24,9 @@
 //
 // Device names are the Fig. 1 catalog entries ("Apple Watch", "iPhone 6S",
 // ...). All output is plain tables; exit code 2 flags usage errors.
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -47,18 +53,28 @@ int usage() {
       "  braidio_cli plan <e1_wh> <e2_wh> <distance_m> [--bidirectional]\n"
       "  braidio_cli braid <e1_wh> <e2_wh> <distance_m> [packets]"
       " [--bidirectional]\n"
+      "  braidio_cli profile <e1_wh> <e2_wh> <distance_m> [packets]"
+      " [--bidirectional] [--flame-out=<file>]\n"
       "  braidio_cli lifetime <tx-device> <rx-device> [distance_m]\n"
       "  braidio_cli matrix [distance_m]\n"
       "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
       "  braidio_cli regimes\n"
       "  braidio_cli devices\n"
-      "global flags: --trace-out=<file> --metrics --log-level=<level>\n"
-      "              --faults=<file>\n";
+      "global flags: --trace-out=<file> --trace-ring=<n> --metrics\n"
+      "              --log-level=<level> --faults=<file>\n";
   return 2;
 }
 
+/// Default per-lane trace ring capacity when exporting with --trace-out.
+/// A file export asks for the whole run, not a tail window, so the default
+/// is sized for long runs (~256k events/lane, still bounded memory); drops
+/// are reported on export either way. Override with --trace-ring=<n>.
+constexpr std::size_t kDefaultTraceRingEvents = std::size_t{1} << 18;
+
 struct GlobalOptions {
   std::string trace_out;
+  std::size_t trace_ring = kDefaultTraceRingEvents;
+  bool trace_ring_set = false;
   bool metrics = false;
   std::optional<sim::faults::ImpairmentSchedule> faults;
 };
@@ -71,6 +87,17 @@ bool parse_global_flags(std::vector<std::string>& args,
     if (arg.rfind("--trace-out=", 0) == 0) {
       options.trace_out = arg.substr(12);
       if (options.trace_out.empty()) return false;
+    } else if (arg.rfind("--trace-ring=", 0) == 0) {
+      const std::string value = arg.substr(13);
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || n == 0) {
+        std::cerr << "bad --trace-ring value: " << value
+                  << " (want a positive event count)\n";
+        return false;
+      }
+      options.trace_ring = static_cast<std::size_t>(n);
+      options.trace_ring_set = true;
     } else if (arg == "--metrics") {
       options.metrics = true;
     } else if (arg.rfind("--faults=", 0) == 0) {
@@ -92,6 +119,11 @@ bool parse_global_flags(std::vector<std::string>& args,
     } else {
       rest.push_back(arg);
     }
+  }
+  if (options.trace_ring_set && options.trace_out.empty()) {
+    std::cerr << "--trace-ring requires --trace-out (the ring only backs "
+                 "the file export)\n";
+    return false;
   }
   args = std::move(rest);
   return true;
@@ -183,6 +215,83 @@ int cmd_braid(const std::vector<std::string>& args,
   out.add_row({"elapsed", util::format_fixed(stats.elapsed_s, 3) + " s"});
   out.add_row({"plan", stats.last_plan});
   out.print(std::cout);
+  return 0;
+}
+
+// Run the same exchange as `braid` with energy attribution enabled and
+// report where every joule went: the span-attributed tree, the
+// per-device ledgers, and a conservation line (tree total vs ledger
+// total). With --flame-out=<file>, also writes the collapsed-stack
+// flame graph (feed to flamegraph.pl / speedscope).
+int cmd_profile(const std::vector<std::string>& args,
+                const GlobalOptions& options) {
+  if (args.size() < 3) return usage();
+  const double e1_wh = std::stod(args[0]);
+  const double e2_wh = std::stod(args[1]);
+  const double d = std::stod(args[2]);
+  std::uint64_t packets = 4096;
+  bool bidir = false;
+  std::string flame_out;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    if (args[i] == "--bidirectional") {
+      bidir = true;
+    } else if (args[i].rfind("--flame-out=", 0) == 0) {
+      flame_out = args[i].substr(12);
+      if (flame_out.empty()) return usage();
+    } else {
+      packets = std::stoull(args[i]);
+    }
+  }
+
+  obs::reset_global_energy_profile();
+  obs::set_attribution_enabled(true);
+
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::RegimeMap regimes(table, budget);
+  core::BraidioRadio device1("device1", 1, e1_wh, table);
+  core::BraidioRadio device2("device2", 2, e2_wh, table);
+  core::BraidedLinkConfig cfg;
+  cfg.distance_m = d;
+  cfg.bidirectional = bidir;
+  if (options.faults) cfg.impairments = &*options.faults;
+  core::BraidedLink link(device1, device2, regimes, cfg);
+  const auto stats = link.run(packets);
+
+  obs::set_attribution_enabled(false);
+  const auto profile = obs::global_energy_profile_snapshot();
+
+  std::cout << "delivered " << stats.data_packets_delivered << "/"
+            << stats.data_packets_offered << " packets in "
+            << util::format_fixed(stats.elapsed_s, 3) << " s (plan: "
+            << stats.last_plan << ")\n\n";
+  if (profile.empty()) {
+    std::cout << "(no energy attribution recorded — observability "
+                 "disabled build?)\n";
+    return 0;
+  }
+  std::cout << "energy attribution (span tree):\n" << profile.tree_report()
+            << '\n';
+  std::cout << "device1 ledger:\n" << device1.ledger().report() << '\n'
+            << "device2 ledger:\n" << device2.ledger().report() << '\n';
+
+  const double ledger_total =
+      device1.ledger().total_joules() + device2.ledger().total_joules();
+  std::cout << "conservation: tree "
+            << util::format_engineering(profile.total_joules(), 6)
+            << "J vs ledgers "
+            << util::format_engineering(ledger_total, 6) << "J\n";
+
+  if (!flame_out.empty()) {
+    std::ofstream f(flame_out, std::ios::binary | std::ios::trunc);
+    if (f) f << profile.to_collapsed_stack();
+    if (!f.good()) {
+      std::cerr << "flame-graph export failed: " << flame_out << '\n';
+      return 1;
+    }
+    std::cout << "[flame] wrote " << flame_out
+              << " (collapsed-stack; render with flamegraph.pl)\n";
+  }
   return 0;
 }
 
@@ -293,11 +402,9 @@ int main(int argc, char** argv) {
   GlobalOptions options;
   if (!parse_global_flags(args, options)) return usage();
   if (!options.trace_out.empty()) {
-    // An explicit file export asks for the whole run, not a tail window:
-    // widen the ring so rare early events (e.g. FaultActive) survive the
-    // flood of per-packet events in long runs. ~256k events per lane is
-    // still bounded memory, and drops are reported on export either way.
-    obs::Tracer::instance().set_lane_capacity(std::size_t{1} << 18);
+    // The one place the ring is sized: the documented default
+    // (kDefaultTraceRingEvents) or the explicit --trace-ring=<n> value.
+    obs::Tracer::instance().set_lane_capacity(options.trace_ring);
     obs::Tracer::instance().set_enabled(true);
   }
 
@@ -306,6 +413,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "plan") rc = cmd_plan(args);
     else if (cmd == "braid") rc = cmd_braid(args, options);
+    else if (cmd == "profile") rc = cmd_profile(args, options);
     else if (cmd == "lifetime") rc = cmd_lifetime(args);
     else if (cmd == "matrix") rc = cmd_matrix(args);
     else if (cmd == "ber") rc = cmd_ber(args);

@@ -150,6 +150,7 @@ bool BraidedLink::send_control(mac::FrameType type,
 }
 
 void BraidedLink::setup_control_plane() {
+  BRAIDIO_ENERGY_SPAN(phase_span, "control");
   const auto active = active_point();
   if (!a_.switch_to(active, Role::DataTransmitter) ||
       !b_.switch_to(active, Role::DataReceiver)) {
@@ -240,6 +241,7 @@ std::vector<BraidedLink::SlotEntry> BraidedLink::build_schedule() const {
 bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
                                   mac::ArqSender& sender,
                                   mac::ArqReceiver& receiver) {
+  BRAIDIO_ENERGY_SPAN(phase_span, "data");
   BraidioRadio& tx = forward ? a_ : b_;
   BraidioRadio& rx = forward ? b_ : a_;
   if (!tx.switch_to(point, Role::DataTransmitter) ||
@@ -269,7 +271,13 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
     if (!frame) break;
     sender.note_transmission();
     const double air = mac::PacketChannel::airtime_s(*frame, point.rate);
-    if (!spend(point, air + kTurnaroundS)) break;
+    {
+      // Airtime for a retransmitted frame is ARQ recovery cost, not
+      // first-attempt delivery cost — attribute it separately.
+      BRAIDIO_ENERGY_SPAN(arq_span,
+                          sender.attempts() > 0 ? "arq-retx" : nullptr);
+      if (!spend(point, air + kTurnaroundS)) break;
+    }
     channel_.set_clock(stats_.elapsed_s);
     const auto arrived = channel_.transmit(*frame, point.mode, point.rate);
     bool acked = false;
@@ -301,12 +309,18 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
     // The exchange failed (data or ACK lost): the sender sat through its
     // full ACK-timeout listen window before deciding to act — energy that
     // is exactly what lossy links cost and that was previously uncharged.
-    if (!spend(point, ack_timeout_s(point))) break;
+    {
+      BRAIDIO_ENERGY_SPAN(arq_span, "arq-timeout");
+      if (!spend(point, ack_timeout_s(point))) break;
+    }
     if (!sender.on_timeout()) break;  // retry budget exhausted, no retry
     // A retransmission is actually going to happen; wait out the jittered
     // exponential backoff first so sustained outages are not hammered.
     ++stats_.retransmissions;
-    if (!spend(point, backoff_s(point, sender.attempts()))) break;
+    {
+      BRAIDIO_ENERGY_SPAN(arq_span, "arq-backoff");
+      if (!spend(point, backoff_s(point, sender.attempts()))) break;
+    }
   }
   if (!dead_) ++stats_.data_packets_dropped;
   end_dwell();
@@ -314,6 +328,9 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
 }
 
 BraidedLinkStats BraidedLink::run(std::uint64_t packets) {
+  // Root attribution scope: every joule a braided exchange drains —
+  // control plane, data plane, ARQ recovery — lands under "braid/...".
+  BRAIDIO_ENERGY_SPAN(exchange_span, "braid");
   stats_ = BraidedLinkStats{};
   dead_ = false;
   // (faults_applied_to_s_, t] windows: start below zero so events scripted

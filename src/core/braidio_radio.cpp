@@ -24,11 +24,10 @@ double BraidioRadio::power_draw_w() const {
                                          : point_->rx_power_w;
 }
 
-energy::EnergyCategory BraidioRadio::active_category() const {
+energy::EnergyCategory category_for(phy::LinkMode mode, Role role) {
   using energy::EnergyCategory;
-  if (!point_ || !role_) return EnergyCategory::Idle;
-  const bool tx = *role_ == Role::DataTransmitter;
-  switch (point_->mode) {
+  const bool tx = role == Role::DataTransmitter;
+  switch (mode) {
     case phy::LinkMode::Active:
       return tx ? EnergyCategory::ActiveTx : EnergyCategory::ActiveRx;
     case phy::LinkMode::PassiveRx:
@@ -43,6 +42,16 @@ energy::EnergyCategory BraidioRadio::active_category() const {
   return EnergyCategory::Idle;
 }
 
+energy::EnergyCategory BraidioRadio::active_category() const {
+  if (!point_ || !role_) return energy::EnergyCategory::Idle;
+  return category_for(point_->mode, *role_);
+}
+
+std::string BraidioRadio::state_label() const {
+  if (!point_ || !role_) return "idle";
+  return point_->label() + ':' + to_string(*role_);
+}
+
 bool BraidioRadio::switch_to(const ModeCandidate& candidate, Role role) {
   const bool same_mode = point_ && point_->mode == candidate.mode &&
                          role_ && *role_ == role;
@@ -51,7 +60,11 @@ bool BraidioRadio::switch_to(const ModeCandidate& candidate, Role role) {
     const double cost = role == Role::DataTransmitter ? overhead.tx_joules
                                                       : overhead.rx_joules;
     const double taken = battery_.drain(cost);
-    ledger_.charge(energy::EnergyCategory::ModeSwitch, taken, clock_s_);
+    {
+      BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
+      BRAIDIO_ENERGY_SPAN(switch_span, phy::to_string(candidate.mode));
+      ledger_.charge(energy::EnergyCategory::ModeSwitch, taken, clock_s_);
+    }
     ++switches_;
     obs::count(obs::Counter::ModeSwitches);
     BRAIDIO_TRACE_EVENT(obs::EventType::ModeSwitch,
@@ -81,7 +94,11 @@ bool BraidioRadio::advance(double seconds) {
   const double want = power_draw_w() * seconds;
   const double taken = battery_.drain(want);
   clock_s_ += seconds;
-  ledger_.charge(active_category(), taken, clock_s_);
+  {
+    BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
+    BRAIDIO_ENERGY_SPAN(state_span, state_label().c_str());
+    ledger_.charge(active_category(), taken, clock_s_);
+  }
   if (taken < want) {
     obs::count(obs::Counter::BatteryDeaths);
     BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath, name_.c_str(),

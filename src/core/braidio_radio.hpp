@@ -20,6 +20,12 @@ enum class Role { DataTransmitter, DataReceiver };
 
 const char* to_string(Role role);
 
+/// The ledger category a radio in (mode, role) drains while operating:
+/// who holds the carrier, who decodes, who reflects. This mapping is the
+/// single source of truth shared by BraidioRadio's own accounting and
+/// the fluid simulators' energy attribution.
+energy::EnergyCategory category_for(phy::LinkMode mode, Role role);
+
 class BraidioRadio {
  public:
   /// `table` must outlive the radio.
@@ -63,6 +69,9 @@ class BraidioRadio {
 
  private:
   energy::EnergyCategory active_category() const;
+  /// Attribution span label for the current state, "<mode>:<role>"
+  /// (e.g. "active@1M:tx") or "idle".
+  std::string state_label() const;
 
   std::string name_;
   std::uint8_t address_;

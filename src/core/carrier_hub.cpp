@@ -36,6 +36,9 @@ CarrierHub::CarrierHub(const RegimeMap& regimes, HubConfig config,
 }
 
 HubStats CarrierHub::run(std::uint64_t rounds) {
+  // Root attribution scope: hub-side and node-side drains both land
+  // under "hub/<node>/..." (the per-slot span below names the node).
+  BRAIDIO_ENERGY_SPAN(exchange_span, "hub");
   const auto& table = regimes_.table();
   BraidioRadio hub("hub", 0, config_.hub_battery_wh, table);
 
@@ -115,6 +118,7 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
       if (!node.alive) continue;
       scan_fault_edges();
       const auto& nc = node_configs_[i];
+      BRAIDIO_ENERGY_SPAN(slot_span, nc.name.c_str());
       // Enter the slot: both ends adopt the node's operating point.
       if (!hub.switch_to(node.point, Role::DataReceiver) ||
           !node.radio.switch_to(node.point, Role::DataTransmitter)) {

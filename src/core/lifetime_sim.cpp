@@ -4,11 +4,73 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/braidio_radio.hpp"
 #include "obs/obs.hpp"
 #include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::core {
+
+namespace {
+
+// Decompose a finished fluid run into attributed energy posts: per plan
+// entry, each side's per-bit cost times the bits that entry carried; the
+// remainder up to the plan's (overhead-adjusted) per-bit totals is the
+// amortized mode-switch cost. Posts carry no sim time — the fluid model
+// has no clock. Thread-safe: posts land in the caller thread's scoped
+// profile (or the mutex-guarded global one), never in simulator state.
+void post_lifetime_attribution(const LifetimeOutcome& outcome) {
+  obs::EnergySpan root("lifetime");
+  const double nan = obs::no_sim_time();
+  double d1 = 0.0, d2 = 0.0;
+  for (const auto& e : outcome.plan.entries) {
+    const double entry_bits = outcome.bits * e.fraction;
+    const double fwd_bits = e.reverse ? 0.5 * entry_bits : entry_bits;
+    {
+      obs::EnergySpan mode(e.candidate.label().c_str());
+      const double j1 = fwd_bits * e.candidate.tx_joules_per_bit();
+      const double j2 = fwd_bits * e.candidate.rx_joules_per_bit();
+      obs::post_energy(
+          energy::to_string(
+              category_for(e.candidate.mode, Role::DataTransmitter)),
+          j1, nan);
+      obs::post_energy(
+          energy::to_string(
+              category_for(e.candidate.mode, Role::DataReceiver)),
+          j2, nan);
+      d1 += j1;
+      d2 += j2;
+    }
+    if (e.reverse) {
+      obs::EnergySpan mode(e.reverse->label().c_str());
+      // Role swap: device 1 receives in the reverse leg.
+      const double j1 = 0.5 * entry_bits * e.reverse->rx_joules_per_bit();
+      const double j2 = 0.5 * entry_bits * e.reverse->tx_joules_per_bit();
+      obs::post_energy(
+          energy::to_string(
+              category_for(e.reverse->mode, Role::DataReceiver)),
+          j1, nan);
+      obs::post_energy(
+          energy::to_string(
+              category_for(e.reverse->mode, Role::DataTransmitter)),
+          j2, nan);
+      d1 += j1;
+      d2 += j2;
+    }
+  }
+  const double total1 = outcome.bits * outcome.plan.tx_joules_per_bit;
+  const double total2 = outcome.bits * outcome.plan.rx_joules_per_bit;
+  const double overhead =
+      std::max(0.0, total1 - d1) + std::max(0.0, total2 - d2);
+  if (overhead > 0.0) {
+    obs::EnergySpan amortized("switch-amortized");
+    obs::post_energy(
+        energy::to_string(energy::EnergyCategory::ModeSwitch), overhead,
+        nan);
+  }
+}
+
+}  // namespace
 
 LifetimeSimulator::LifetimeSimulator(const PowerTable& table,
                                      const phy::LinkBudget& budget)
@@ -118,6 +180,7 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
   }
   outcome.seconds = outcome.bits * plan_seconds_per_bit(outcome.plan);
   obs::count(obs::Counter::LifetimeRuns);
+  if (obs::attribution_enabled()) post_lifetime_attribution(outcome);
   // Lifetime monotonicity: a braid never moves fewer bits than the best
   // exclusive mode (the loop above falls back to it), and both outputs are
   // finite and non-negative.

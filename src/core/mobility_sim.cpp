@@ -81,6 +81,9 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
     throw std::invalid_argument("MobilitySimulator: bad replan interval");
   }
   MobilityOutcome outcome;
+  // Root attribution scope: every interval's drain lands under
+  // "walk/<device>/<dominant mode>/<category>".
+  BRAIDIO_ENERGY_SPAN(walk_span, "walk");
   double e1 = util::wh_to_joules(config.e1_wh);
   double e2 = util::wh_to_joules(config.e2_wh);
   const double e1_0 = e1, e2_0 = e2;
@@ -102,6 +105,11 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
                         to_string(sample.regime), t, d);
     obs::observe(obs::Histogram::DwellSeconds, dt);
 
+    // The interval's attribution: dominant mode label plus each side's
+    // drain category (overwritten by the braid branch below).
+    std::string interval_label = "no-link";
+    energy::EnergyCategory cat1 = energy::EnergyCategory::Idle;
+    energy::EnergyCategory cat2 = energy::EnergyCategory::Idle;
     const auto candidates = regimes_.available_best_rate(d);
     if (candidates.empty()) {
       // Out of range entirely: idle floor only.
@@ -140,6 +148,13 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
       outcome.total_bits += bits;
       e1 -= bits * plan.tx_joules_per_bit;
       e2 -= bits * plan.rx_joules_per_bit;
+      const PlanEntry* dominant = &plan.entries.front();
+      for (const auto& e : plan.entries) {
+        if (e.fraction > dominant->fraction) dominant = &e;
+      }
+      interval_label = dominant->candidate.label();
+      cat1 = category_for(dominant->candidate.mode, Role::DataTransmitter);
+      cat2 = category_for(dominant->candidate.mode, Role::DataReceiver);
     }
     // Bluetooth baseline on the same trace: works wherever its (active)
     // link works, same per-bit energies everywhere.
@@ -155,13 +170,21 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
     sample.bits_so_far = outcome.total_bits;
     sample.device1_joules_used = e1_0 - e1;
     sample.device2_joules_used = e2_0 - e2;
-    obs::count(obs::Counter::EnergyPosts, 2);
-    obs::observe(obs::Histogram::EnergyPostJoules, e1_before - e1);
-    obs::observe(obs::Histogram::EnergyPostJoules, e2_before - e2);
-    BRAIDIO_TRACE_EVENT(obs::EventType::EnergyPost, "device1", t + dt,
-                        e1_before - e1);
-    BRAIDIO_TRACE_EVENT(obs::EventType::EnergyPost, "device2", t + dt,
-                        e2_before - e2);
+    // Post each side's exact interval drain to the outcome ledger (the
+    // charge also emits the EnergyPost counter/histogram/trace hooks the
+    // interval used to post by hand) so the ledger — and under enabled
+    // attribution the span tree — sums to precisely what the batteries
+    // lost.
+    {
+      BRAIDIO_ENERGY_SPAN(device_span, "device1");
+      BRAIDIO_ENERGY_SPAN(mode_span, interval_label.c_str());
+      outcome.ledger.charge(cat1, e1_before - e1, t + dt);
+    }
+    {
+      BRAIDIO_ENERGY_SPAN(device_span, "device2");
+      BRAIDIO_ENERGY_SPAN(mode_span, interval_label.c_str());
+      outcome.ledger.charge(cat2, e2_before - e2, t + dt);
+    }
     BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd,
                         to_string(sample.regime), t + dt, dt);
     if (e1 <= 0.0 || e2 <= 0.0) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/lifetime_sim.hpp"
+#include "energy/ledger.hpp"
 #include "util/rng.hpp"
 
 namespace braidio::core {
@@ -73,6 +74,13 @@ struct MobilityOutcome {
   double bluetooth_d2_joules = 0.0;  // Bluetooth drain at device 2
   std::uint64_t replans = 0;
   std::uint64_t plan_changes = 0;  // replans that picked a different braid
+
+  /// Per-category accounting of every joule the braid drained (device1 +
+  /// device2, one charge per device per replan interval, categorized by
+  /// the interval's dominant mode). Sums exactly to device1_joules +
+  /// device2_joules — the attribution-conservation invariant obs_test
+  /// pins.
+  energy::EnergyLedger ledger;
 
   /// Throughput ratio over the window. Finite traces are usually
   /// *time*-limited, where braiding can even trail Bluetooth (low-bitrate

@@ -1,7 +1,7 @@
 #include "energy/ledger.hpp"
 
+#include <cmath>
 #include <sstream>
-#include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "util/contract.hpp"
@@ -25,13 +25,20 @@ const char* to_string(EnergyCategory category) {
 
 void EnergyLedger::charge(EnergyCategory category, double joules,
                           double sim_time_s) {
-  if (joules < 0.0) {
-    throw std::invalid_argument("EnergyLedger::charge: negative energy");
-  }
-  util::contract::check_nonneg_energy_j(joules, "EnergyLedger::charge");
+  // A NaN or negative posting would silently corrupt every downstream
+  // total (NaN compares false against 0, so a plain `< 0` check let it
+  // through); a non-finite timestamp would poison the power series. NaN
+  // sim_time_s stays legal — it is the documented "no sim time"
+  // sentinel.
+  BRAIDIO_REQUIRE(std::isfinite(joules) && joules >= 0.0, "joules",
+                  joules);
+  BRAIDIO_REQUIRE(std::isnan(sim_time_s) ||
+                      (std::isfinite(sim_time_s) && sim_time_s >= 0.0),
+                  "sim_time_s", sim_time_s);
   entries_[category] += joules;
   obs::count(obs::Counter::EnergyPosts);
   obs::observe(obs::Histogram::EnergyPostJoules, joules);
+  obs::post_energy(to_string(category), joules, sim_time_s);
   BRAIDIO_TRACE_EVENT(obs::EventType::EnergyPost, to_string(category),
                       sim_time_s, joules);
 }

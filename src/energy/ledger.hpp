@@ -28,9 +28,13 @@ const char* to_string(EnergyCategory category);
 
 class EnergyLedger {
  public:
-  /// Post `joules` (>= 0) against a category. `sim_time_s` is only used
-  /// for observability (the EnergyPost trace event); callers that do not
-  /// track simulated time leave it NaN.
+  /// Post `joules` against a category. Contract: `joules` must be finite
+  /// and >= 0, `sim_time_s` must be NaN (the "no sim time" sentinel for
+  /// callers that do not track simulated time) or finite and >= 0.
+  /// `sim_time_s` is only used for observability (the EnergyPost trace
+  /// event and the attributed power series). When energy attribution is
+  /// enabled (obs/span.hpp) every charge is also posted to the current
+  /// span path as `<spans>/<category>`.
   void charge(EnergyCategory category, double joules,
               double sim_time_s = std::numeric_limits<double>::quiet_NaN());
 

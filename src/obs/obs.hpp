@@ -5,6 +5,7 @@
 //   BRAIDIO_TRACE_EVENT(obs::EventType::ModeSwitch, label, sim_s, value);
 //   obs::count(obs::Counter::ArqRetries);
 //   obs::observe(obs::Histogram::DwellSeconds, dt);
+//   BRAIDIO_ENERGY_SPAN(scope, "data");  // energy attribution (span.hpp)
 //
 // BRAIDIO_TRACE_EVENT does NOT evaluate its arguments unless tracing is
 // enabled, so call sites may pass freshly-built strings
@@ -16,6 +17,7 @@
 #include "obs/event.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs_config.hpp"
+#include "obs/span.hpp"
 #include "obs/tracer.hpp"
 
 namespace braidio::obs {

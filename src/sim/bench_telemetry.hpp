@@ -1,0 +1,61 @@
+// Benchmark telemetry: the schema-versioned BENCH_<name>.json record.
+//
+// Every figure/ablation bench can distill its run into one small JSON
+// document — wall time, throughput, delivered bits per joule, the top
+// energy attributions, and the non-zero obs counters — so the repo keeps
+// a continuous, diffable performance history. tools/bench_compare.py
+// diffs a fresh record against the committed baseline under
+// bench/baselines/ (deterministic fields tightly, wall-clock fields
+// within a wide ratio band); the CI bench-baseline job uploads the
+// records as artifacts.
+//
+// Everything in the record except `wall_seconds` / `points_per_second`
+// is deterministic for a fixed scenario + seed + schema version (the
+// attribution and counter merges are flat-index-ordered, see
+// sweep_runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace braidio::sim {
+
+class ResultTable;
+
+/// Schema identifier embedded in (and required from) every record.
+inline constexpr const char* kBenchTelemetrySchema = "braidio-bench/v1";
+
+/// How many attribution paths (by descending joules) a record keeps.
+inline constexpr std::size_t kBenchTopAttributions = 8;
+
+struct BenchTelemetry {
+  std::string name;             // bench id, e.g. "fig15_gain_matrix"
+  std::size_t points = 0;       // grid points evaluated
+  unsigned threads = 0;         // worker threads used
+  double wall_seconds = 0.0;    // total sweep wall time (non-deterministic)
+  double points_per_second = 0.0;  // derived throughput (non-deterministic)
+  /// Representative delivered bits per joule for the scenario; NaN (the
+  /// default) renders as null for benches without a natural value.
+  double delivered_bits_per_joule;
+  /// Top attribution paths by joules (descending, ties by path).
+  std::vector<std::pair<std::string, double>> top_attributions;
+  /// Non-zero built-in obs counters from the merged registry.
+  std::map<std::string, std::uint64_t> counters;
+
+  BenchTelemetry();
+
+  /// Distill a finished sweep: points/threads/wall from the run metrics,
+  /// top attributions from the merged energy profile, counters from the
+  /// merged registry.
+  static BenchTelemetry from_table(const std::string& name,
+                                   const ResultTable& table);
+
+  /// The BENCH_<name>.json document (deterministic except wall_seconds /
+  /// points_per_second).
+  std::string to_json() const;
+};
+
+}  // namespace braidio::sim

@@ -132,7 +132,21 @@ std::string ResultTable::to_json_with_meta() const {
      << "    \"obs_compiled\": " << (BRAIDIO_OBS_COMPILED ? "true" : "false")
      << ",\n"
      << "    \"trace_enabled\": " << (obs::tracing() ? "true" : "false")
-     << "\n  },\n"
+     << ",\n";
+  // Truncated traces must be self-announcing: surface the tracer's total
+  // and per-lane drop counters next to the run metadata so a consumer of
+  // an exported trace can tell how much of it the rings overwrote.
+  const auto trace = obs::Tracer::instance().snapshot();
+  os << "    \"trace\": {\"recorded\": " << trace.total_recorded()
+     << ", \"dropped\": " << trace.total_dropped() << ", \"lanes\": [";
+  for (std::size_t i = 0; i < trace.lanes.size(); ++i) {
+    os << (i ? ", " : "") << "{\"lane\": " << trace.lanes[i].lane
+       << ", \"recorded\": " << trace.lanes[i].recorded
+       << ", \"dropped\": " << trace.lanes[i].dropped << "}";
+  }
+  os << "]},\n"
+     << "    \"energy_attribution_joules\": "
+     << energy_profile_.total_joules() << "\n  },\n"
      << "  \"metrics\": "
      << (metrics_registry_.empty() ? std::string("null\n")
                                    : metrics_registry_.to_json())

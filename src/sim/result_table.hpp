@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/scenario.hpp"
 #include "util/table.hpp"
 
@@ -75,6 +76,14 @@ class ResultTable {
     return metrics_registry_;
   }
 
+  /// Energy attribution the grid-point evaluations posted (obs/span.hpp),
+  /// merged in flat-index order like the metrics registry — byte-identical
+  /// for any thread count; empty unless obs::set_attribution_enabled(true)
+  /// was in effect during the sweep.
+  const obs::EnergyProfile& energy_profile() const {
+    return energy_profile_;
+  }
+
  private:
   friend class SweepRunner;
 
@@ -85,6 +94,7 @@ class ResultTable {
   std::vector<RunRecord> records_;
   std::vector<PointMetrics> metrics_;
   obs::MetricsRegistry metrics_registry_;
+  obs::EnergyProfile energy_profile_;
   unsigned threads_used_ = 1;
   double total_wall_seconds_ = 0.0;
 };

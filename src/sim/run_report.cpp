@@ -130,4 +130,26 @@ bool RunReport::export_trace(const std::string& name) {
   return json_ok && csv_ok;
 }
 
+void RunReport::profile(const obs::EnergyProfile& profile) {
+  if (profile.empty()) return;
+  *os_ << profile.tree_report();
+}
+
+bool RunReport::export_profile(const std::string& name,
+                               const obs::EnergyProfile& profile) {
+  if (profile.empty()) return true;
+  const bool json_ok =
+      export_artifact(name, ".energy.json", profile.to_json(), *os_);
+  const bool folded_ok =
+      export_artifact(name, ".folded", profile.to_collapsed_stack(), *os_);
+  const bool power_ok = export_artifact(name, ".power.json",
+                                        profile.to_chrome_counters(), *os_);
+  return json_ok && folded_ok && power_ok;
+}
+
+bool RunReport::export_bench(const BenchTelemetry& telemetry) {
+  return export_artifact("BENCH_" + telemetry.name, ".json",
+                         telemetry.to_json(), *os_);
+}
+
 }  // namespace braidio::sim

@@ -16,6 +16,8 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/bench_telemetry.hpp"
 #include "sim/result_table.hpp"
 #include "util/table.hpp"
 
@@ -76,6 +78,20 @@ class RunReport {
   /// No-op (returns true) when tracing is disabled or nothing was
   /// recorded.
   bool export_trace(const std::string& name);
+
+  /// Print an energy profile's attribution tree (no-op when empty).
+  void profile(const obs::EnergyProfile& profile);
+
+  /// Export an energy profile as <name>.energy.json (attribution +
+  /// series), <name>.folded (collapsed-stack flame graph), and
+  /// <name>.power.json (Chrome counter tracks) under BRAIDIO_CSV_DIR.
+  /// No-op (returns true) when the profile is empty.
+  bool export_profile(const std::string& name,
+                      const obs::EnergyProfile& profile);
+
+  /// Export a benchmark-telemetry record as BENCH_<name>.json under
+  /// BRAIDIO_CSV_DIR (schema kBenchTelemetrySchema).
+  bool export_bench(const BenchTelemetry& telemetry);
 
  private:
   std::ostream* os_;

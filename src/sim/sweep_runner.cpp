@@ -56,6 +56,9 @@ ResultTable SweepRunner::run(const Scenario& scenario) const {
   // order below — the merged registry is byte-identical for any thread
   // count, the same discipline as the per-point RNG streams.
   std::vector<obs::MetricsRegistry> point_metrics(n);
+  // Same discipline for energy attribution: one profile per grid point,
+  // merged in flat-index order.
+  std::vector<obs::EnergyProfile> point_profiles(n);
 
   const auto run_start = clock::now();
   pool.parallel_for(n, [&](std::size_t i) {
@@ -66,6 +69,7 @@ ResultTable SweepRunner::run(const Scenario& scenario) const {
     const auto t0 = clock::now();
     try {
       obs::ScopedMetrics scoped(&point_metrics[i]);
+      obs::ScopedEnergyProfile scoped_profile(&point_profiles[i]);
       table.records_[i] = scenario.evaluate(point);
       obs::count(obs::Counter::SweepPoints);
     } catch (...) {
@@ -88,6 +92,7 @@ ResultTable SweepRunner::run(const Scenario& scenario) const {
 
   for (std::size_t i = 0; i < n; ++i) {
     table.metrics_registry_.merge(point_metrics[i]);
+    table.energy_profile_.merge(point_profiles[i]);
   }
 
   BRAIDIO_ENSURE(table.records_.size() == n, "rows", table.records_.size());

@@ -6,6 +6,7 @@
 #include "energy/battery.hpp"
 #include "energy/device_catalog.hpp"
 #include "energy/ledger.hpp"
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::energy {
@@ -99,11 +100,36 @@ TEST(Ledger, AccumulatesByCategory) {
   EXPECT_DOUBLE_EQ(ledger.total_joules(), 2.25);
 }
 
-TEST(Ledger, RejectsNegativeCharges) {
+TEST(Ledger, NanSimTimeSentinelIsAccepted) {
+  // NaN sim time is the documented "caller tracks no sim time" sentinel;
+  // it must keep working (it is the charge() default argument).
   EnergyLedger ledger;
-  EXPECT_THROW(ledger.charge(EnergyCategory::Mcu, -1.0),
-               std::invalid_argument);
+  ledger.charge(EnergyCategory::Mcu, 1.0,
+                std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(ledger.total_joules(), 1.0);
 }
+
+#if BRAIDIO_CONTRACTS_ENABLED
+
+TEST(LedgerDeathTest, RejectsNegativeAndNonFiniteJoules) {
+  // A NaN posting used to slip through the old `joules < 0` throw check
+  // (NaN compares false) and silently poison every downstream total.
+  EnergyLedger ledger;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, -1.0), "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, nan), "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, inf), "REQUIRE");
+}
+
+TEST(LedgerDeathTest, RejectsNonFiniteOrNegativeSimTime) {
+  EnergyLedger ledger;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, 1.0, inf), "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, 1.0, -2.0), "REQUIRE");
+}
+
+#endif  // BRAIDIO_CONTRACTS_ENABLED
 
 TEST(Ledger, MergeAndClear) {
   EnergyLedger a, b;

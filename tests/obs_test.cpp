@@ -12,10 +12,19 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
+#include "core/mobility_sim.hpp"
+#include "energy/ledger.hpp"
 #include "obs/event.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/span.hpp"
 #include "obs/tracer.hpp"
+#include "phy/link_budget.hpp"
+#include "sim/bench_telemetry.hpp"
+#include "sim/faults/fault_timeline.hpp"
+#include "sim/faults/impairment.hpp"
 #include "sim/result_table.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep_runner.hpp"
@@ -539,6 +548,283 @@ TEST(SweepMetrics, MetricsGateStopsPosting) {
 
 #endif  // BRAIDIO_OBS_COMPILED
 
+// ---------------------------------------------------------------------
+// Energy-provenance profile (obs/span.hpp): the attributed value type,
+// the span/gate plumbing, the conservation invariant against the
+// EnergyLedger, and serial-vs-parallel merge determinism.
+// ---------------------------------------------------------------------
+TEST(EnergyProfile, PostsAccumulateAndFeedTheSeries) {
+  obs::EnergyProfile p;
+  p.set_bucket_seconds(0.5);
+  p.post("braid/device1/active-tx", 1.0, 0.1);
+  p.post("braid/device1/active-tx", 2.0, 0.6);  // second bucket
+  p.post("braid/device2/carrier", 4.0, obs::no_sim_time());  // no series
+  EXPECT_DOUBLE_EQ(p.total_joules(), 7.0);
+  EXPECT_EQ(p.total_posts(), 3u);
+  ASSERT_EQ(p.entries().count("braid/device1/active-tx"), 1u);
+  EXPECT_DOUBLE_EQ(p.entries().at("braid/device1/active-tx").joules, 3.0);
+  EXPECT_EQ(p.entries().at("braid/device1/active-tx").posts, 2u);
+  // The series key is the first two path segments; NaN sim time counts
+  // toward the totals but never the series.
+  const auto& series = p.series().at("braid/device1");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[1], 2.0);
+  EXPECT_EQ(p.series().count("braid/device2"), 0u);
+  EXPECT_EQ(p.series_skipped(), 0u);
+}
+
+TEST(EnergyProfile, MergeAddsSlotWiseAndSeriesElementWise) {
+  obs::EnergyProfile a, b;
+  a.post("x/y/c1", 1.0, 0.0);
+  b.post("x/y/c1", 2.0, 0.0);
+  b.post("x/y/c2", 4.0, 2.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_joules(), 7.0);
+  EXPECT_DOUBLE_EQ(a.entries().at("x/y/c1").joules, 3.0);
+  const auto& series = a.series().at("x/y");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 3.0);
+  EXPECT_DOUBLE_EQ(series[2], 4.0);
+}
+
+TEST(EnergyProfile, JsonAndCollapsedStackParseBackAndConserve) {
+  obs::EnergyProfile p;
+  p.post("braid/data/device1/active@1M:tx/active-tx", 1.25e-3, 0.0);
+  p.post("braid/data/device2/passive@1M:rx/passive-rx", 2.5e-4, 0.25);
+  p.post("hub/node3/carrier", 3.125e-2, 1.5);
+
+  const std::string json = p.to_json();
+  EXPECT_EQ(json, p.to_json());  // stable rendering
+  const auto doc = parse_json(json);
+  EXPECT_EQ(doc.at("schema").string, "braidio-energy-profile/v1");
+  EXPECT_NEAR(doc.at("total_joules").number, p.total_joules(), 1e-15);
+  EXPECT_EQ(doc.at("attributions").array.size(), 3u);
+  EXPECT_EQ(doc.at("total_posts").number, 3.0);
+
+  // Collapsed stack: "seg;seg <nanojoules>" per path; the integer nJ
+  // values must conserve the profile total to per-line rounding.
+  const std::string folded = p.to_collapsed_stack();
+  std::int64_t total_nj = 0;
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < folded.size()) {
+    const std::size_t eol = folded.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::size_t space = folded.rfind(' ', eol);
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_EQ(folded.find('/', pos), std::string::npos)
+        << "paths must be ';'-separated";
+    total_nj += std::stoll(folded.substr(space + 1, eol - space - 1));
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NEAR(static_cast<double>(total_nj) * 1e-9, p.total_joules(),
+              1e-9 * static_cast<double>(lines));
+}
+
+TEST(EnergyProfileDeathTest, RejectsBadPostsAndMismatchedMerge) {
+#if BRAIDIO_CONTRACTS_ENABLED
+  obs::EnergyProfile p;
+  EXPECT_DEATH(p.post("", 1.0, 0.0), "REQUIRE");
+  EXPECT_DEATH(p.post("a/b", -1.0, 0.0), "REQUIRE");
+  obs::EnergyProfile narrow, wide;
+  narrow.set_bucket_seconds(0.5);
+  narrow.post("a/b/c", 1.0, 0.0);
+  wide.post("a/b/c", 1.0, 0.0);
+  EXPECT_DEATH(narrow.merge(wide), "REQUIRE");
+#else
+  GTEST_SKIP() << "contracts disabled";
+#endif
+}
+
+#if BRAIDIO_OBS_COMPILED
+
+TEST(EnergySpan, DisabledMacroSkipsLabelAndGateStopsPosting) {
+  obs::set_attribution_enabled(false);
+  obs::reset_global_energy_profile();
+  int evaluated = 0;
+  const auto label = [&]() {
+    ++evaluated;
+    return "never";
+  };
+  {
+    BRAIDIO_ENERGY_SPAN(span, label());
+    obs::post_energy("active-tx", 1.0, 0.0);
+  }
+  // The macro must not evaluate its label while attribution is off, and
+  // the gated hook must not post.
+  EXPECT_EQ(evaluated, 0);
+  EXPECT_TRUE(obs::global_energy_profile_snapshot().empty());
+}
+
+TEST(EnergySpan, LedgerChargesAreTaggedWithTheSanitizedSpanPath) {
+  obs::reset_global_energy_profile();
+  obs::set_attribution_enabled(true);
+  {
+    BRAIDIO_ENERGY_SPAN(exchange, "unit test");  // ' ' -> '_'
+    BRAIDIO_ENERGY_SPAN(device, "device1");
+    energy::EnergyLedger ledger;
+    ledger.charge(energy::EnergyCategory::ActiveTx, 2.0, 1.0);
+  }
+  obs::set_attribution_enabled(false);
+  const auto profile = obs::global_energy_profile_snapshot();
+  obs::reset_global_energy_profile();
+  ASSERT_EQ(profile.entries().count("unit_test/device1/active-tx"), 1u)
+      << profile.to_json();
+  EXPECT_DOUBLE_EQ(
+      profile.entries().at("unit_test/device1/active-tx").joules, 2.0);
+  EXPECT_DOUBLE_EQ(profile.total_joules(), 2.0);
+}
+
+// The conservation invariant the issue pins: the attributed span tree
+// must sum to the ledger total for a mobility walk...
+TEST(EnergyAttribution, MobilityWalkConservesLedgerTotal) {
+  obs::set_attribution_enabled(true);
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::MobilitySimulator sim(table, budget);
+  const auto trace =
+      core::MobilityTrace::random_walk(0.3, 3.0, 1.4, 120.0, 7);
+  core::MobilitySimConfig cfg;
+  obs::EnergyProfile profile;
+  core::MobilityOutcome outcome;
+  {
+    obs::ScopedEnergyProfile scoped(&profile);
+    outcome = sim.run(trace, cfg);
+  }
+  obs::set_attribution_enabled(false);
+  ASSERT_FALSE(profile.empty());
+  const double ledger_total = outcome.ledger.total_joules();
+  ASSERT_GT(ledger_total, 0.0);
+  // Same charges, grouped by path vs by category: only float summation
+  // order differs.
+  EXPECT_NEAR(profile.total_joules(), ledger_total, 1e-9 * ledger_total);
+  // And the outcome ledger itself accounts for every drained joule.
+  EXPECT_NEAR(ledger_total,
+              outcome.device1_joules + outcome.device2_joules,
+              1e-9 * ledger_total);
+}
+
+// ...and for a braid run under an injected fault schedule (retransmission
+// and fallback paths post through the same spans).
+TEST(EnergyAttribution, FaultedBraidConservesDeviceLedgers) {
+  obs::set_attribution_enabled(true);
+  core::PowerTable table;
+  phy::LinkBudget budget;
+  core::RegimeMap regimes(table, budget);
+  core::BraidioRadio device1("device1", 1, 0.01, table);
+  core::BraidioRadio device2("device2", 2, 0.01, table);
+  const auto timeline = sim::faults::FaultTimeline::periodic_bursts(
+      sim::faults::FaultKind::FadeBurst, /*count=*/3,
+      /*first_start_s=*/0.02, /*period_s=*/0.2, /*duration_s=*/0.05,
+      /*magnitude=*/14.0);
+  const sim::faults::ImpairmentSchedule schedule(timeline);
+  core::BraidedLinkConfig cfg;
+  cfg.distance_m = 0.5;
+  cfg.impairments = &schedule;
+  core::BraidedLink link(device1, device2, regimes, cfg);
+  obs::EnergyProfile profile;
+  core::BraidedLinkStats stats;
+  {
+    obs::ScopedEnergyProfile scoped(&profile);
+    stats = link.run(512);
+  }
+  obs::set_attribution_enabled(false);
+  ASSERT_GT(stats.fault_activations, 0u);
+  ASSERT_FALSE(profile.empty());
+  const double ledger_total =
+      device1.ledger().total_joules() + device2.ledger().total_joules();
+  ASSERT_GT(ledger_total, 0.0);
+  EXPECT_NEAR(profile.total_joules(), ledger_total, 1e-9 * ledger_total);
+  // Every path follows the span grammar rooted at the braid exchange.
+  for (const auto& [path, slot] : profile.entries()) {
+    EXPECT_EQ(path.rfind("braid/", 0), 0u) << path;
+  }
+}
+
+sim::Scenario attributed_scenario(std::size_t points) {
+  return sim::Scenario(
+      "obs_energy", {sim::Axis::indexed("point", points)}, {"value"},
+      [](sim::SweepPoint& p) {
+        const std::string device =
+            "dev" + std::to_string(p.flat_index() % 3);
+        BRAIDIO_ENERGY_SPAN(exchange, "sweep");
+        BRAIDIO_ENERGY_SPAN(span, device.c_str());
+        energy::EnergyLedger ledger;
+        ledger.charge(energy::EnergyCategory::ActiveTx,
+                      1e-6 * static_cast<double>(p.flat_index() + 1),
+                      0.5 * static_cast<double>(p.flat_index()));
+        ledger.charge(energy::EnergyCategory::Mcu, 1e-9,
+                      obs::no_sim_time());
+        sim::RunRecord record;
+        record.cells = {std::to_string(p.flat_index())};
+        record.numbers = {static_cast<double>(p.flat_index())};
+        return record;
+      });
+}
+
+TEST(SweepEnergyProfile, MergedProfileIsIdenticalSerialVsParallel) {
+  obs::set_attribution_enabled(true);
+  const std::size_t points = 64;
+  const auto scenario = attributed_scenario(points);
+
+  sim::SweepOptions serial;
+  serial.threads = 1;
+  const auto reference = sim::SweepRunner(serial).run(scenario);
+  const std::string expected = reference.energy_profile().to_json();
+  // Conservation across the whole sweep: sum of the arithmetic series
+  // plus the per-point MCU tick.
+  const double posted =
+      1e-6 * static_cast<double>(points * (points + 1) / 2) +
+      1e-9 * static_cast<double>(points);
+  EXPECT_NEAR(reference.energy_profile().total_joules(), posted,
+              1e-12 * posted);
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    sim::SweepOptions options;
+    options.threads = threads;
+    const auto parallel = sim::SweepRunner(options).run(scenario);
+    EXPECT_EQ(parallel.energy_profile().to_json(), expected) << threads;
+  }
+  obs::set_attribution_enabled(false);
+}
+
+TEST(BenchTelemetry, RoundTripsThroughJsonWithTopAttributions) {
+  obs::set_attribution_enabled(true);
+  sim::SweepOptions options;
+  options.threads = 2;
+  const auto table = sim::SweepRunner(options).run(attributed_scenario(8));
+  obs::set_attribution_enabled(false);
+
+  auto telemetry = sim::BenchTelemetry::from_table("unit_bench", table);
+  EXPECT_TRUE(std::isnan(telemetry.delivered_bits_per_joule));
+  const auto doc = parse_json(telemetry.to_json());
+  EXPECT_EQ(doc.at("schema").string, sim::kBenchTelemetrySchema);
+  EXPECT_EQ(doc.at("name").string, "unit_bench");
+  EXPECT_EQ(doc.at("points").number, 8.0);
+  // NaN has no JSON rendering: the field degrades to null.
+  EXPECT_EQ(doc.at("delivered_bits_per_joule").kind,
+            JsonValue::Kind::Null);
+  EXPECT_EQ(doc.at("counters").at("sweep_points").number, 8.0);
+  const auto& tops = doc.at("top_attributions").array;
+  ASSERT_FALSE(tops.empty());
+  EXPECT_LE(tops.size(), sim::kBenchTopAttributions);
+  for (std::size_t i = 1; i < tops.size(); ++i) {
+    EXPECT_GE(tops[i - 1].at("joules").number,
+              tops[i].at("joules").number);
+  }
+
+  telemetry.delivered_bits_per_joule = 42.5;
+  EXPECT_DOUBLE_EQ(
+      parse_json(telemetry.to_json())
+          .at("delivered_bits_per_joule").number,
+      42.5);
+}
+
+#endif  // BRAIDIO_OBS_COMPILED
+
 TEST(ResultTableMeta, JsonWithMetaParsesBackAndEmbedsRunInfo) {
   const auto scenario = sim::Scenario(
       "meta_demo", {sim::Axis::indexed("i", 4)}, {"v"},
@@ -561,6 +847,16 @@ TEST(ResultTableMeta, JsonWithMetaParsesBackAndEmbedsRunInfo) {
   EXPECT_GE(doc.at("meta").at("wall_seconds").number, 0.0);
   EXPECT_EQ(doc.at("meta").at("obs_compiled").kind,
             JsonValue::Kind::Bool);
+  // Truncated traces must be self-announcing: the envelope carries the
+  // tracer's recorded/dropped totals and the per-lane split.
+  const auto& trace = doc.at("meta").at("trace");
+  EXPECT_GE(trace.at("recorded").number, 0.0);
+  EXPECT_GE(trace.at("dropped").number, 0.0);
+  EXPECT_EQ(trace.at("lanes").kind, JsonValue::Kind::Array);
+  for (const auto& lane : trace.at("lanes").array) {
+    EXPECT_GE(lane.at("recorded").number, lane.at("dropped").number);
+  }
+  EXPECT_GE(doc.at("meta").at("energy_attribution_joules").number, 0.0);
   EXPECT_EQ(doc.at("data").at("rows").array.size(), 4u);
   // The deterministic rendering must stay free of run metadata.
   EXPECT_EQ(table.to_json().find("wall"), std::string::npos);

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<name>.json telemetry records against a committed baseline.
+
+Usage:
+
+    python3 tools/bench_compare.py BASELINE CURRENT [BASELINE CURRENT ...]
+        [--tol-rel 1e-6] [--tol-perf 8.0] [--soft]
+
+Each (BASELINE, CURRENT) pair is a schema "braidio-bench/v1" record
+(sim/bench_telemetry.hpp). Fields split into two classes:
+
+* Deterministic fields — schema, name, points, delivered bits/J,
+  counters, and the top energy attributions — are the simulation's
+  contract. They must match the baseline exactly (strings, counters) or
+  within --tol-rel (floats; default 1e-6, room for libm variation across
+  toolchains, nothing more).
+
+* Performance fields — wall_seconds and points_per_second — vary with
+  the machine. They only need to stay within a factor of --tol-perf of
+  the baseline (default 8x, wide enough for a loaded CI runner; tighten
+  locally to hunt regressions). `threads` is machine-dependent and only
+  reported, never compared.
+
+Exit code 1 on any mismatch unless --soft is given, which reports all
+findings but exits 0 (CI's report-only mode while a baseline beds in).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_compare: {path}: expected a JSON object")
+    return doc
+
+
+def rel_close(a: float, b: float, tol: float) -> bool:
+    if a == b:  # covers exact zeros
+        return True
+    return abs(a - b) <= tol * max(abs(a), abs(b))
+
+
+class Comparison:
+    """Accumulates findings for one (baseline, current) pair."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.findings: list[str] = []
+
+    def fail(self, message: str) -> None:
+        self.findings.append(message)
+
+    def check_equal(self, field: str, base, cur) -> None:
+        if base != cur:
+            self.fail(f"{field}: baseline {base!r} != current {cur!r}")
+
+    def check_rel(self, field: str, base, cur, tol: float) -> None:
+        if base is None and cur is None:  # NaN renders as null
+            return
+        if base is None or cur is None:
+            self.fail(f"{field}: baseline {base!r} vs current {cur!r}")
+            return
+        if not rel_close(float(base), float(cur), tol):
+            self.fail(f"{field}: baseline {base} vs current {cur} "
+                      f"(rel tol {tol})")
+
+    def check_ratio(self, field: str, base, cur, factor: float) -> None:
+        base, cur = float(base), float(cur)
+        if base <= 0.0 or cur <= 0.0:
+            return  # sub-resolution timings carry no signal
+        ratio = cur / base
+        if ratio > factor or ratio < 1.0 / factor:
+            self.fail(f"{field}: {cur:.6g} is {ratio:.2f}x the baseline "
+                      f"{base:.6g} (allowed factor {factor})")
+
+
+def compare(base: dict, cur: dict, args) -> Comparison:
+    c = Comparison(str(base.get("name", "?")))
+
+    for field in ("schema", "name", "points"):
+        c.check_equal(field, base.get(field), cur.get(field))
+
+    c.check_rel("delivered_bits_per_joule",
+                base.get("delivered_bits_per_joule"),
+                cur.get("delivered_bits_per_joule"), args.tol_rel)
+
+    base_counters = base.get("counters", {})
+    cur_counters = cur.get("counters", {})
+    for key in sorted(set(base_counters) | set(cur_counters)):
+        c.check_equal(f"counters.{key}", base_counters.get(key),
+                      cur_counters.get(key))
+
+    base_tops = {t["path"]: t["joules"]
+                 for t in base.get("top_attributions", [])}
+    cur_tops = {t["path"]: t["joules"]
+                for t in cur.get("top_attributions", [])}
+    c.check_equal("top_attributions.paths", sorted(base_tops),
+                  sorted(cur_tops))
+    for path in sorted(set(base_tops) & set(cur_tops)):
+        c.check_rel(f"top_attributions[{path}].joules", base_tops[path],
+                    cur_tops[path], args.tol_rel)
+
+    for field in ("wall_seconds", "points_per_second"):
+        c.check_ratio(field, base.get(field, 0.0), cur.get(field, 0.0),
+                      args.tol_perf)
+    return c
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+                        help="alternating baseline/current record paths")
+    parser.add_argument("--tol-rel", type=float, default=1e-6,
+                        help="relative tolerance for deterministic floats")
+    parser.add_argument("--tol-perf", type=float, default=8.0,
+                        help="allowed wall-time/throughput ratio factor")
+    parser.add_argument("--soft", action="store_true",
+                        help="report findings but always exit 0")
+    args = parser.parse_args()
+
+    if len(args.files) % 2 != 0:
+        parser.error("need an even number of paths "
+                     "(BASELINE CURRENT pairs)")
+    if args.tol_rel < 0 or args.tol_perf < 1.0:
+        parser.error("--tol-rel must be >= 0 and --tol-perf >= 1.0")
+
+    failed = False
+    for base_path, cur_path in zip(args.files[0::2], args.files[1::2]):
+        c = compare(load(base_path), load(cur_path), args)
+        if c.findings:
+            failed = True
+            print(f"[bench_compare] {c.name}: {len(c.findings)} "
+                  f"mismatch(es) ({base_path} vs {cur_path})")
+            for finding in c.findings:
+                print(f"  - {finding}")
+        else:
+            print(f"[bench_compare] {c.name}: OK "
+                  f"({base_path} vs {cur_path})")
+
+    if failed and args.soft:
+        print("[bench_compare] --soft: reporting only, exiting 0")
+        return 0
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
