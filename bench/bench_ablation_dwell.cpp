@@ -21,8 +21,9 @@ int main(int argc, char** argv) {
   phy::LinkBudget budget;
   core::LifetimeSimulator sim(table, budget);
 
-  const double e1 = util::wh_to_joules(0.26);  // Fuel Band
-  const double e2 = util::wh_to_joules(0.26);  // symmetric: braid of 2 modes
+  // Fuel Band; symmetric: braid of 2 modes.
+  const auto e1 = util::to_joules(util::WattHours(0.26));
+  const auto e2 = util::to_joules(util::WattHours(0.26));
 
   core::LifetimeConfig base;
   base.distance_m = 0.5;

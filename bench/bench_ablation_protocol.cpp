@@ -6,6 +6,7 @@
 #include "core/braided_link.hpp"
 #include "core/lifetime_sim.hpp"
 #include "util/table.hpp"
+#include "util/units.hpp"
 
 int main() {
   using namespace braidio;
@@ -18,10 +19,10 @@ int main() {
   util::TablePrinter out({"payload [B]", "delivery", "J/bit phone",
                           "J/bit watch", "overhead vs fluid"});
   for (std::size_t payload : {8u, 32u, 128u, 512u}) {
-    core::BraidioRadio a("phone", 1, 6.55, table);
-    core::BraidioRadio b("watch", 2, 0.78, table);
-    const double e1 = a.battery().remaining_joules();
-    const double e2 = b.battery().remaining_joules();
+    core::BraidioRadio a("phone", 1, util::WattHours(6.55), table);
+    core::BraidioRadio b("watch", 2, util::WattHours(0.78), table);
+    const auto e1 = util::Joules(a.battery().remaining_joules());
+    const auto e2 = util::Joules(b.battery().remaining_joules());
     core::BraidedLinkConfig cfg;
     cfg.distance_m = 0.4;
     cfg.payload_bytes = payload;
@@ -33,10 +34,10 @@ int main() {
     fluid.distance_m = 0.4;
     const auto outcome = sim.braidio(e1, e2, fluid);
 
-    const double d1 =
-        (e1 - a.battery().remaining_joules()) / stats.payload_bits_delivered;
-    const double d2 =
-        (e2 - b.battery().remaining_joules()) / stats.payload_bits_delivered;
+    const double d1 = (e1.value() - a.battery().remaining_joules()) /
+                      stats.payload_bits_delivered;
+    const double d2 = (e2.value() - b.battery().remaining_joules()) /
+                      stats.payload_bits_delivered;
     out.add_row({std::to_string(payload),
                  util::format_fixed(100.0 * stats.delivery_ratio(), 1) + " %",
                  util::format_scientific(d1, 3),
@@ -55,8 +56,8 @@ int main() {
               "1.0x. The paper's lifetime numbers assume the fluid limit.");
 
   // Energy breakdown of one session.
-  core::BraidioRadio a("phone", 1, 6.55, table);
-  core::BraidioRadio b("watch", 2, 0.78, table);
+  core::BraidioRadio a("phone", 1, util::WattHours(6.55), table);
+  core::BraidioRadio b("watch", 2, util::WattHours(0.78), table);
   core::BraidedLinkConfig cfg;
   cfg.distance_m = 0.4;
   core::BraidedLink link(a, b, regimes, cfg);

@@ -15,7 +15,7 @@ int main() {
   bench::header("Extension", "M-QAM backscatter: rate/energy vs range");
 
   phy::QamTagModel tag;
-  const double symbol_rate = 1e6;
+  const util::Hertz symbol_rate{1e6};
   const double bpsk_range = 0.9;  // the calibrated backscatter@1M range
 
   util::TablePrinter out({"order", "bitrate", "tag pJ/bit",

@@ -41,9 +41,9 @@ int main() {
   const auto fsk = phy::FskSubcarrierModem(fsk_cfg).modulate(
       phy::random_bits(1024, 7));
 
-  const auto psd_nrz = phy::welch_psd(nrz, fs);
-  const auto psd_man = phy::welch_psd(manchester, fs);
-  const auto psd_fsk = phy::welch_psd(fsk, fs);
+  const auto psd_nrz = phy::welch_psd(nrz, util::Hertz(fs));
+  const auto psd_man = phy::welch_psd(manchester, util::Hertz(fs));
+  const auto psd_fsk = phy::welch_psd(fsk, util::Hertz(fs));
 
   // Coarse PSD table (log-spaced bands).
   util::TablePrinter out({"band", "NRZ OOK", "Manchester", "FSK subcarrier"});
@@ -75,7 +75,7 @@ int main() {
 
   // A high-pass at a tenth of the bit rate (what a low-bitrate link's
   // self-interference filter looks like relative to its data band).
-  const double corner = 100e3;
+  const util::Hertz corner{100e3};
   bench::check_line(
       "signal power below bitrate/10 (lost to the HP)",
       "NRZ >> Manchester ~ FSK",

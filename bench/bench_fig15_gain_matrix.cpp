@@ -30,12 +30,12 @@ int main(int argc, char** argv) {
 
   // Representative delivered bits/J for the telemetry record: the
   // phone -> watch braid, total bits over both batteries.
-  const double e1 =
-      util::wh_to_joules(energy::find_device("iPhone 6S")->battery_wh);
-  const double e2 =
-      util::wh_to_joules(energy::find_device("Apple Watch")->battery_wh);
+  const auto e1 = util::to_joules(
+      util::WattHours(energy::find_device("iPhone 6S")->battery_wh));
+  const auto e2 = util::to_joules(
+      util::WattHours(energy::find_device("Apple Watch")->battery_wh));
   const double bits_per_joule =
-      sim.braidio(e1, e2, cfg).bits / (e1 + e2);
+      sim.braidio(e1, e2, cfg).bits / (e1.value() + e2.value());
 
   const auto results = bench::run_gain_matrix(
       report, "fig15_gain_matrix", bench::sweep_options(argc, argv),

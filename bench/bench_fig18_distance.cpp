@@ -66,10 +66,10 @@ int main(int argc, char** argv) {
 
   // Representative delivered bits/J: the close-range phone -> watch braid.
   {
-    const double e1 = util::wh_to_joules(phone.battery_wh);
-    const double e2 = util::wh_to_joules(watch.battery_wh);
+    const auto e1 = util::to_joules(util::WattHours(phone.battery_wh));
+    const auto e2 = util::to_joules(util::WattHours(watch.battery_wh));
     const double bits_per_joule =
-        sim.braidio(e1, e2, near_cfg).bits / (e1 + e2);
+        sim.braidio(e1, e2, near_cfg).bits / (e1.value() + e2.value());
     bench::export_bench_telemetry(report, "fig18_distance", out,
                                   bits_per_joule);
   }

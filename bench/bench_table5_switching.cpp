@@ -39,7 +39,8 @@ int main() {
   with.distance_m = 0.5;
   core::LifetimeConfig without = with;
   without.include_switch_overhead = false;
-  const double e1 = util::wh_to_joules(0.78), e2 = util::wh_to_joules(6.55);
+  const auto e1 = util::to_joules(util::WattHours(0.78));
+  const auto e2 = util::to_joules(util::WattHours(6.55));
   const double loss = 1.0 - sim.braidio(e1, e2, with).bits /
                                 sim.braidio(e1, e2, without).bits;
   bench::check_line("lifetime impact at ~100 s dwells",

@@ -50,8 +50,9 @@ int main(int argc, char** argv) {
         const auto& s = sensors[p.axis_index(0)];
         // Each point builds its own radios: BraidedLink mutates both ends,
         // so no state is shared between concurrent evaluations.
-        core::BraidioRadio node(s.name, 1, s.battery_wh, table);
-        core::BraidioRadio hub("hub", 2, 99.5, table);
+        core::BraidioRadio node(s.name, 1, util::WattHours(s.battery_wh),
+                                table);
+        core::BraidioRadio hub("hub", 2, util::WattHours(99.5), table);
         const double e0 = node.battery().remaining_joules();
 
         core::BraidedLinkConfig cfg;

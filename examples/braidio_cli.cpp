@@ -192,8 +192,10 @@ int cmd_braid(const std::vector<std::string>& args,
   core::PowerTable table;
   phy::LinkBudget budget;
   core::RegimeMap regimes(table, budget);
-  core::BraidioRadio device1("device1", 1, e1_wh, table);
-  core::BraidioRadio device2("device2", 2, e2_wh, table);
+  core::BraidioRadio device1("device1", 1, util::WattHours(e1_wh),
+                             table);
+  core::BraidioRadio device2("device2", 2, util::WattHours(e2_wh),
+                             table);
   core::BraidedLinkConfig cfg;
   cfg.distance_m = d;
   cfg.bidirectional = bidir;
@@ -249,8 +251,10 @@ int cmd_profile(const std::vector<std::string>& args,
   core::PowerTable table;
   phy::LinkBudget budget;
   core::RegimeMap regimes(table, budget);
-  core::BraidioRadio device1("device1", 1, e1_wh, table);
-  core::BraidioRadio device2("device2", 2, e2_wh, table);
+  core::BraidioRadio device1("device1", 1, util::WattHours(e1_wh),
+                             table);
+  core::BraidioRadio device2("device2", 2, util::WattHours(e2_wh),
+                             table);
   core::BraidedLinkConfig cfg;
   cfg.distance_m = d;
   cfg.bidirectional = bidir;
@@ -309,8 +313,8 @@ int cmd_lifetime(const std::vector<std::string>& args) {
   core::PowerTable table;
   phy::LinkBudget budget;
   core::LifetimeSimulator sim(table, budget);
-  const double e1 = util::wh_to_joules(tx->battery_wh);
-  const double e2 = util::wh_to_joules(rx->battery_wh);
+  const auto e1 = util::to_joules(util::WattHours(tx->battery_wh));
+  const auto e2 = util::to_joules(util::WattHours(rx->battery_wh));
   const auto outcome = sim.braidio(e1, e2, cfg);
 
   util::TablePrinter out({"radio", "total bits", "duration", "plan"});

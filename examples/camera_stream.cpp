@@ -23,8 +23,8 @@ int main() {
 
   const auto camera = *energy::find_device("Pivothead");
   const auto laptop = *energy::find_device("MacBook Pro 15");
-  const double e_cam = util::wh_to_joules(camera.battery_wh);
-  const double e_lap = util::wh_to_joules(laptop.battery_wh);
+  const auto e_cam = util::to_joules(util::WattHours(camera.battery_wh));
+  const auto e_lap = util::to_joules(util::WattHours(laptop.battery_wh));
 
   std::cout << "Pivothead (" << camera.battery_wh << " Wh) streaming to "
             << laptop.name << " (" << laptop.battery_wh << " Wh)\n\n";

@@ -32,14 +32,14 @@ int main(int argc, char** argv) {
   core::MobilitySimulator mobility(table, budget);
 
   core::MobilitySimConfig cfg;
-  cfg.e1_wh = 6.55;  // iPhone 6S transmits
-  cfg.e2_wh = 0.78;  // Apple Watch receives
-  cfg.replan_interval_s = 1.0;
+  cfg.e1 = util::WattHours(6.55);  // iPhone 6S transmits
+  cfg.e2 = util::WattHours(0.78);  // Apple Watch receives
+  cfg.replan_interval = util::Seconds(1.0);
 
   auto walk_trace = [](std::uint64_t seed) {
     // 2 minutes of wandering between arm's length and across the room.
-    return core::MobilityTrace::random_walk(0.3, 5.5, /*speed=*/1.4,
-                                            /*duration=*/120.0, seed);
+    return core::MobilityTrace::random_walk(
+        0.3, 5.5, /*speed=*/1.4, util::Seconds(/*duration=*/120.0), seed);
   };
 
   const std::size_t walks = 8;

@@ -19,25 +19,28 @@ int main() {
   core::RegimeMap regimes(table, budget);
 
   // 2. Two devices 0.5 m apart: a phone transfers a file to a smartwatch.
-  core::BraidioRadio phone("phone", /*address=*/1, /*battery_wh=*/6.55,
-                           table);
-  core::BraidioRadio watch("watch", /*address=*/2, /*battery_wh=*/0.78,
-                           table);
+  core::BraidioRadio phone("phone", /*address=*/1,
+                           util::WattHours(6.55), table);
+  core::BraidioRadio watch("watch", /*address=*/2,
+                           util::WattHours(0.78), table);
 
   // 3. What does the offload plan look like before we move any data?
   core::LifetimeSimulator sim(table, budget);
   core::LifetimeConfig cfg;
   cfg.distance_m = 0.5;
-  const auto outcome = sim.braidio(phone.battery().remaining_joules(),
-                                   watch.battery().remaining_joules(), cfg);
+  const auto outcome =
+      sim.braidio(util::Joules(phone.battery().remaining_joules()),
+                  util::Joules(watch.battery().remaining_joules()), cfg);
   std::cout << "Offload plan: " << outcome.plan.summary() << '\n'
             << "  phone drains " << outcome.plan.tx_joules_per_bit * 1e9
             << " nJ/bit, watch " << outcome.plan.rx_joules_per_bit * 1e9
             << " nJ/bit\n"
             << "  bits before a battery dies: " << outcome.bits << " ("
-            << outcome.bits / sim.bluetooth_bits(
-                                  phone.battery().remaining_joules(),
-                                  watch.battery().remaining_joules(), false)
+            << outcome.bits /
+                   sim.bluetooth_bits(
+                       util::Joules(phone.battery().remaining_joules()),
+                       util::Joules(watch.battery().remaining_joules()),
+                       false)
             << "x Bluetooth)\n\n";
 
   // 4. Actually run a packetized session (probes, ARQ, mode switching).

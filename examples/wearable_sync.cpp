@@ -27,8 +27,8 @@ int main() {
 
   const auto band = *energy::find_device("Nike Fuel Band");
   const auto phone = *energy::find_device("iPhone 6S");
-  const double e_band = util::wh_to_joules(band.battery_wh);
-  const double e_phone = util::wh_to_joules(phone.battery_wh);
+  const auto e_band = util::to_joules(util::WattHours(band.battery_wh));
+  const auto e_phone = util::to_joules(util::WattHours(phone.battery_wh));
 
   core::LifetimeConfig cfg;
   cfg.distance_m = 0.4;  // wrist to pocket
@@ -43,8 +43,8 @@ int main() {
                           "days of radio budget"});
   auto row = [&](const std::string& name, double joules) {
     out.add_row({name, util::format_fixed(joules, 3) + " J",
-                 util::format_fixed(100.0 * joules / e_band, 2) + " %",
-                 util::format_fixed(e_band / joules, 0)});
+                 util::format_fixed(100.0 * joules / e_band.value(), 2) + " %",
+                 util::format_fixed(e_band.value() / joules, 0)});
   };
   row("Bluetooth", bt_j);
   row("Braidio", braidio_j);
@@ -57,8 +57,10 @@ int main() {
   // Run one sync session through the packetized protocol to confirm the
   // plan is achievable with real framing/ARQ.
   core::RegimeMap regimes(table, budget);
-  core::BraidioRadio a("band", 1, band.battery_wh, table);
-  core::BraidioRadio b("phone", 2, phone.battery_wh, table);
+  core::BraidioRadio a("band", 1, util::WattHours(band.battery_wh),
+                       table);
+  core::BraidioRadio b("phone", 2, util::WattHours(phone.battery_wh),
+                       table);
   core::BraidedLinkConfig link_cfg;
   link_cfg.distance_m = cfg.distance_m;
   link_cfg.payload_bytes = 256;

@@ -36,7 +36,7 @@ BraidedLink::BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
       rng_(config.seed),
       channel_(regimes.budget(),
                {config.distance_m, config.block_fading, config.extra_loss_db,
-                config.coherence_time_s},
+                config.coherence_time.value()},
                util::Rng(config.seed ^ 0xC3A5C85C97CB3127ull)) {
   if (config_.packets_per_slot == 0) {
     throw std::invalid_argument("BraidedLink: packets_per_slot must be >= 1");
@@ -46,9 +46,10 @@ BraidedLink::BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
     throw std::invalid_argument(
         "BraidedLink: fallback hysteresis slot counts must be >= 1");
   }
-  if (!(config_.ack_timeout_s >= 0.0) || !(config_.backoff_base_s >= 0.0)) {
+  if (!(config_.ack_timeout.value() >= 0.0) ||
+      !(config_.backoff_base.value() >= 0.0)) {
     throw std::invalid_argument(
-        "BraidedLink: ack_timeout_s / backoff_base_s must be >= 0");
+        "BraidedLink: ack_timeout / backoff_base must be >= 0");
   }
   if (!(config_.backoff_jitter >= 0.0) || config_.backoff_jitter >= 1.0) {
     throw std::invalid_argument(
@@ -64,19 +65,22 @@ ModeCandidate BraidedLink::active_point() const {
                                     rate.value_or(phy::Bitrate::k10));
 }
 
-double BraidedLink::ack_timeout_s(const ModeCandidate& point) const {
-  if (config_.ack_timeout_s > 0.0) return config_.ack_timeout_s;
+util::Seconds BraidedLink::ack_timeout(const ModeCandidate& point) const {
+  if (config_.ack_timeout.value() > 0.0) return config_.ack_timeout;
   // Auto: the sender must stay in receive for at least one ACK airtime at
   // the operating rate plus the peer's half-duplex turnaround before it can
   // declare the exchange lost.
   mac::Frame ack;
   ack.type = mac::FrameType::Ack;
-  return mac::PacketChannel::airtime_s(ack, point.rate) + kTurnaroundS;
+  return util::Seconds(mac::PacketChannel::airtime_s(ack, point.rate) +
+                       kTurnaroundS);
 }
 
-double BraidedLink::backoff_s(const ModeCandidate& point, unsigned attempt) {
-  const double base = config_.backoff_base_s > 0.0 ? config_.backoff_base_s
-                                                   : ack_timeout_s(point);
+util::Seconds BraidedLink::backoff(const ModeCandidate& point,
+                                   unsigned attempt) {
+  const double base = config_.backoff_base.value() > 0.0
+                          ? config_.backoff_base.value()
+                          : ack_timeout(point).value();
   const unsigned doublings =
       std::min(attempt > 0 ? attempt - 1 : 0u, config_.backoff_max_doublings);
   const double factor = std::ldexp(1.0, static_cast<int>(doublings));
@@ -85,7 +89,7 @@ double BraidedLink::backoff_s(const ModeCandidate& point, unsigned attempt) {
           ? rng_.uniform(1.0 - config_.backoff_jitter,
                          1.0 + config_.backoff_jitter)
           : 1.0;
-  return base * factor * jitter;
+  return util::Seconds(base * factor * jitter);
 }
 
 void BraidedLink::apply_fault_edges() {
@@ -111,17 +115,17 @@ void BraidedLink::apply_fault_edges() {
       faults_applied_to_s_, now, sim::faults::kTargetA);
   const double b_joules = schedule->brownout_joules(
       faults_applied_to_s_, now, sim::faults::kTargetB);
-  if (a_joules > 0.0) a_.battery().drain(a_joules);
-  if (b_joules > 0.0) b_.battery().drain(b_joules);
+  if (a_joules > 0.0) a_.battery().drain(util::Joules(a_joules));
+  if (b_joules > 0.0) b_.battery().drain(util::Joules(b_joules));
   if (a_.battery().empty() || b_.battery().empty()) dead_ = true;
   faults_applied_to_s_ = now;
 }
 
-bool BraidedLink::spend(const ModeCandidate& point, double seconds) {
-  stats_.mode_airtime_s[point.label()] += seconds;
-  stats_.elapsed_s += seconds;
-  const bool a_ok = a_.advance(seconds);
-  const bool b_ok = b_.advance(seconds);
+bool BraidedLink::spend(const ModeCandidate& point, util::Seconds elapsed) {
+  stats_.mode_airtime_s[point.label()] += elapsed.value();
+  stats_.elapsed_s += elapsed.value();
+  const bool a_ok = a_.advance(elapsed);
+  const bool b_ok = b_.advance(elapsed);
   if (!a_ok || !b_ok) {
     dead_ = true;
     return false;
@@ -139,11 +143,11 @@ bool BraidedLink::send_control(mac::FrameType type,
                                 std::move(payload));
   for (unsigned attempt = 0; attempt < 4 && !dead_; ++attempt) {
     apply_fault_edges();
-    if (attempt > 0 && !spend(point, backoff_s(point, attempt))) return false;
+    if (attempt > 0 && !spend(point, backoff(point, attempt))) return false;
     ++stats_.control_frames;
     const double air = mac::PacketChannel::airtime_s(frame, point.rate);
-    if (!spend(point, air + kTurnaroundS)) return false;
-    channel_.set_clock(stats_.elapsed_s);
+    if (!spend(point, util::Seconds(air + kTurnaroundS))) return false;
+    channel_.set_clock(util::Seconds(stats_.elapsed_s));
     if (channel_.transmit(frame, point.mode, point.rate)) return true;
   }
   return false;
@@ -276,9 +280,9 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
       // first-attempt delivery cost — attribute it separately.
       BRAIDIO_ENERGY_SPAN(arq_span,
                           sender.attempts() > 0 ? "arq-retx" : nullptr);
-      if (!spend(point, air + kTurnaroundS)) break;
+      if (!spend(point, util::Seconds(air + kTurnaroundS))) break;
     }
-    channel_.set_clock(stats_.elapsed_s);
+    channel_.set_clock(util::Seconds(stats_.elapsed_s));
     const auto arrived = channel_.transmit(*frame, point.mode, point.rate);
     bool acked = false;
     if (arrived) {
@@ -286,8 +290,8 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
       if (result.ack) {
         const double ack_air =
             mac::PacketChannel::airtime_s(*result.ack, point.rate);
-        if (!spend(point, ack_air + kTurnaroundS)) break;
-        channel_.set_clock(stats_.elapsed_s);
+        if (!spend(point, util::Seconds(ack_air + kTurnaroundS))) break;
+        channel_.set_clock(util::Seconds(stats_.elapsed_s));
         const auto ack_arrived =
             channel_.transmit(*result.ack, point.mode, point.rate);
         if (ack_arrived && sender.on_ack(*ack_arrived)) {
@@ -311,7 +315,7 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
     // is exactly what lossy links cost and that was previously uncharged.
     {
       BRAIDIO_ENERGY_SPAN(arq_span, "arq-timeout");
-      if (!spend(point, ack_timeout_s(point))) break;
+      if (!spend(point, ack_timeout(point))) break;
     }
     if (!sender.on_timeout()) break;  // retry budget exhausted, no retry
     // A retransmission is actually going to happen; wait out the jittered
@@ -319,7 +323,7 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
     ++stats_.retransmissions;
     {
       BRAIDIO_ENERGY_SPAN(arq_span, "arq-backoff");
-      if (!spend(point, backoff_s(point, sender.attempts()))) break;
+      if (!spend(point, backoff(point, sender.attempts()))) break;
     }
   }
   if (!dead_) ++stats_.data_packets_dropped;

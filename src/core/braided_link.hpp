@@ -39,6 +39,7 @@
 #include "mac/packet_channel.hpp"
 #include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace braidio::core {
 
@@ -58,27 +59,27 @@ struct BraidedLinkConfig {
   /// behavior where one bad slot ping-pongs the plan.
   unsigned fallback_trigger_slots = 2;
   unsigned fallback_recovery_slots = 2;
-  /// Listen window [s] the sender is charged while waiting for an ACK
+  /// Listen window the sender is charged while waiting for an ACK
   /// that never arrives (data frame or ACK lost). 0 = auto: one ACK
   /// airtime at the operating rate plus the half-duplex turnaround. The
   /// seed charged nothing here, undercharging lossy links and inflating
   /// long-distance lifetimes.
-  double ack_timeout_s = 0.0;
-  /// Exponential-backoff base [s] waited before an ARQ retransmission or
+  util::Seconds ack_timeout{0.0};
+  /// Exponential-backoff base waited before an ARQ retransmission or
   /// a control-plane retry: base * 2^min(attempt-1, max_doublings),
   /// jittered uniformly by +/- backoff_jitter. 0 = auto (the ACK-timeout
   /// window).
-  double backoff_base_s = 0.0;
+  util::Seconds backoff_base{0.0};
   unsigned backoff_max_doublings = 4;
   double backoff_jitter = 0.5;  // in [0, 1)
   /// Extra path loss [dB] applied mid-run, for failure-injection tests.
   double extra_loss_db = 0.0;
   bool block_fading = false;
-  /// Block-fade coherence time [s] handed to the packet channel. > 0
+  /// Block-fade coherence time handed to the packet channel. > 0
   /// keeps the fade coherent across a data+ACK exchange (the physically
   /// honest model); 0 restores the seed's independent per-transmission
   /// redraw. Only meaningful with block_fading.
-  double coherence_time_s = 5e-3;
+  util::Seconds coherence_time{5e-3};
   /// Alternate transfer direction packet-by-packet with an equal data
   /// split (the Fig. 17 traffic pattern); plans come from
   /// OffloadPlanner::plan_bidirectional and each schedule slot carries a
@@ -137,9 +138,9 @@ class BraidedLink {
   void replan();
   bool send_control(mac::FrameType type, std::vector<std::uint8_t> payload,
                     const ModeCandidate& point);
-  /// Charge both radios for `seconds` in `point`; `a_transmits` selects
-  /// the role split. Returns false when a battery dies.
-  bool spend(const ModeCandidate& point, double seconds);
+  /// Charge both radios for `elapsed` time in `point`; `a_transmits`
+  /// selects the role split. Returns false when a battery dies.
+  bool spend(const ModeCandidate& point, util::Seconds elapsed);
   /// One ARQ exchange in the given direction over `point`. Returns true
   /// when the payload was delivered and acked.
   bool transfer_packet(const ModeCandidate& point, bool forward,
@@ -148,9 +149,9 @@ class BraidedLink {
   /// Build the slot-level schedule realizing the plan fractions.
   std::vector<SlotEntry> build_schedule() const;
   /// The ACK-timeout listen window for `point` (config or auto-derived).
-  double ack_timeout_s(const ModeCandidate& point) const;
+  util::Seconds ack_timeout(const ModeCandidate& point) const;
   /// Jittered exponential backoff before retry `attempt` (1-based).
-  double backoff_s(const ModeCandidate& point, unsigned attempt);
+  util::Seconds backoff(const ModeCandidate& point, unsigned attempt);
   /// Consume fault-schedule edges up to the current sim time: trace
   /// activations, apply distance jumps and battery brownouts.
   void apply_fault_edges();

@@ -12,10 +12,11 @@ const char* to_string(Role role) {
 }
 
 BraidioRadio::BraidioRadio(std::string name, std::uint8_t address,
-                           double battery_wh, const PowerTable& table)
+                           util::WattHours battery_capacity,
+                           const PowerTable& table)
     : name_(std::move(name)),
       address_(address),
-      battery_(battery_wh),
+      battery_(battery_capacity),
       table_(table) {}
 
 double BraidioRadio::power_draw_w() const {
@@ -59,11 +60,12 @@ bool BraidioRadio::switch_to(const ModeCandidate& candidate, Role role) {
     const auto& overhead = table_.switch_overhead(candidate.mode);
     const double cost = role == Role::DataTransmitter ? overhead.tx_joules
                                                       : overhead.rx_joules;
-    const double taken = battery_.drain(cost);
+    const double taken = battery_.drain(util::Joules(cost)).value();
     {
       BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
       BRAIDIO_ENERGY_SPAN(switch_span, phy::to_string(candidate.mode));
-      ledger_.charge(energy::EnergyCategory::ModeSwitch, taken, clock_s_);
+      ledger_.charge(energy::EnergyCategory::ModeSwitch, util::Joules(taken),
+                     util::Seconds(clock_s_));
     }
     ++switches_;
     obs::count(obs::Counter::ModeSwitches);
@@ -87,17 +89,19 @@ void BraidioRadio::go_idle() {
   role_.reset();
 }
 
-bool BraidioRadio::advance(double seconds) {
+bool BraidioRadio::advance(util::Seconds elapsed) {
+  const double seconds = elapsed.value();
   if (seconds < 0.0) {
     throw std::invalid_argument("BraidioRadio::advance: negative time");
   }
   const double want = power_draw_w() * seconds;
-  const double taken = battery_.drain(want);
+  const double taken = battery_.drain(util::Joules(want)).value();
   clock_s_ += seconds;
   {
     BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
     BRAIDIO_ENERGY_SPAN(state_span, state_label().c_str());
-    ledger_.charge(active_category(), taken, clock_s_);
+    ledger_.charge(active_category(), util::Joules(taken),
+                   util::Seconds(clock_s_));
   }
   if (taken < want) {
     obs::count(obs::Counter::BatteryDeaths);

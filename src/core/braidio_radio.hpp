@@ -13,6 +13,7 @@
 #include "core/power_table.hpp"
 #include "energy/battery.hpp"
 #include "energy/ledger.hpp"
+#include "util/units.hpp"
 
 namespace braidio::core {
 
@@ -29,8 +30,8 @@ energy::EnergyCategory category_for(phy::LinkMode mode, Role role);
 class BraidioRadio {
  public:
   /// `table` must outlive the radio.
-  BraidioRadio(std::string name, std::uint8_t address, double battery_wh,
-               const PowerTable& table);
+  BraidioRadio(std::string name, std::uint8_t address,
+               util::WattHours battery_capacity, const PowerTable& table);
 
   const std::string& name() const { return name_; }
   std::uint8_t address() const { return address_; }
@@ -54,9 +55,10 @@ class BraidioRadio {
   /// Leave the link (sleep).
   void go_idle();
 
-  /// Spend `seconds` in the current state; drains the battery and posts the
-  /// ledger. Returns false when the battery empties (radio goes idle).
-  bool advance(double seconds);
+  /// Spend `elapsed` time in the current state; drains the battery and
+  /// posts the ledger. Returns false when the battery empties (radio goes
+  /// idle).
+  bool advance(util::Seconds elapsed);
 
   /// Simulated seconds accumulated over every advance() so far. Stamped
   /// onto this radio's trace events (ModeSwitch, EnergyPost, ...).

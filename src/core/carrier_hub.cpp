@@ -40,7 +40,7 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
   // under "hub/<node>/..." (the per-slot span below names the node).
   BRAIDIO_ENERGY_SPAN(exchange_span, "hub");
   const auto& table = regimes_.table();
-  BraidioRadio hub("hub", 0, config_.hub_battery_wh, table);
+  BraidioRadio hub("hub", 0, util::WattHours(config_.hub_battery_wh), table);
 
   struct NodeState {
     BraidioRadio radio;
@@ -62,7 +62,8 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
     if (candidates.empty()) {
       throw std::runtime_error("CarrierHub: node out of range: " + nc.name);
     }
-    BraidioRadio radio(nc.name, address, nc.battery_wh, table);
+    BraidioRadio radio(nc.name, address, util::WattHours(nc.battery_wh),
+                       table);
     const auto plan = OffloadPlanner::plan(
         candidates, radio.battery().remaining_joules(),
         hub.battery().remaining_joules());
@@ -142,14 +143,14 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
               mac::PacketChannel::airtime_s(*frame, node.point.rate);
           const double slot_time = air + kTurnaroundS;
           stats.elapsed_s += slot_time;
-          const bool node_ok = node.radio.advance(slot_time);
-          const bool hub_ok = hub.advance(slot_time);
+          const bool node_ok = node.radio.advance(util::Seconds(slot_time));
+          const bool hub_ok = hub.advance(util::Seconds(slot_time));
           if (!node_ok || !hub_ok) {
             node.alive = !node.radio.battery().empty();
             done = true;
             break;
           }
-          node.channel.set_clock(stats.elapsed_s);
+          node.channel.set_clock(util::Seconds(stats.elapsed_s));
           const auto arrived =
               node.channel.transmit(*frame, node.point.mode,
                                     node.point.rate);
@@ -160,13 +161,13 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
               const double ack_air = mac::PacketChannel::airtime_s(
                   *result.ack, node.point.rate);
               stats.elapsed_s += ack_air + kTurnaroundS;
-              if (!node.radio.advance(ack_air + kTurnaroundS) ||
-                  !hub.advance(ack_air + kTurnaroundS)) {
+              if (!node.radio.advance(util::Seconds(ack_air + kTurnaroundS)) ||
+                  !hub.advance(util::Seconds(ack_air + kTurnaroundS))) {
                 node.alive = !node.radio.battery().empty();
                 done = true;
                 break;
               }
-              node.channel.set_clock(stats.elapsed_s);
+              node.channel.set_clock(util::Seconds(stats.elapsed_s));
               const auto ack_arrived = node.channel.transmit(
                   *result.ack, node.point.mode, node.point.rate);
               if (ack_arrived && node.sender.on_ack(*ack_arrived)) {

@@ -139,8 +139,10 @@ double LifetimeSimulator::plan_seconds_per_bit(const OffloadPlan& plan) {
   return s;
 }
 
-LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
+LifetimeOutcome LifetimeSimulator::braidio(util::Joules e1, util::Joules e2,
                                            const LifetimeConfig& config) const {
+  const double e1_joules = e1.value();
+  const double e2_joules = e2.value();
   const auto candidates = candidates_at(config.distance_m);
   LifetimeOutcome outcome;
   outcome.plan =
@@ -156,7 +158,7 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
   // almost exclusively uses a single mode").
   for (const auto& c : candidates) {
     const double single =
-        single_mode_bits(c, e1_joules, e2_joules, config.bidirectional);
+        single_mode_bits(c, e1, e2, config.bidirectional);
     best_single = std::max(best_single, single);
     if (single > outcome.bits) {
       outcome.bits = single;
@@ -191,33 +193,33 @@ LifetimeOutcome LifetimeSimulator::braidio(double e1_joules, double e2_joules,
   return outcome;
 }
 
-double LifetimeSimulator::bluetooth_bits(double e1_joules, double e2_joules,
+double LifetimeSimulator::bluetooth_bits(util::Joules e1, util::Joules e2,
                                          bool bidirectional) const {
   return bidirectional
-             ? bluetooth_.bits_until_depletion_bidirectional(e1_joules,
-                                                             e2_joules)
-             : bluetooth_.bits_until_depletion(e1_joules, e2_joules);
+             ? bluetooth_.bits_until_depletion_bidirectional(e1.value(),
+                                                             e2.value())
+             : bluetooth_.bits_until_depletion(e1.value(), e2.value());
 }
 
 double LifetimeSimulator::single_mode_bits(const ModeCandidate& candidate,
-                                           double e1_joules, double e2_joules,
+                                           util::Joules e1, util::Joules e2,
                                            bool bidirectional) const {
   const double t = candidate.tx_joules_per_bit();
   const double r = candidate.rx_joules_per_bit();
   if (!bidirectional) {
-    return std::min(e1_joules / t, e2_joules / r);
+    return std::min(e1.value() / t, e2.value() / r);
   }
   const double per_end = 0.5 * (t + r);
-  return std::min(e1_joules, e2_joules) / per_end;
+  return std::min(e1.value(), e2.value()) / per_end;
 }
 
 double LifetimeSimulator::best_single_mode_bits(
-    double e1_joules, double e2_joules, const LifetimeConfig& config) const {
+    util::Joules e1, util::Joules e2, const LifetimeConfig& config) const {
   const auto candidates = candidates_at(config.distance_m);
   double best = 0.0;
   for (const auto& c : candidates) {
-    best = std::max(best, single_mode_bits(c, e1_joules, e2_joules,
-                                           config.bidirectional));
+    best =
+        std::max(best, single_mode_bits(c, e1, e2, config.bidirectional));
   }
   return best;
 }
@@ -225,8 +227,8 @@ double LifetimeSimulator::best_single_mode_bits(
 double LifetimeSimulator::gain_vs_bluetooth(
     const energy::DeviceSpec& tx, const energy::DeviceSpec& rx,
     const LifetimeConfig& config) const {
-  const double e1 = util::wh_to_joules(tx.battery_wh);
-  const double e2 = util::wh_to_joules(rx.battery_wh);
+  const auto e1 = util::to_joules(util::WattHours(tx.battery_wh));
+  const auto e2 = util::to_joules(util::WattHours(rx.battery_wh));
   const double braid = braidio(e1, e2, config).bits;
   const double bt = bluetooth_bits(e1, e2, config.bidirectional);
   const double gain = braid / bt;
@@ -237,8 +239,8 @@ double LifetimeSimulator::gain_vs_bluetooth(
 double LifetimeSimulator::gain_vs_best_mode(
     const energy::DeviceSpec& tx, const energy::DeviceSpec& rx,
     const LifetimeConfig& config) const {
-  const double e1 = util::wh_to_joules(tx.battery_wh);
-  const double e2 = util::wh_to_joules(rx.battery_wh);
+  const auto e1 = util::to_joules(util::WattHours(tx.battery_wh));
+  const auto e2 = util::to_joules(util::WattHours(rx.battery_wh));
   const double braid = braidio(e1, e2, config).bits;
   const double best = best_single_mode_bits(e1, e2, config);
   return braid / best;

@@ -17,6 +17,7 @@
 #include "core/offload.hpp"
 #include "core/regimes.hpp"
 #include "energy/device_catalog.hpp"
+#include "util/units.hpp"
 
 namespace braidio::core {
 
@@ -45,21 +46,22 @@ class LifetimeSimulator {
   /// Both references must outlive the simulator.
   LifetimeSimulator(const PowerTable& table, const phy::LinkBudget& budget);
 
-  /// Braidio with energy-aware carrier offload.
-  LifetimeOutcome braidio(double e1_joules, double e2_joules,
+  /// Braidio with energy-aware carrier offload. `e1`/`e2` are the two
+  /// devices' energy budgets (device 1 transmits the data).
+  LifetimeOutcome braidio(util::Joules e1, util::Joules e2,
                           const LifetimeConfig& config) const;
 
   /// Bluetooth baseline (same traffic pattern).
-  double bluetooth_bits(double e1_joules, double e2_joules,
+  double bluetooth_bits(util::Joules e1, util::Joules e2,
                         bool bidirectional) const;
 
   /// A single (mode, bitrate) used exclusively.
-  double single_mode_bits(const ModeCandidate& candidate, double e1_joules,
-                          double e2_joules, bool bidirectional) const;
+  double single_mode_bits(const ModeCandidate& candidate, util::Joules e1,
+                          util::Joules e2, bool bidirectional) const;
 
   /// Best single mode available at the configured distance (Fig. 16
   /// baseline).
-  double best_single_mode_bits(double e1_joules, double e2_joules,
+  double best_single_mode_bits(util::Joules e1, util::Joules e2,
                                const LifetimeConfig& config) const;
 
   /// Convenience gains used by the matrix/figure benches. Devices are taken

@@ -31,8 +31,10 @@ MobilityTrace::MobilityTrace(std::vector<Waypoint> waypoints)
 
 MobilityTrace MobilityTrace::random_walk(double min_distance_m,
                                          double max_distance_m,
-                                         double speed_mps, double duration_s,
+                                         double speed_mps,
+                                         util::Seconds duration,
                                          std::uint64_t seed) {
+  const double duration_s = duration.value();
   if (!(min_distance_m >= 0.0) || !(max_distance_m > min_distance_m) ||
       !(speed_mps > 0.0) || !(duration_s > 0.0)) {
     throw std::invalid_argument("random_walk: bad parameters");
@@ -55,7 +57,8 @@ MobilityTrace MobilityTrace::random_walk(double min_distance_m,
   return MobilityTrace(std::move(points));
 }
 
-double MobilityTrace::distance_at(double time_s) const {
+double MobilityTrace::distance_at(util::Seconds time) const {
+  const double time_s = time.value();
   if (time_s <= 0.0) return waypoints_.front().distance_m;
   if (time_s >= waypoints_.back().time_s) {
     return waypoints_.back().distance_m;
@@ -77,25 +80,26 @@ MobilitySimulator::MobilitySimulator(const PowerTable& table,
 
 MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
                                        const MobilitySimConfig& config) const {
-  if (!(config.replan_interval_s > 0.0)) {
+  const double replan_interval_s = config.replan_interval.value();
+  if (!(replan_interval_s > 0.0)) {
     throw std::invalid_argument("MobilitySimulator: bad replan interval");
   }
   MobilityOutcome outcome;
   // Root attribution scope: every interval's drain lands under
   // "walk/<device>/<dominant mode>/<category>".
   BRAIDIO_ENERGY_SPAN(walk_span, "walk");
-  double e1 = util::wh_to_joules(config.e1_wh);
-  double e2 = util::wh_to_joules(config.e2_wh);
+  double e1 = util::wh_to_joules(config.e1.value());
+  double e2 = util::wh_to_joules(config.e2.value());
   const double e1_0 = e1, e2_0 = e2;
   double bt1 = e1, bt2 = e2;  // independent budget for the BT baseline
   baseline::BluetoothRadioModel bluetooth;
 
   std::string last_plan;
   for (double t = 0.0; t < trace.duration_s() && e1 > 0.0 && e2 > 0.0;
-       t += config.replan_interval_s) {
+       t += replan_interval_s) {
     const double dt =
-        std::min(config.replan_interval_s, trace.duration_s() - t);
-    const double d = trace.distance_at(t);
+        std::min(replan_interval_s, trace.duration_s() - t);
+    const double d = trace.distance_at(util::Seconds(t));
     const double e1_before = e1, e2_before = e2;
     MobilitySample sample;
     sample.time_s = t;
@@ -178,12 +182,14 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
     {
       BRAIDIO_ENERGY_SPAN(device_span, "device1");
       BRAIDIO_ENERGY_SPAN(mode_span, interval_label.c_str());
-      outcome.ledger.charge(cat1, e1_before - e1, t + dt);
+      outcome.ledger.charge(cat1, util::Joules(e1_before - e1),
+                            util::Seconds(t + dt));
     }
     {
       BRAIDIO_ENERGY_SPAN(device_span, "device2");
       BRAIDIO_ENERGY_SPAN(mode_span, interval_label.c_str());
-      outcome.ledger.charge(cat2, e2_before - e2, t + dt);
+      outcome.ledger.charge(cat2, util::Joules(e2_before - e2),
+                            util::Seconds(t + dt));
     }
     BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd,
                         to_string(sample.regime), t + dt, dt);
@@ -197,8 +203,8 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
   }
   outcome.device1_joules = e1_0 - e1;
   outcome.device2_joules = e2_0 - e2;
-  outcome.bluetooth_d1_joules = util::wh_to_joules(config.e1_wh) - bt1;
-  outcome.bluetooth_d2_joules = util::wh_to_joules(config.e2_wh) - bt2;
+  outcome.bluetooth_d1_joules = util::wh_to_joules(config.e1.value()) - bt1;
+  outcome.bluetooth_d2_joules = util::wh_to_joules(config.e2.value()) - bt2;
   return outcome;
 }
 

@@ -16,6 +16,7 @@
 #include "core/lifetime_sim.hpp"
 #include "energy/ledger.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace braidio::core {
 
@@ -34,10 +35,11 @@ class MobilityTrace {
   /// at walking speed, changing direction at random dwell points.
   static MobilityTrace random_walk(double min_distance_m,
                                    double max_distance_m, double speed_mps,
-                                   double duration_s, std::uint64_t seed);
+                                   util::Seconds duration,
+                                   std::uint64_t seed);
 
   /// Linear interpolation; clamped to the last waypoint beyond the end.
-  double distance_at(double time_s) const;
+  double distance_at(util::Seconds time) const;
 
   double duration_s() const { return waypoints_.back().time_s; }
   const std::vector<Waypoint>& waypoints() const { return waypoints_; }
@@ -47,9 +49,9 @@ class MobilityTrace {
 };
 
 struct MobilitySimConfig {
-  double e1_wh = 0.78;   // data transmitter battery
-  double e2_wh = 6.55;   // data receiver battery
-  double replan_interval_s = 1.0;
+  util::WattHours e1{0.78};  // data transmitter battery
+  util::WattHours e2{6.55};  // data receiver battery
+  util::Seconds replan_interval{1.0};
   bool bidirectional = false;
 };
 

@@ -26,7 +26,8 @@ double DutyCycleListener::expected_latency_s(double duty) const {
   return 0.5 * (period - on_time_s);
 }
 
-double DutyCycleListener::duty_for_latency(double latency_s) const {
+double DutyCycleListener::duty_for_latency(util::Seconds latency) const {
+  const double latency_s = latency.value();
   if (!(latency_s >= 0.0)) {
     throw std::domain_error("DutyCycleListener: negative latency");
   }
@@ -46,7 +47,7 @@ double PassiveWakeupListener::expected_latency_s() const {
 double equal_latency_power_ratio(const DutyCycleListener& active,
                                  const PassiveWakeupListener& passive) {
   const double target = passive.expected_latency_s();
-  const double duty = active.duty_for_latency(target);
+  const double duty = active.duty_for_latency(util::Seconds(target));
   return active.average_power_w(duty) / passive.average_power_w();
 }
 

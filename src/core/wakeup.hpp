@@ -16,6 +16,8 @@
 //     airtime.
 #pragma once
 
+#include "util/units.hpp"
+
 namespace braidio::core {
 
 struct DutyCycleListener {
@@ -28,7 +30,7 @@ struct DutyCycleListener {
   /// Expected rendezvous latency against a continuously beaconing peer.
   double expected_latency_s(double duty) const;
   /// Duty cycle needed to hit a target latency.
-  double duty_for_latency(double latency_s) const;
+  double duty_for_latency(util::Seconds latency) const;
 };
 
 struct PassiveWakeupListener {

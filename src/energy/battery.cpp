@@ -22,8 +22,8 @@ double checked_capacity_j(double capacity_wh) {
 }
 }  // namespace
 
-Battery::Battery(double capacity_wh)
-    : capacity_j_(checked_capacity_j(capacity_wh)),
+Battery::Battery(util::WattHours capacity)
+    : capacity_j_(checked_capacity_j(capacity.value())),
       remaining_j_(capacity_j_) {}
 
 double Battery::capacity_wh() const { return util::joules_to_wh(capacity_j_); }
@@ -37,7 +37,8 @@ double Battery::fraction_remaining() const {
                                            "Battery::fraction_remaining");
 }
 
-double Battery::drain(double joules) {
+util::Joules Battery::drain(util::Joules request) {
+  const double joules = request.value();
   if (joules < 0.0) throw std::invalid_argument("Battery::drain: negative");
   util::contract::check_nonneg_energy_j(joules, "Battery::drain");
   const double taken = std::min(joules, remaining_j_);
@@ -45,13 +46,16 @@ double Battery::drain(double joules) {
   // The reservoir can never go negative or above capacity.
   BRAIDIO_INVARIANT(0.0 <= remaining_j_ && remaining_j_ <= capacity_j_,
                     "remaining_j", remaining_j_, "capacity_j", capacity_j_);
-  return taken;
+  return util::Joules(taken);
 }
 
-double Battery::seconds_at(double watts) const {
+util::Seconds Battery::seconds_at(util::Watts draw) const {
+  const double watts = draw.value();
   if (watts < 0.0) throw std::invalid_argument("Battery::seconds_at: negative");
-  if (watts == 0.0) return std::numeric_limits<double>::infinity();
-  return remaining_j_ / watts;
+  if (watts == 0.0) {
+    return util::Seconds(std::numeric_limits<double>::infinity());
+  }
+  return util::Seconds(remaining_j_ / watts);
 }
 
 void Battery::recharge() { remaining_j_ = capacity_j_; }

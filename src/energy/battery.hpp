@@ -6,14 +6,14 @@
 // paper's simulator makes the same simplification.
 #pragma once
 
-#include <string>
+#include "util/units.hpp"
 
 namespace braidio::energy {
 
 class Battery {
  public:
-  /// Construct a full battery with the given capacity in watt-hours (> 0).
-  explicit Battery(double capacity_wh);
+  /// Construct a full battery with the given capacity (> 0 Wh).
+  explicit Battery(util::WattHours capacity);
 
   /// Capacity in joules / watt-hours.
   double capacity_joules() const { return capacity_j_; }
@@ -28,13 +28,13 @@ class Battery {
 
   bool empty() const { return remaining_j_ <= 0.0; }
 
-  /// Drain `joules` (>= 0). Returns the energy actually drained, which is
-  /// less than requested only when the battery empties.
-  double drain(double joules);
+  /// Drain `request` (>= 0). Returns the energy actually drained, which
+  /// is less than requested only when the battery empties.
+  util::Joules drain(util::Joules request);
 
-  /// Seconds this battery can sustain a constant power draw [W]; +inf for
-  /// zero draw.
-  double seconds_at(double watts) const;
+  /// Time this battery can sustain a constant power draw; +inf for zero
+  /// draw.
+  util::Seconds seconds_at(util::Watts draw) const;
 
   /// Refill to capacity.
   void recharge();

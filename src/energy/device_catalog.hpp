@@ -18,7 +18,9 @@ struct DeviceSpec {
   double battery_wh;  // nominal full-charge energy
   std::string note;   // provenance of the capacity number
 
-  Battery make_battery() const { return Battery(battery_wh); }
+  Battery make_battery() const {
+    return Battery(util::WattHours(battery_wh));
+  }
 };
 
 /// All ten devices of Fig. 1, smallest battery first:

@@ -23,8 +23,10 @@ const char* to_string(EnergyCategory category) {
   return "?";
 }
 
-void EnergyLedger::charge(EnergyCategory category, double joules,
-                          double sim_time_s) {
+void EnergyLedger::charge(EnergyCategory category, util::Joules amount,
+                          util::Seconds sim_time) {
+  const double joules = amount.value();
+  const double sim_time_s = sim_time.value();
   // A NaN or negative posting would silently corrupt every downstream
   // total (NaN compares false against 0, so a plain `< 0` check let it
   // through); a non-finite timestamp would poison the power series. NaN

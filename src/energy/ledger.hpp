@@ -5,9 +5,10 @@
 // the joules went, not just totals.
 #pragma once
 
-#include <limits>
 #include <map>
 #include <string>
+
+#include "util/units.hpp"
 
 namespace braidio::energy {
 
@@ -28,15 +29,15 @@ const char* to_string(EnergyCategory category);
 
 class EnergyLedger {
  public:
-  /// Post `joules` against a category. Contract: `joules` must be finite
-  /// and >= 0, `sim_time_s` must be NaN (the "no sim time" sentinel for
+  /// Post `amount` against a category. Contract: `amount` must be finite
+  /// and >= 0, `sim_time` must be NaN (the "no sim time" sentinel for
   /// callers that do not track simulated time) or finite and >= 0.
-  /// `sim_time_s` is only used for observability (the EnergyPost trace
+  /// `sim_time` is only used for observability (the EnergyPost trace
   /// event and the attributed power series). When energy attribution is
   /// enabled (obs/span.hpp) every charge is also posted to the current
   /// span path as `<spans>/<category>`.
-  void charge(EnergyCategory category, double joules,
-              double sim_time_s = std::numeric_limits<double>::quiet_NaN());
+  void charge(EnergyCategory category, util::Joules amount,
+              util::Seconds sim_time = util::Seconds::nan());
 
   /// Total posted across all categories.
   double total_joules() const;

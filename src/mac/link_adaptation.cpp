@@ -11,7 +11,7 @@ SnrEstimator::SnrEstimator(double alpha) : alpha_(alpha) {
   }
 }
 
-void SnrEstimator::update(double snr_db, double timestamp_s) {
+void SnrEstimator::update(double snr_db, util::Seconds timestamp) {
   if (estimate_db_) {
     innovation_db_ = std::fabs(snr_db - *estimate_db_);
     estimate_db_ = *estimate_db_ + alpha_ * (snr_db - *estimate_db_);
@@ -19,13 +19,13 @@ void SnrEstimator::update(double snr_db, double timestamp_s) {
     innovation_db_ = 0.0;
     estimate_db_ = snr_db;
   }
-  last_update_s_ = timestamp_s;
+  last_update_s_ = timestamp.value();
 }
 
 std::optional<double> SnrEstimator::snr_db() const { return estimate_db_; }
 
-bool SnrEstimator::stale(double now_s, double max_age_s) const {
-  return !estimate_db_ || (now_s - last_update_s_) > max_age_s;
+bool SnrEstimator::stale(util::Seconds now, util::Seconds max_age) const {
+  return !estimate_db_ || (now.value() - last_update_s_) > max_age.value();
 }
 
 void SnrEstimator::reset() {

@@ -16,6 +16,7 @@
 
 #include "phy/ber.hpp"
 #include "phy/link_mode.hpp"
+#include "util/units.hpp"
 
 namespace braidio::mac {
 
@@ -24,14 +25,14 @@ class SnrEstimator {
   /// `alpha` is the EWMA weight of a new sample (0 < alpha <= 1).
   explicit SnrEstimator(double alpha = 0.25);
 
-  /// Fold in a probe measurement taken at `timestamp_s`.
-  void update(double snr_db, double timestamp_s);
+  /// Fold in a probe measurement taken at `timestamp`.
+  void update(double snr_db, util::Seconds timestamp);
 
   /// Current estimate; nullopt before the first sample.
   std::optional<double> snr_db() const;
 
-  /// True if no sample arrived within `max_age_s` of `now_s`.
-  bool stale(double now_s, double max_age_s) const;
+  /// True if no sample arrived within `max_age` of `now`.
+  bool stale(util::Seconds now, util::Seconds max_age) const;
 
   /// |latest sample - previous estimate| of the last update: the
   /// "changed significantly" trigger.

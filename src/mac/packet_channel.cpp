@@ -48,7 +48,8 @@ void PacketChannel::set_distance(double distance_m) {
   config_.distance_m = distance_m;
 }
 
-void PacketChannel::set_clock(double sim_s) {
+void PacketChannel::set_clock(util::Seconds sim_time) {
+  const double sim_s = sim_time.value();
   BRAIDIO_REQUIRE(std::isfinite(sim_s) && sim_s >= clock_s_, "sim_s", sim_s,
                   "clock_s", clock_s_);
   clock_s_ = sim_s;

@@ -25,6 +25,7 @@
 #include "rf/fading.hpp"
 #include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace braidio::mac {
 
@@ -58,9 +59,9 @@ class PacketChannel {
   void set_distance(double distance_m);
   double distance() const { return config_.distance_m; }
 
-  /// Advance the channel's simulated clock [s]; drives fade decorrelation
+  /// Advance the channel's simulated clock; drives fade decorrelation
   /// and fault-schedule lookups. Must be non-decreasing.
-  void set_clock(double sim_s);
+  void set_clock(util::Seconds sim_time);
   double clock_s() const { return clock_s_; }
 
   /// Attach a fault schedule (not owned; may be nullptr to detach). The

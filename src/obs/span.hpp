@@ -7,7 +7,8 @@
 //   BRAIDIO_ENERGY_SPAN(exchange, "braid");
 //   BRAIDIO_ENERGY_SPAN(phase, "data");
 //   ...
-//   ledger.charge(EnergyCategory::ActiveTx, joules, t);   // tagged
+//   ledger.charge(EnergyCategory::ActiveTx, util::Joules(j),
+//                 util::Seconds(t));                       // tagged
 //
 // Every EnergyLedger::charge forwards to obs::post_energy, which appends
 // the category name to the current thread's span path and records

@@ -23,10 +23,10 @@ bool FskSubcarrierConfig::tones_orthogonal() const {
   return integral(c0) && integral(c1) && std::llround(c0) != std::llround(c1);
 }
 
-double goertzel_power(std::span<const double> block, double freq_hz,
-                      double sample_rate_hz) {
+double goertzel_power(std::span<const double> block, util::Hertz freq,
+                      util::Hertz sample_rate) {
   if (block.empty()) throw std::invalid_argument("goertzel: empty block");
-  const double w = 2.0 * std::numbers::pi * freq_hz / sample_rate_hz;
+  const double w = 2.0 * std::numbers::pi * freq.value() / sample_rate.value();
   const double coeff = 2.0 * std::cos(w);
   double s0 = 0.0, s1 = 0.0, s2 = 0.0;
   for (double x : block) {
@@ -88,10 +88,10 @@ std::vector<std::uint8_t> FskSubcarrierModem::demodulate(
     for (std::size_t k = 0; k < n; ++k) {
       block[k] = envelope[start + k] - mean;
     }
-    const double p0 =
-        goertzel_power(block, config_.tone0_hz, config_.sample_rate_hz);
-    const double p1 =
-        goertzel_power(block, config_.tone1_hz, config_.sample_rate_hz);
+    const double p0 = goertzel_power(block, util::Hertz(config_.tone0_hz),
+                                     util::Hertz(config_.sample_rate_hz));
+    const double p1 = goertzel_power(block, util::Hertz(config_.tone1_hz),
+                                     util::Hertz(config_.sample_rate_hz));
     bits.push_back(p1 > p0 ? 1 : 0);
   }
   return bits;

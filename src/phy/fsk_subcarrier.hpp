@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace braidio::phy {
 
@@ -37,9 +38,9 @@ struct FskSubcarrierConfig {
   bool tones_orthogonal() const;
 };
 
-/// Goertzel single-bin energy of `block` at `freq_hz`.
-double goertzel_power(std::span<const double> block, double freq_hz,
-                      double sample_rate_hz);
+/// Goertzel single-bin energy of `block` at `freq`.
+double goertzel_power(std::span<const double> block, util::Hertz freq,
+                      util::Hertz sample_rate);
 
 class FskSubcarrierModem {
  public:

@@ -56,24 +56,24 @@ double QamTagModel::bits_per_symbol(unsigned m) const {
   return std::log2(static_cast<double>(m));
 }
 
-double QamTagModel::bitrate_bps(unsigned m, double symbol_rate_hz) const {
-  if (!(symbol_rate_hz > 0.0)) {
+double QamTagModel::bitrate_bps(unsigned m, util::Hertz symbol_rate) const {
+  if (!(symbol_rate.value() > 0.0)) {
     throw std::domain_error("QamTagModel: symbol rate must be > 0");
   }
-  return bits_per_symbol(m) * symbol_rate_hz;
+  return bits_per_symbol(m) * symbol_rate.value();
 }
 
-double QamTagModel::tag_power_w(double symbol_rate_hz) const {
-  if (!(symbol_rate_hz > 0.0)) {
+double QamTagModel::tag_power_w(util::Hertz symbol_rate) const {
+  if (!(symbol_rate.value() > 0.0)) {
     throw std::domain_error("QamTagModel: symbol rate must be > 0");
   }
   // ~1 state transition per symbol on average, independent of M.
-  return static_power_w + switch_energy_j * symbol_rate_hz;
+  return static_power_w + switch_energy_j * symbol_rate.value();
 }
 
 double QamTagModel::tag_joules_per_bit(unsigned m,
-                                       double symbol_rate_hz) const {
-  return tag_power_w(symbol_rate_hz) / bitrate_bps(m, symbol_rate_hz);
+                                       util::Hertz symbol_rate) const {
+  return tag_power_w(symbol_rate) / bitrate_bps(m, symbol_rate);
 }
 
 double qam_range_m(unsigned m, double bpsk_range_m, double target_ber) {

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "util/units.hpp"
+
 namespace braidio::phy {
 
 /// Bit error probability of square M-QAM with Gray mapping at per-bit SNR
@@ -25,17 +27,17 @@ double qam_bit_error_rate(unsigned m, double snr_per_bit);
 double qam_required_snr(unsigned m, double target_ber);
 
 /// Tag-side energy and throughput for an M-QAM backscatter modulator
-/// switching at `symbol_rate_hz`.
+/// switching at `symbol_rate`.
 struct QamTagModel {
   double switch_energy_j = 2e-12;   // per state transition (SKY13267-class)
   double static_power_w = 10e-6;    // clock + logic while modulating
 
   double bits_per_symbol(unsigned m) const;
-  double bitrate_bps(unsigned m, double symbol_rate_hz) const;
+  double bitrate_bps(unsigned m, util::Hertz symbol_rate) const;
   /// Average tag power while transmitting.
-  double tag_power_w(double symbol_rate_hz) const;
+  double tag_power_w(util::Hertz symbol_rate) const;
   /// Tag energy per data bit.
-  double tag_joules_per_bit(unsigned m, double symbol_rate_hz) const;
+  double tag_joules_per_bit(unsigned m, util::Hertz symbol_rate) const;
 };
 
 /// Operating range of M-QAM backscatter against a coherent reader whose

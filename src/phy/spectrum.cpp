@@ -48,8 +48,9 @@ void fft(std::vector<std::complex<double>>& data, bool inverse) {
   }
 }
 
-PsdResult welch_psd(const std::vector<double>& signal, double sample_rate_hz,
-                    std::size_t segments) {
+PsdResult welch_psd(const std::vector<double>& signal,
+                    util::Hertz sample_rate, std::size_t segments) {
+  const double sample_rate_hz = sample_rate.value();
   if (signal.size() < 16) {
     throw std::invalid_argument("welch_psd: signal too short");
   }
@@ -100,7 +101,8 @@ PsdResult welch_psd(const std::vector<double>& signal, double sample_rate_hz,
   return out;
 }
 
-double power_fraction_below(const PsdResult& psd, double corner_hz) {
+double power_fraction_below(const PsdResult& psd, util::Hertz corner) {
+  const double corner_hz = corner.value();
   if (psd.freq_hz.empty()) {
     throw std::invalid_argument("power_fraction_below: empty PSD");
   }

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace braidio::phy {
 
 /// In-place radix-2 decimation-in-time FFT. `data.size()` must be a power
@@ -34,11 +36,11 @@ struct PsdResult {
 /// Welch PSD of a real signal: split into `segments` half-overlapping
 /// Hann-windowed blocks (each padded to a power of two), average the
 /// periodograms, return the one-sided spectrum.
-PsdResult welch_psd(const std::vector<double>& signal, double sample_rate_hz,
-                    std::size_t segments = 8);
+PsdResult welch_psd(const std::vector<double>& signal,
+                    util::Hertz sample_rate, std::size_t segments = 8);
 
-/// Fraction of total signal power below `corner_hz` — the part a high-pass
+/// Fraction of total signal power below `corner` — the part a high-pass
 /// filter at that corner removes.
-double power_fraction_below(const PsdResult& psd, double corner_hz);
+double power_fraction_below(const PsdResult& psd, util::Hertz corner);
 
 }  // namespace braidio::phy

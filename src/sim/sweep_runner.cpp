@@ -41,6 +41,7 @@ std::string trace_out_from_cli(int argc, char** argv) {
 }
 
 ResultTable SweepRunner::run(const Scenario& scenario) const {
+  // analyzer: wallclock(wall_seconds is perf telemetry, not results)
   using clock = std::chrono::steady_clock;
 
   ResultTable table(scenario, options_.seed);

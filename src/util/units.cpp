@@ -48,6 +48,18 @@ double wavelength_m(double freq_hz) {
   return kSpeedOfLight / freq_hz;
 }
 
+Joules to_joules(WattHours energy) {
+  return Joules(wh_to_joules(energy.value()));
+}
+
+WattHours to_watt_hours(Joules energy) {
+  return WattHours(joules_to_wh(energy.value()));
+}
+
+Watts to_watts(Dbm level) { return Watts(dbm_to_watts(level.value())); }
+
+Dbm to_dbm(Watts power) { return Dbm(watts_to_dbm(power.value())); }
+
 double thermal_noise_watts(double bandwidth_hz, double temperature_k) {
   if (bandwidth_hz < 0.0 || temperature_k < 0.0) {
     throw std::domain_error("thermal_noise_watts: negative argument");

@@ -1,0 +1,13 @@
+// Must NOT compile: a dBm level can never bind a watts parameter — the
+// exact bug class (log-scale vs linear power) the strong types exist for.
+#include "util/units.hpp"
+
+namespace braidio {
+
+double sink(util::Watts power) { return power.value(); }
+
+double broken() {
+  return sink(util::Dbm{13.0});
+}
+
+}  // namespace braidio

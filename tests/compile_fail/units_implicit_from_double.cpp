@@ -1,0 +1,12 @@
+// Must NOT compile: Quantity construction from a raw double is explicit,
+// so a bare number cannot silently become an energy.
+#include "util/units.hpp"
+
+namespace braidio {
+
+util::Joules broken() {
+  util::Joules j = 2808.0;  // looks like joules, could be anything
+  return j;
+}
+
+}  // namespace braidio

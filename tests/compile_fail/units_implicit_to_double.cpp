@@ -1,0 +1,12 @@
+// Must NOT compile: no implicit conversion back to double — extraction
+// goes through .value() at the point where the math happens.
+#include "util/units.hpp"
+
+namespace braidio {
+
+double broken() {
+  const double leaked = util::Joules{1.0};
+  return leaked;
+}
+
+}  // namespace braidio

@@ -1,0 +1,10 @@
+// Must NOT compile: adding quantities of different dimensions.
+#include "util/units.hpp"
+
+namespace braidio {
+
+double broken() {
+  return (util::Joules{1.0} + util::Seconds{1.0}).value();
+}
+
+}  // namespace braidio

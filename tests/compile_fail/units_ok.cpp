@@ -1,0 +1,16 @@
+// Positive control for the negative-compile suite: exercises the same
+// headers and build flags as the must-fail fixtures. If THIS file stops
+// compiling, the failing fixtures prove nothing (they would "fail" for
+// the wrong reason), so it builds as part of the default test build.
+#include "util/units.hpp"
+
+namespace braidio {
+
+util::Joules control() {
+  using namespace util::unit_literals;
+  const util::Watts p = 0.129_W;
+  const util::Seconds t{10.0};
+  return p * t + 1.0_J;
+}
+
+}  // namespace braidio

@@ -1,4 +1,5 @@
 #include "core/braided_link.hpp"
+#include "util/units.hpp"
 
 #include <gtest/gtest.h>
 
@@ -14,8 +15,8 @@ struct Rig {
   PowerTable table;
   phy::LinkBudget budget;
   RegimeMap regimes{table, budget};
-  BraidioRadio a{"phone", 1, 6.55, table};
-  BraidioRadio b{"watch", 2, 0.78, table};
+  BraidioRadio a{"phone", 1, util::WattHours(6.55), table};
+  BraidioRadio b{"watch", 2, util::WattHours(0.78), table};
 };
 
 TEST(BraidedLink, DeliversAllPacketsOnCleanLink) {
@@ -98,8 +99,8 @@ TEST(BraidedLink, TinyBatteryDiesMidRunAndStopsCleanly) {
   PowerTable table;
   phy::LinkBudget budget;
   RegimeMap regimes(table, budget);
-  BraidioRadio big("phone", 1, 6.55, table);
-  BraidioRadio tiny("coin", 2, 2e-6, table);  // 7.2 mJ
+  BraidioRadio big("phone", 1, util::WattHours(6.55), table);
+  BraidioRadio tiny("coin", 2, util::WattHours(2e-6), table);  // 7.2 mJ
   BraidedLinkConfig cfg;
   cfg.distance_m = 0.4;
   BraidedLink link(big, tiny, regimes, cfg);
@@ -269,9 +270,9 @@ TEST(BraidedLink, AckTimeoutListenWindowIsCharged) {
     cfg.distance_m = 0.4;
     cfg.seed = 3;
     cfg.impairments = &schedule;
-    cfg.ack_timeout_s = timeout_s;
+    cfg.ack_timeout = util::Seconds(timeout_s);
     // Fixed backoff base so only the timeout term differs between runs.
-    cfg.backoff_base_s = 1e-4;
+    cfg.backoff_base = util::Seconds(1e-4);
     BraidedLink link(rig.a, rig.b, rig.regimes, cfg);
     const auto stats = link.run(8);
     const double drained = rig.a.battery().capacity_joules() -

@@ -130,7 +130,8 @@ TEST_F(LifetimeTest, ProportionalPlansEqualizeDeathTimes) {
   const double e2 = util::wh_to_joules(13.3);
   LifetimeConfig frictionless = close_;
   frictionless.include_switch_overhead = false;
-  const auto outcome = sim_.braidio(e1, e2, frictionless);
+  const auto outcome =
+      sim_.braidio(util::Joules(e1), util::Joules(e2), frictionless);
   ASSERT_TRUE(outcome.plan.proportional);
   EXPECT_NEAR(e1 / outcome.plan.tx_joules_per_bit /
                   (e2 / outcome.plan.rx_joules_per_bit),
@@ -145,8 +146,10 @@ TEST_F(LifetimeTest, SwitchOverheadIsNegligibleAtSecondScaleDwells) {
   LifetimeConfig with = close_;
   LifetimeConfig without = close_;
   without.include_switch_overhead = false;
-  const double b_with = sim_.braidio(e1, e2, with).bits;
-  const double b_without = sim_.braidio(e1, e2, without).bits;
+  const double b_with =
+      sim_.braidio(util::Joules(e1), util::Joules(e2), with).bits;
+  const double b_without =
+      sim_.braidio(util::Joules(e1), util::Joules(e2), without).bits;
   EXPECT_NEAR(b_with / b_without, 1.0, 1e-3);
 }
 
@@ -159,8 +162,10 @@ TEST_F(LifetimeTest, RapidSwitchingWouldNotBeNegligible) {
   LifetimeConfig slow = close_;
   const double e1 = util::wh_to_joules(0.26);
   const double e2 = util::wh_to_joules(0.26);
-  const double b_rapid = sim_.braidio(e1, e2, rapid).bits;
-  const double b_slow = sim_.braidio(e1, e2, slow).bits;
+  const double b_rapid =
+      sim_.braidio(util::Joules(e1), util::Joules(e2), rapid).bits;
+  const double b_slow =
+      sim_.braidio(util::Joules(e1), util::Joules(e2), slow).bits;
   EXPECT_LT(b_rapid, 0.9 * b_slow);
 }
 
@@ -168,12 +173,14 @@ TEST_F(LifetimeTest, SingleModeBitsMatchClosedForm) {
   const auto& c = table_.candidate(phy::LinkMode::PassiveRx,
                                    phy::Bitrate::M1);
   const double e1 = 100.0, e2 = 50.0;
-  EXPECT_NEAR(sim_.single_mode_bits(c, e1, e2, false),
+  EXPECT_NEAR(
+      sim_.single_mode_bits(c, util::Joules(e1), util::Joules(e2), false),
               std::min(e1 / c.tx_joules_per_bit(),
                        e2 / c.rx_joules_per_bit()),
               1.0);
   // Bidirectional: both ends pay the average.
-  EXPECT_NEAR(sim_.single_mode_bits(c, e1, e2, true),
+  EXPECT_NEAR(
+      sim_.single_mode_bits(c, util::Joules(e1), util::Joules(e2), true),
               50.0 / (0.5 * (c.tx_joules_per_bit() +
                              c.rx_joules_per_bit())),
               1.0);
@@ -182,7 +189,8 @@ TEST_F(LifetimeTest, SingleModeBitsMatchClosedForm) {
 TEST_F(LifetimeTest, OutOfRangeThrows) {
   LifetimeConfig cfg;
   cfg.distance_m = 50.0;  // beyond even the active anchor
-  EXPECT_THROW(sim_.braidio(1.0, 1.0, cfg), std::runtime_error);
+  EXPECT_THROW(sim_.braidio(util::Joules(1.0), util::Joules(1.0), cfg),
+               std::runtime_error);
 }
 
 class DistanceSweep : public ::testing::TestWithParam<double> {};

@@ -16,10 +16,11 @@ class MobilityTest : public ::testing::Test {
 
 TEST(MobilityTraceTest, InterpolatesAndClamps) {
   MobilityTrace trace({{0.0, 1.0}, {10.0, 3.0}, {20.0, 3.0}});
-  EXPECT_DOUBLE_EQ(trace.distance_at(0.0), 1.0);
-  EXPECT_DOUBLE_EQ(trace.distance_at(5.0), 2.0);
-  EXPECT_DOUBLE_EQ(trace.distance_at(15.0), 3.0);
-  EXPECT_DOUBLE_EQ(trace.distance_at(99.0), 3.0);  // clamp past the end
+  EXPECT_DOUBLE_EQ(trace.distance_at(util::Seconds(0.0)), 1.0);
+  EXPECT_DOUBLE_EQ(trace.distance_at(util::Seconds(5.0)), 2.0);
+  EXPECT_DOUBLE_EQ(trace.distance_at(util::Seconds(15.0)), 3.0);
+  // Clamp past the end.
+  EXPECT_DOUBLE_EQ(trace.distance_at(util::Seconds(99.0)), 3.0);
   EXPECT_DOUBLE_EQ(trace.duration_s(), 20.0);
 }
 
@@ -32,21 +33,24 @@ TEST(MobilityTraceTest, Validation) {
   EXPECT_THROW(MobilityTrace({{0.0, 1.0}, {1.0, -2.0}}),
                std::invalid_argument);
   EXPECT_THROW(
-      MobilityTrace::random_walk(2.0, 1.0, 1.4, 60.0, 1),
+      MobilityTrace::random_walk(2.0, 1.0, 1.4, util::Seconds(60.0), 1),
       std::invalid_argument);
 }
 
 TEST(MobilityTraceTest, RandomWalkStaysInBounds) {
-  const auto trace = MobilityTrace::random_walk(0.3, 5.0, 1.4, 120.0, 7);
+  const auto trace =
+      MobilityTrace::random_walk(0.3, 5.0, 1.4, util::Seconds(120.0), 7);
   EXPECT_GE(trace.duration_s(), 120.0);
   for (double t = 0.0; t <= trace.duration_s(); t += 0.5) {
-    const double d = trace.distance_at(t);
+    const double d = trace.distance_at(util::Seconds(t));
     EXPECT_GE(d, 0.3 - 1e-9);
     EXPECT_LE(d, 5.0 + 1e-9);
   }
   // Deterministic per seed.
-  const auto again = MobilityTrace::random_walk(0.3, 5.0, 1.4, 120.0, 7);
-  EXPECT_DOUBLE_EQ(trace.distance_at(33.0), again.distance_at(33.0));
+  const auto again =
+      MobilityTrace::random_walk(0.3, 5.0, 1.4, util::Seconds(120.0), 7);
+  EXPECT_DOUBLE_EQ(trace.distance_at(util::Seconds(33.0)),
+                   again.distance_at(util::Seconds(33.0)));
 }
 
 TEST_F(MobilityTest, StaticTraceMatchesLifetimeModelRates) {
@@ -95,7 +99,8 @@ TEST_F(MobilityTest, OutOfRangeIdlesTheRadios) {
 }
 
 TEST_F(MobilityTest, EnergyConservationAndMonotonicity) {
-  const auto trace = MobilityTrace::random_walk(0.3, 5.5, 1.4, 60.0, 3);
+  const auto trace =
+      MobilityTrace::random_walk(0.3, 5.5, 1.4, util::Seconds(60.0), 3);
   MobilitySimConfig cfg;
   const auto outcome = sim_.run(trace, cfg);
   double prev_bits = -1.0, prev_e1 = -1.0;
@@ -107,16 +112,17 @@ TEST_F(MobilityTest, EnergyConservationAndMonotonicity) {
   }
   // Bounded by the battery.
   EXPECT_LE(outcome.samples.back().device1_joules_used,
-            util::wh_to_joules(cfg.e1_wh) + 1e-9);
+            util::wh_to_joules(cfg.e1.value()) + 1e-9);
 }
 
 TEST_F(MobilityTest, AsymmetricPairKeepsWinningWhileMoving) {
   // Watch -> phone on a random walk within ~4 m: Braidio must beat
   // Bluetooth over the whole trace even though modes come and go.
-  const auto trace = MobilityTrace::random_walk(0.3, 4.0, 1.4, 120.0, 11);
+  const auto trace =
+      MobilityTrace::random_walk(0.3, 4.0, 1.4, util::Seconds(120.0), 11);
   MobilitySimConfig cfg;
-  cfg.e1_wh = 0.78;
-  cfg.e2_wh = 6.55;
+  cfg.e1 = util::WattHours(0.78);
+  cfg.e2 = util::WattHours(6.55);
   const auto outcome = sim_.run(trace, cfg);
   // Braidio trades some throughput at distance for watch lifetime. The
   // walk spends much of its time beyond the backscatter limit (watch is
@@ -140,7 +146,7 @@ TEST_F(MobilityTest, BidirectionalTrafficSupported) {
 TEST_F(MobilityTest, RejectsBadConfig) {
   MobilityTrace still({{0.0, 0.5}, {1.0, 0.5}});
   MobilitySimConfig cfg;
-  cfg.replan_interval_s = 0.0;
+  cfg.replan_interval = util::Seconds(0.0);
   EXPECT_THROW(sim_.run(still, cfg), std::invalid_argument);
 }
 

@@ -10,7 +10,7 @@ namespace {
 class RadioTest : public ::testing::Test {
  protected:
   PowerTable table_;
-  BraidioRadio radio_{"watch", 1, 0.78, table_};
+  BraidioRadio radio_{"watch", 1, util::WattHours(0.78), table_};
 };
 
 TEST_F(RadioTest, StartsIdleAtFloorPower) {
@@ -58,12 +58,12 @@ TEST_F(RadioTest, AdvanceDrainsBatteryAndLedger) {
       table_.candidate(phy::LinkMode::PassiveRx, phy::Bitrate::M1);
   ASSERT_TRUE(radio_.switch_to(passive, Role::DataTransmitter));
   const double before = radio_.battery().remaining_joules();
-  ASSERT_TRUE(radio_.advance(10.0));  // 10 s holding the carrier
+  ASSERT_TRUE(radio_.advance(util::Seconds(10.0)));  // holding the carrier
   EXPECT_NEAR(before - radio_.battery().remaining_joules(), 1.29, 1e-9);
   EXPECT_NEAR(
       radio_.ledger().joules(energy::EnergyCategory::CarrierGeneration),
       1.29, 1e-9);
-  EXPECT_THROW(radio_.advance(-1.0), std::invalid_argument);
+  EXPECT_THROW(radio_.advance(util::Seconds(-1.0)), std::invalid_argument);
 }
 
 TEST_F(RadioTest, LedgerCategoriesByModeAndRole) {
@@ -71,27 +71,27 @@ TEST_F(RadioTest, LedgerCategoriesByModeAndRole) {
   const auto& bs = table_.candidate(phy::LinkMode::Backscatter,
                                     phy::Bitrate::M1);
   ASSERT_TRUE(radio_.switch_to(bs, Role::DataTransmitter));
-  ASSERT_TRUE(radio_.advance(1.0));
+  ASSERT_TRUE(radio_.advance(util::Seconds(1.0)));
   EXPECT_GT(radio_.ledger().joules(EnergyCategory::BackscatterTx), 0.0);
   ASSERT_TRUE(radio_.switch_to(bs, Role::DataReceiver));
-  ASSERT_TRUE(radio_.advance(1.0));
+  ASSERT_TRUE(radio_.advance(util::Seconds(1.0)));
   EXPECT_GT(radio_.ledger().joules(EnergyCategory::CarrierGeneration), 0.0);
   const auto& active =
       table_.candidate(phy::LinkMode::Active, phy::Bitrate::M1);
   ASSERT_TRUE(radio_.switch_to(active, Role::DataReceiver));
-  ASSERT_TRUE(radio_.advance(1.0));
+  ASSERT_TRUE(radio_.advance(util::Seconds(1.0)));
   EXPECT_GT(radio_.ledger().joules(EnergyCategory::ActiveRx), 0.0);
   EXPECT_GT(radio_.ledger().joules(EnergyCategory::ModeSwitch), 0.0);
 }
 
 TEST_F(RadioTest, BatteryDeathDuringAdvanceGoesIdle) {
   PowerTable table;
-  BraidioRadio tiny("band", 2, 1e-6, table);  // 3.6 mJ
+  BraidioRadio tiny("band", 2, util::WattHours(1e-6), table);  // 3.6 mJ
   const auto& active = table.candidate(phy::LinkMode::Active,
                                        phy::Bitrate::M1);
   ASSERT_TRUE(tiny.switch_to(active, Role::DataTransmitter));
   // 94.56 mW drains 3.6 mJ in ~38 ms; a 1 s advance must fail.
-  EXPECT_FALSE(tiny.advance(1.0));
+  EXPECT_FALSE(tiny.advance(util::Seconds(1.0)));
   EXPECT_TRUE(tiny.battery().empty());
   EXPECT_FALSE(tiny.operating_point().has_value());
   EXPECT_DOUBLE_EQ(tiny.power_draw_w(), BraidioRadio::kIdleFloorW);
@@ -99,7 +99,7 @@ TEST_F(RadioTest, BatteryDeathDuringAdvanceGoesIdle) {
 
 TEST_F(RadioTest, IdleAdvanceUsesFloor) {
   const double before = radio_.battery().remaining_joules();
-  ASSERT_TRUE(radio_.advance(100.0));
+  ASSERT_TRUE(radio_.advance(util::Seconds(100.0)));
   EXPECT_NEAR(before - radio_.battery().remaining_joules(),
               100.0 * BraidioRadio::kIdleFloorW, 1e-12);
   EXPECT_GT(radio_.ledger().joules(energy::EnergyCategory::Idle), 0.0);

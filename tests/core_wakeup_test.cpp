@@ -1,4 +1,5 @@
 #include "core/wakeup.hpp"
+#include "util/units.hpp"
 
 #include <cmath>
 
@@ -29,11 +30,11 @@ TEST(DutyCycleListener, LatencyDutyTradeoff) {
 TEST(DutyCycleListener, DutyForLatencyInverts) {
   DutyCycleListener l;
   for (double latency : {1e-3, 0.05, 1.0, 30.0}) {
-    const double duty = l.duty_for_latency(latency);
+    const double duty = l.duty_for_latency(util::Seconds(latency));
     EXPECT_NEAR(l.expected_latency_s(duty), latency, latency * 1e-6 + 1e-12);
   }
-  EXPECT_DOUBLE_EQ(l.duty_for_latency(0.0), 1.0);
-  EXPECT_THROW(l.duty_for_latency(-1.0), std::domain_error);
+  EXPECT_DOUBLE_EQ(l.duty_for_latency(util::Seconds(0.0)), 1.0);
+  EXPECT_THROW(l.duty_for_latency(util::Seconds(-1.0)), std::domain_error);
 }
 
 TEST(PassiveWakeup, LatencyIsPatternAirtimePlusRetries) {
@@ -65,15 +66,18 @@ TEST(Wakeup, CrossoverAtRelaxedLatencyBudgets) {
   // magnitude. Locate the crossover and sanity-check both sides.
   DutyCycleListener active;
   PassiveWakeupListener passive;
-  const double relaxed = active.average_power_w(active.duty_for_latency(10.0));
+  const double relaxed = active.average_power_w(
+      active.duty_for_latency(util::Seconds(10.0)));
   EXPECT_LT(relaxed, passive.average_power_w());  // active wins eventually
-  const double tight = active.average_power_w(active.duty_for_latency(0.01));
+  const double tight = active.average_power_w(
+      active.duty_for_latency(util::Seconds(0.01)));
   EXPECT_GT(tight, 100.0 * passive.average_power_w());
   // The crossover latency sits in the hundreds-of-ms to seconds band.
   double lo = 1e-3, hi = 100.0;
   for (int i = 0; i < 60; ++i) {
     const double mid = std::sqrt(lo * hi);
-    const double p = active.average_power_w(active.duty_for_latency(mid));
+    const double p = active.average_power_w(
+        active.duty_for_latency(util::Seconds(mid)));
     (p > passive.average_power_w() ? lo : hi) = mid;
   }
   EXPECT_GT(lo, 0.2);

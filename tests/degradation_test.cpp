@@ -13,6 +13,7 @@
 #include "sim/faults/impairment.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep_runner.hpp"
+#include "util/units.hpp"
 
 namespace braidio {
 namespace {
@@ -21,8 +22,8 @@ struct Rig {
   core::PowerTable table;
   phy::LinkBudget budget;
   core::RegimeMap regimes{table, budget};
-  core::BraidioRadio a{"phone", 1, 6.55, table};
-  core::BraidioRadio b{"watch", 2, 0.78, table};
+  core::BraidioRadio a{"phone", 1, util::WattHours(6.55), table};
+  core::BraidioRadio b{"watch", 2, util::WattHours(0.78), table};
 };
 
 core::BraidedLinkStats run_faulted(
@@ -103,7 +104,8 @@ TEST(Degradation, DeliveredBitsNonIncreasingInBrownoutDrain) {
     cfg.impairments = &schedule;
     // Shrink the watch battery so the brownout is material and the
     // run-to-death stays fast.
-    core::BraidioRadio small("watch", 2, 5e-7, rig.table);  // 1.8 mJ
+    core::BraidioRadio small("watch", 2, util::WattHours(5e-7),
+                             rig.table);  // 1.8 mJ
     core::BraidedLink link(rig.a, small, rig.regimes, cfg);
     delivered_bits.push_back(link.run(1u << 20).payload_bits_delivered);
   }

@@ -13,7 +13,7 @@ namespace braidio::energy {
 namespace {
 
 TEST(Battery, StartsFullAndConverts) {
-  Battery b(1.0);
+  Battery b(util::WattHours(1.0));
   EXPECT_DOUBLE_EQ(b.capacity_joules(), 3600.0);
   EXPECT_DOUBLE_EQ(b.capacity_wh(), 1.0);
   EXPECT_DOUBLE_EQ(b.remaining_joules(), 3600.0);
@@ -22,31 +22,33 @@ TEST(Battery, StartsFullAndConverts) {
 }
 
 TEST(Battery, RejectsNonPositiveCapacity) {
-  EXPECT_THROW(Battery(0.0), std::invalid_argument);
-  EXPECT_THROW(Battery(-1.0), std::invalid_argument);
+  EXPECT_THROW(Battery(util::WattHours(0.0)), std::invalid_argument);
+  EXPECT_THROW(Battery(util::WattHours(-1.0)), std::invalid_argument);
 }
 
 TEST(Battery, DrainClampsAtEmpty) {
-  Battery b(0.001);  // 3.6 J
-  EXPECT_DOUBLE_EQ(b.drain(1.6), 1.6);
+  Battery b(util::WattHours(0.001));  // 3.6 J
+  EXPECT_DOUBLE_EQ(b.drain(util::Joules(1.6)).value(), 1.6);
   EXPECT_DOUBLE_EQ(b.remaining_joules(), 2.0);
-  EXPECT_DOUBLE_EQ(b.drain(5.0), 2.0);  // only what's left
+  // only what's left
+  EXPECT_DOUBLE_EQ(b.drain(util::Joules(5.0)).value(), 2.0);
   EXPECT_TRUE(b.empty());
-  EXPECT_DOUBLE_EQ(b.drain(1.0), 0.0);
-  EXPECT_THROW(b.drain(-1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(b.drain(util::Joules(1.0)).value(), 0.0);
+  EXPECT_THROW(b.drain(util::Joules(-1.0)), std::invalid_argument);
 }
 
 TEST(Battery, SecondsAtPower) {
-  Battery b(1.0);  // 3600 J
-  EXPECT_DOUBLE_EQ(b.seconds_at(1.0), 3600.0);
-  EXPECT_DOUBLE_EQ(b.seconds_at(0.129), 3600.0 / 0.129);
-  EXPECT_TRUE(std::isinf(b.seconds_at(0.0)));
-  EXPECT_THROW(b.seconds_at(-0.1), std::invalid_argument);
+  Battery b(util::WattHours(1.0));  // 3600 J
+  EXPECT_DOUBLE_EQ(b.seconds_at(util::Watts(1.0)).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(b.seconds_at(util::Watts(0.129)).value(),
+                   3600.0 / 0.129);
+  EXPECT_TRUE(std::isinf(b.seconds_at(util::Watts(0.0)).value()));
+  EXPECT_THROW(b.seconds_at(util::Watts(-0.1)), std::invalid_argument);
 }
 
 TEST(Battery, RechargeRestoresCapacity) {
-  Battery b(0.5);
-  b.drain(1000.0);
+  Battery b(util::WattHours(0.5));
+  b.drain(util::Joules(1000.0));
   b.recharge();
   EXPECT_DOUBLE_EQ(b.fraction_remaining(), 1.0);
 }
@@ -91,9 +93,9 @@ TEST(DeviceCatalog, MakesFullBattery) {
 
 TEST(Ledger, AccumulatesByCategory) {
   EnergyLedger ledger;
-  ledger.charge(EnergyCategory::CarrierGeneration, 1.5);
-  ledger.charge(EnergyCategory::CarrierGeneration, 0.5);
-  ledger.charge(EnergyCategory::PassiveRx, 0.25);
+  ledger.charge(EnergyCategory::CarrierGeneration, util::Joules(1.5));
+  ledger.charge(EnergyCategory::CarrierGeneration, util::Joules(0.5));
+  ledger.charge(EnergyCategory::PassiveRx, util::Joules(0.25));
   EXPECT_DOUBLE_EQ(ledger.joules(EnergyCategory::CarrierGeneration), 2.0);
   EXPECT_DOUBLE_EQ(ledger.joules(EnergyCategory::PassiveRx), 0.25);
   EXPECT_DOUBLE_EQ(ledger.joules(EnergyCategory::Idle), 0.0);
@@ -104,8 +106,8 @@ TEST(Ledger, NanSimTimeSentinelIsAccepted) {
   // NaN sim time is the documented "caller tracks no sim time" sentinel;
   // it must keep working (it is the charge() default argument).
   EnergyLedger ledger;
-  ledger.charge(EnergyCategory::Mcu, 1.0,
-                std::numeric_limits<double>::quiet_NaN());
+  ledger.charge(EnergyCategory::Mcu, util::Joules(1.0),
+                util::Seconds::nan());
   EXPECT_DOUBLE_EQ(ledger.total_joules(), 1.0);
 }
 
@@ -117,25 +119,32 @@ TEST(LedgerDeathTest, RejectsNegativeAndNonFiniteJoules) {
   EnergyLedger ledger;
   const double nan = std::numeric_limits<double>::quiet_NaN();
   const double inf = std::numeric_limits<double>::infinity();
-  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, -1.0), "REQUIRE");
-  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, nan), "REQUIRE");
-  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, inf), "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, util::Joules(-1.0)),
+               "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, util::Joules(nan)),
+               "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, util::Joules(inf)),
+               "REQUIRE");
 }
 
 TEST(LedgerDeathTest, RejectsNonFiniteOrNegativeSimTime) {
   EnergyLedger ledger;
   const double inf = std::numeric_limits<double>::infinity();
-  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, 1.0, inf), "REQUIRE");
-  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, 1.0, -2.0), "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, util::Joules(1.0),
+                             util::Seconds(inf)),
+               "REQUIRE");
+  EXPECT_DEATH(ledger.charge(EnergyCategory::Mcu, util::Joules(1.0),
+                             util::Seconds(-2.0)),
+               "REQUIRE");
 }
 
 #endif  // BRAIDIO_CONTRACTS_ENABLED
 
 TEST(Ledger, MergeAndClear) {
   EnergyLedger a, b;
-  a.charge(EnergyCategory::ActiveTx, 1.0);
-  b.charge(EnergyCategory::ActiveTx, 2.0);
-  b.charge(EnergyCategory::ModeSwitch, 0.1);
+  a.charge(EnergyCategory::ActiveTx, util::Joules(1.0));
+  b.charge(EnergyCategory::ActiveTx, util::Joules(2.0));
+  b.charge(EnergyCategory::ModeSwitch, util::Joules(0.1));
   a.merge(b);
   EXPECT_DOUBLE_EQ(a.joules(EnergyCategory::ActiveTx), 3.0);
   EXPECT_DOUBLE_EQ(a.joules(EnergyCategory::ModeSwitch), 0.1);
@@ -145,7 +154,7 @@ TEST(Ledger, MergeAndClear) {
 
 TEST(Ledger, ReportMentionsNonZeroCategoriesOnly) {
   EnergyLedger ledger;
-  ledger.charge(EnergyCategory::BackscatterTx, 1e-6);
+  ledger.charge(EnergyCategory::BackscatterTx, util::Joules(1e-6));
   const auto report = ledger.report();
   EXPECT_NE(report.find("backscatter-tx"), std::string::npos);
   EXPECT_EQ(report.find("active-tx"), std::string::npos);

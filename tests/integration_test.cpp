@@ -27,8 +27,8 @@ TEST(Integration, EventSimulatorTracksFluidModelPerBitCosts) {
   core::PowerTable table;
   phy::LinkBudget budget;
   core::RegimeMap regimes(table, budget);
-  core::BraidioRadio a("phone", 1, 6.55, table);
-  core::BraidioRadio b("watch", 2, 0.78, table);
+  core::BraidioRadio a("phone", 1, util::WattHours(6.55), table);
+  core::BraidioRadio b("watch", 2, util::WattHours(0.78), table);
   const double e1 = a.battery().remaining_joules();
   const double e2 = b.battery().remaining_joules();
 
@@ -42,7 +42,8 @@ TEST(Integration, EventSimulatorTracksFluidModelPerBitCosts) {
   core::LifetimeSimulator sim(table, budget);
   core::LifetimeConfig fluid;
   fluid.distance_m = 0.4;
-  const auto outcome = sim.braidio(e1, e2, fluid);
+  const auto outcome =
+      sim.braidio(util::Joules(e1), util::Joules(e2), fluid);
 
   const double measured_d1 =
       (e1 - a.battery().remaining_joules()) / stats.payload_bits_delivered;
@@ -139,8 +140,8 @@ TEST(Integration, LifetimeMatrixAgreesWithDirectPlanComputation) {
   const double braid_bits = plan.bits_until_depletion(
       util::wh_to_joules(tx->battery_wh), util::wh_to_joules(rx->battery_wh));
   const double bt_bits = sim.bluetooth_bits(
-      util::wh_to_joules(tx->battery_wh), util::wh_to_joules(rx->battery_wh),
-      false);
+      util::to_joules(util::WattHours(tx->battery_wh)),
+      util::to_joules(util::WattHours(rx->battery_wh)), false);
   EXPECT_NEAR(gain, braid_bits / bt_bits, 1e-6);
 }
 
@@ -149,8 +150,8 @@ TEST(Integration, EndToEndEnergyConservation) {
   core::PowerTable table;
   phy::LinkBudget budget;
   core::RegimeMap regimes(table, budget);
-  core::BraidioRadio a("a", 1, 0.26, table);
-  core::BraidioRadio b("b", 2, 0.48, table);
+  core::BraidioRadio a("a", 1, util::WattHours(0.26), table);
+  core::BraidioRadio b("b", 2, util::WattHours(0.48), table);
   const double e1 = a.battery().remaining_joules();
   const double e2 = b.battery().remaining_joules();
   core::BraidedLinkConfig cfg;

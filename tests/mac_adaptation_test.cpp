@@ -1,4 +1,5 @@
 #include "mac/link_adaptation.hpp"
+#include "util/units.hpp"
 
 #include <gtest/gtest.h>
 
@@ -10,7 +11,7 @@ namespace {
 TEST(SnrEstimator, FirstSampleSeedsEstimate) {
   SnrEstimator est;
   EXPECT_FALSE(est.snr_db().has_value());
-  est.update(20.0, 0.0);
+  est.update(20.0, util::Seconds(0.0));
   ASSERT_TRUE(est.snr_db().has_value());
   EXPECT_DOUBLE_EQ(*est.snr_db(), 20.0);
   EXPECT_DOUBLE_EQ(est.last_innovation_db(), 0.0);
@@ -18,23 +19,24 @@ TEST(SnrEstimator, FirstSampleSeedsEstimate) {
 
 TEST(SnrEstimator, EwmaSmoothing) {
   SnrEstimator est(0.25);
-  est.update(20.0, 0.0);
-  est.update(12.0, 1.0);  // big drop
+  est.update(20.0, util::Seconds(0.0));
+  est.update(12.0, util::Seconds(1.0));  // big drop
   EXPECT_DOUBLE_EQ(*est.snr_db(), 20.0 + 0.25 * (12.0 - 20.0));
   EXPECT_DOUBLE_EQ(est.last_innovation_db(), 8.0);
   // Converges toward a sustained level.
-  for (int i = 0; i < 50; ++i) est.update(12.0, 2.0 + i);
+  for (int i = 0; i < 50; ++i) est.update(12.0, util::Seconds(2.0 + i));
   EXPECT_NEAR(*est.snr_db(), 12.0, 0.01);
 }
 
 TEST(SnrEstimator, StalenessClock) {
   SnrEstimator est;
-  EXPECT_TRUE(est.stale(0.0, 1.0));  // no sample yet
-  est.update(15.0, 10.0);
-  EXPECT_FALSE(est.stale(10.5, 1.0));
-  EXPECT_TRUE(est.stale(12.0, 1.0));
+  // No sample yet: always stale.
+  EXPECT_TRUE(est.stale(util::Seconds(0.0), util::Seconds(1.0)));
+  est.update(15.0, util::Seconds(10.0));
+  EXPECT_FALSE(est.stale(util::Seconds(10.5), util::Seconds(1.0)));
+  EXPECT_TRUE(est.stale(util::Seconds(12.0), util::Seconds(1.0)));
   est.reset();
-  EXPECT_TRUE(est.stale(10.5, 1.0));
+  EXPECT_TRUE(est.stale(util::Seconds(10.5), util::Seconds(1.0)));
   EXPECT_THROW(SnrEstimator(0.0), std::invalid_argument);
   EXPECT_THROW(SnrEstimator(1.5), std::invalid_argument);
 }

@@ -144,12 +144,12 @@ TEST_F(ChannelTest, CoherentFadingHoldsAcrossDataAckExchange) {
     double clock = 0.0;
     const int pairs = 3000;
     for (int i = 0; i < pairs; ++i) {
-      channel.set_clock(clock);
+      channel.set_clock(util::Seconds(clock));
       const bool d = channel
                          .transmit(data, phy::LinkMode::Backscatter,
                                    phy::Bitrate::M1)
                          .has_value();
-      channel.set_clock(clock + kTurnaroundS);
+      channel.set_clock(util::Seconds(clock + kTurnaroundS));
       const bool k = channel
                          .transmit(ack, phy::LinkMode::Backscatter,
                                    phy::Bitrate::M1)
@@ -182,17 +182,18 @@ TEST_F(ChannelTest, CarrierDropoutFaultBlocksEverything) {
   PacketChannel channel(budget_, {.distance_m = 0.2}, util::Rng(12));
   channel.set_impairments(&schedule);
   const Frame f = sample_frame();
-  channel.set_clock(0.5);  // before the outage
+  channel.set_clock(util::Seconds(0.5));  // before the outage
   EXPECT_TRUE(
       channel.transmit(f, phy::LinkMode::Backscatter, phy::Bitrate::M1)
           .has_value());
-  channel.set_clock(1.5);  // inside the outage: deterministic loss
+  // inside the outage: deterministic loss
+  channel.set_clock(util::Seconds(1.5));
   for (int i = 0; i < 50; ++i) {
     EXPECT_FALSE(
         channel.transmit(f, phy::LinkMode::Backscatter, phy::Bitrate::M1)
             .has_value());
   }
-  channel.set_clock(2.5);  // after the outage
+  channel.set_clock(util::Seconds(2.5));  // after the outage
   EXPECT_TRUE(
       channel.transmit(f, phy::LinkMode::Backscatter, phy::Bitrate::M1)
           .has_value());
@@ -207,14 +208,14 @@ TEST_F(ChannelTest, ShadowingFaultRaisesLossInsideItsWindow) {
   const Frame f = sample_frame();
   int clean = 0;
   int shadowed = 0;
-  channel.set_clock(1.0);
+  channel.set_clock(util::Seconds(1.0));
   for (int i = 0; i < 300; ++i) {
     clean += channel.transmit(f, phy::LinkMode::Backscatter,
                               phy::Bitrate::M1)
                  ? 1
                  : 0;
   }
-  channel.set_clock(15.0);
+  channel.set_clock(util::Seconds(15.0));
   for (int i = 0; i < 300; ++i) {
     shadowed += channel.transmit(f, phy::LinkMode::Backscatter,
                                  phy::Bitrate::M1)

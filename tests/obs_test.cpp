@@ -23,6 +23,7 @@
 #include "obs/tracer.hpp"
 #include "phy/link_budget.hpp"
 #include "sim/bench_telemetry.hpp"
+#include "util/units.hpp"
 #include "sim/faults/fault_timeline.hpp"
 #include "sim/faults/impairment.hpp"
 #include "sim/result_table.hpp"
@@ -666,7 +667,8 @@ TEST(EnergySpan, LedgerChargesAreTaggedWithTheSanitizedSpanPath) {
     BRAIDIO_ENERGY_SPAN(exchange, "unit test");  // ' ' -> '_'
     BRAIDIO_ENERGY_SPAN(device, "device1");
     energy::EnergyLedger ledger;
-    ledger.charge(energy::EnergyCategory::ActiveTx, 2.0, 1.0);
+    ledger.charge(energy::EnergyCategory::ActiveTx, util::Joules(2.0),
+                  util::Seconds(1.0));
   }
   obs::set_attribution_enabled(false);
   const auto profile = obs::global_energy_profile_snapshot();
@@ -686,7 +688,8 @@ TEST(EnergyAttribution, MobilityWalkConservesLedgerTotal) {
   phy::LinkBudget budget;
   core::MobilitySimulator sim(table, budget);
   const auto trace =
-      core::MobilityTrace::random_walk(0.3, 3.0, 1.4, 120.0, 7);
+      core::MobilityTrace::random_walk(0.3, 3.0, 1.4, util::Seconds(120.0),
+                                       7);
   core::MobilitySimConfig cfg;
   obs::EnergyProfile profile;
   core::MobilityOutcome outcome;
@@ -714,8 +717,8 @@ TEST(EnergyAttribution, FaultedBraidConservesDeviceLedgers) {
   core::PowerTable table;
   phy::LinkBudget budget;
   core::RegimeMap regimes(table, budget);
-  core::BraidioRadio device1("device1", 1, 0.01, table);
-  core::BraidioRadio device2("device2", 2, 0.01, table);
+  core::BraidioRadio device1("device1", 1, util::WattHours(0.01), table);
+  core::BraidioRadio device2("device2", 2, util::WattHours(0.01), table);
   const auto timeline = sim::faults::FaultTimeline::periodic_bursts(
       sim::faults::FaultKind::FadeBurst, /*count=*/3,
       /*first_start_s=*/0.02, /*period_s=*/0.2, /*duration_s=*/0.05,
@@ -753,11 +756,12 @@ sim::Scenario attributed_scenario(std::size_t points) {
         BRAIDIO_ENERGY_SPAN(exchange, "sweep");
         BRAIDIO_ENERGY_SPAN(span, device.c_str());
         energy::EnergyLedger ledger;
-        ledger.charge(energy::EnergyCategory::ActiveTx,
-                      1e-6 * static_cast<double>(p.flat_index() + 1),
-                      0.5 * static_cast<double>(p.flat_index()));
-        ledger.charge(energy::EnergyCategory::Mcu, 1e-9,
-                      obs::no_sim_time());
+        ledger.charge(
+            energy::EnergyCategory::ActiveTx,
+            util::Joules(1e-6 * static_cast<double>(p.flat_index() + 1)),
+            util::Seconds(0.5 * static_cast<double>(p.flat_index())));
+        ledger.charge(energy::EnergyCategory::Mcu, util::Joules(1e-9),
+                      util::Seconds(obs::no_sim_time()));
         sim::RunRecord record;
         record.cells = {std::to_string(p.flat_index())};
         record.numbers = {static_cast<double>(p.flat_index())};

@@ -1,4 +1,5 @@
 #include "phy/fsk_subcarrier.hpp"
+#include "util/units.hpp"
 
 #include <cmath>
 #include <numbers>
@@ -42,10 +43,13 @@ TEST(Goertzel, DetectsItsTone) {
     tone[k] = std::cos(2.0 * std::numbers::pi * 600e3 *
                        static_cast<double>(k) / fs);
   }
-  const double on_bin = goertzel_power(tone, 600e3, fs);
-  const double off_bin = goertzel_power(tone, 900e3, fs);
+  const double on_bin =
+      goertzel_power(tone, util::Hertz(600e3), util::Hertz(fs));
+  const double off_bin =
+      goertzel_power(tone, util::Hertz(900e3), util::Hertz(fs));
   EXPECT_GT(on_bin, 100.0 * off_bin);
-  EXPECT_THROW(goertzel_power({}, 600e3, fs), std::invalid_argument);
+  EXPECT_THROW(goertzel_power({}, util::Hertz(600e3), util::Hertz(fs)),
+               std::invalid_argument);
 }
 
 TEST(FskModem, NoiselessRoundTrip) {

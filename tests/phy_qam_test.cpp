@@ -57,9 +57,9 @@ TEST(Qam, BerMonotoneInSnrAndBounded) {
 TEST(Qam, TagEnergyPerBitFallsWithOrder) {
   QamTagModel tag;
   const double rs = 1e6;  // 1 Msym/s
-  const double e2 = tag.tag_joules_per_bit(2, rs);
-  const double e16 = tag.tag_joules_per_bit(16, rs);
-  const double e64 = tag.tag_joules_per_bit(64, rs);
+  const double e2 = tag.tag_joules_per_bit(2, util::Hertz(rs));
+  const double e16 = tag.tag_joules_per_bit(16, util::Hertz(rs));
+  const double e64 = tag.tag_joules_per_bit(64, util::Hertz(rs));
   EXPECT_NEAR(e2 / e16, 4.0, 1e-9);   // log2(16)/log2(2)
   EXPECT_NEAR(e2 / e64, 6.0, 1e-9);
   // [48]-class figure of merit: ~pJ/bit scale at Msym/s rates.
@@ -79,8 +79,8 @@ TEST(Qam, RangeShrinksGently) {
 
 TEST(Qam, ThroughputScalesWithOrder) {
   QamTagModel tag;
-  EXPECT_DOUBLE_EQ(tag.bitrate_bps(16, 1e6), 4e6);
-  EXPECT_DOUBLE_EQ(tag.bitrate_bps(64, 1e6), 6e6);
+  EXPECT_DOUBLE_EQ(tag.bitrate_bps(16, util::Hertz(1e6)), 4e6);
+  EXPECT_DOUBLE_EQ(tag.bitrate_bps(64, util::Hertz(1e6)), 6e6);
 }
 
 TEST(Qam, Validation) {
@@ -88,7 +88,7 @@ TEST(Qam, Validation) {
   EXPECT_THROW(qam_bit_error_rate(16, -1.0), std::domain_error);
   EXPECT_THROW(qam_required_snr(16, 0.0), std::domain_error);
   QamTagModel tag;
-  EXPECT_THROW(tag.bitrate_bps(16, 0.0), std::domain_error);
+  EXPECT_THROW(tag.bitrate_bps(16, util::Hertz(0.0)), std::domain_error);
   EXPECT_THROW(qam_range_m(16, 0.0), std::domain_error);
 }
 

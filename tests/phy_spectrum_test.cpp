@@ -1,4 +1,5 @@
 #include "phy/spectrum.hpp"
+#include "util/units.hpp"
 
 #include <cmath>
 #include <numbers>
@@ -79,7 +80,7 @@ TEST(Welch, FindsAToneAboveTheFloor) {
                       static_cast<double>(k) / fs) +
              0.01 * rng.gaussian();
   }
-  const auto psd = welch_psd(sig, fs);
+  const auto psd = welch_psd(sig, util::Hertz(fs));
   // Peak bin near 125 kHz, well above the noise floor.
   double peak_freq = 0.0, peak_db = -1e9, floor_db = 0.0;
   int floor_count = 0;
@@ -96,7 +97,7 @@ TEST(Welch, FindsAToneAboveTheFloor) {
   floor_db /= floor_count;
   EXPECT_NEAR(peak_freq, 125e3, 5e3);
   EXPECT_GT(peak_db - floor_db, 20.0);
-  EXPECT_THROW(welch_psd({1.0, 2.0}, fs), std::invalid_argument);
+  EXPECT_THROW(welch_psd({1.0, 2.0}, util::Hertz(fs)), std::invalid_argument);
 }
 
 TEST(Spectrum, ManchesterMovesEnergyOffDc) {
@@ -122,11 +123,11 @@ TEST(Spectrum, ManchesterMovesEnergyOffDc) {
   remove_mean(nrz);
   remove_mean(manchester);
 
-  const double corner = 100e3;  // below the 1 Mbps data band
+  const util::Hertz corner{100e3};  // below the 1 Mbps data band
   const double nrz_low =
-      power_fraction_below(welch_psd(nrz, fs), corner);
+      power_fraction_below(welch_psd(nrz, util::Hertz(fs)), corner);
   const double man_low =
-      power_fraction_below(welch_psd(manchester, fs), corner);
+      power_fraction_below(welch_psd(manchester, util::Hertz(fs)), corner);
   EXPECT_GT(nrz_low, 0.1);   // NRZ: sinc^2 piles up toward DC
   EXPECT_LT(man_low, nrz_low / 10.0);  // Manchester: band starts at R/2
 }
@@ -135,9 +136,9 @@ TEST(Spectrum, FskSubcarrierConcentratesAtItsTones) {
   FskSubcarrierConfig cfg;  // tones 600/900 kHz @ 8 Msps
   FskSubcarrierModem modem(cfg);
   const auto wave = modem.modulate(random_bits(2048, 11));
-  const auto psd = welch_psd(wave, cfg.sample_rate_hz);
+  const auto psd = welch_psd(wave, util::Hertz(cfg.sample_rate_hz));
   // Almost no energy below 100 kHz; strong energy near the tones.
-  EXPECT_LT(power_fraction_below(psd, 100e3), 0.05);
+  EXPECT_LT(power_fraction_below(psd, util::Hertz(100e3)), 0.05);
   double near_tones = 0.0, total = 0.0;
   for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
     const double p = std::pow(10.0, psd.power_db[k] / 10.0);

@@ -11,6 +11,8 @@
 namespace braidio {
 namespace {
 
+using JL = util::Joules;
+
 class PropertyTest : public ::testing::Test {
  protected:
   core::PowerTable table_;
@@ -28,8 +30,8 @@ TEST_F(PropertyTest, BraidioNeverLosesToItsOwnModes) {
     cfg.include_switch_overhead = false;
     const double e1 = rng.uniform(100.0, 1e6);
     const double e2 = rng.uniform(100.0, 1e6);
-    const double braid = sim_.braidio(e1, e2, cfg).bits;
-    const double best = sim_.best_single_mode_bits(e1, e2, cfg);
+    const double braid = sim_.braidio(JL(e1), JL(e2), cfg).bits;
+    const double best = sim_.best_single_mode_bits(JL(e1), JL(e2), cfg);
     EXPECT_GE(braid, best * (1.0 - 1e-9))
         << "d=" << cfg.distance_m << " e1=" << e1 << " e2=" << e2;
   }
@@ -43,8 +45,8 @@ TEST_F(PropertyTest, BraidioNeverLosesToBluetooth) {
     cfg.bidirectional = rng.bernoulli(0.5);
     const double e1 = rng.uniform(100.0, 1e6);
     const double e2 = rng.uniform(100.0, 1e6);
-    const double braid = sim_.braidio(e1, e2, cfg).bits;
-    const double bt = sim_.bluetooth_bits(e1, e2, cfg.bidirectional);
+    const double braid = sim_.braidio(JL(e1), JL(e2), cfg).bits;
+    const double bt = sim_.bluetooth_bits(JL(e1), JL(e2), cfg.bidirectional);
     EXPECT_GE(braid, bt * (1.0 - 1e-9))
         << "d=" << cfg.distance_m << " bidir=" << cfg.bidirectional;
   }
@@ -58,9 +60,11 @@ TEST_F(PropertyTest, MoreEnergyNeverMeansFewerBits) {
     cfg.distance_m = rng.uniform(0.2, 5.0);
     const double e1 = rng.uniform(100.0, 1e5);
     const double e2 = rng.uniform(100.0, 1e5);
-    const double base = sim_.braidio(e1, e2, cfg).bits;
-    EXPECT_GE(sim_.braidio(e1 * 1.5, e2, cfg).bits, base * (1.0 - 1e-9));
-    EXPECT_GE(sim_.braidio(e1, e2 * 1.5, cfg).bits, base * (1.0 - 1e-9));
+    const double base = sim_.braidio(JL(e1), JL(e2), cfg).bits;
+    EXPECT_GE(sim_.braidio(JL(e1 * 1.5), JL(e2), cfg).bits,
+              base * (1.0 - 1e-9));
+    EXPECT_GE(sim_.braidio(JL(e1), JL(e2 * 1.5), cfg).bits,
+              base * (1.0 - 1e-9));
   }
 }
 
@@ -74,10 +78,10 @@ TEST_F(PropertyTest, ScaleInvarianceOfGains) {
     const double e1 = rng.uniform(100.0, 1e5);
     const double e2 = rng.uniform(100.0, 1e5);
     const double s = rng.uniform(2.0, 50.0);
-    const double g1 = sim_.braidio(e1, e2, cfg).bits /
-                      sim_.bluetooth_bits(e1, e2, false);
-    const double g2 = sim_.braidio(s * e1, s * e2, cfg).bits /
-                      sim_.bluetooth_bits(s * e1, s * e2, false);
+    const double g1 = sim_.braidio(JL(e1), JL(e2), cfg).bits /
+                      sim_.bluetooth_bits(JL(e1), JL(e2), false);
+    const double g2 = sim_.braidio(JL(s * e1), JL(s * e2), cfg).bits /
+                      sim_.bluetooth_bits(JL(s * e1), JL(s * e2), false);
     EXPECT_NEAR(g1 / g2, 1.0, 1e-6);
   }
 }
@@ -96,7 +100,7 @@ TEST_F(PropertyTest, BitsNeverExceedTheEnergyBound) {
     cfg.distance_m = rng.uniform(0.2, 5.0);
     const double e1 = rng.uniform(10.0, 1e6);
     const double e2 = rng.uniform(10.0, 1e6);
-    const double bits = sim_.braidio(e1, e2, cfg).bits;
+    const double bits = sim_.braidio(JL(e1), JL(e2), cfg).bits;
     EXPECT_LE(bits, e1 / min_t * (1.0 + 1e-9));
     EXPECT_LE(bits, e2 / min_r * (1.0 + 1e-9));
   }
@@ -112,8 +116,8 @@ TEST_F(PropertyTest, GainCollapsesExactlyWhereOffloadDies) {
     cfg.include_switch_overhead = false;
     const double e1 = rng.uniform(100.0, 1e6);
     const double e2 = rng.uniform(100.0, 1e6);
-    const double braid = sim_.braidio(e1, e2, cfg).bits;
-    const double bt = sim_.bluetooth_bits(e1, e2, false);
+    const double braid = sim_.braidio(JL(e1), JL(e2), cfg).bits;
+    const double bt = sim_.bluetooth_bits(JL(e1), JL(e2), false);
     EXPECT_NEAR(braid / bt, 1.0, 1e-9) << cfg.distance_m;
   }
 }

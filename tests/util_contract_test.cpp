@@ -93,8 +93,8 @@ TEST(ModuleContractsDeathTest, RfPathlossRejectsNanDistance) {
 }
 
 TEST(ModuleContractsDeathTest, EnergyBatteryRejectsNanDrain) {
-  energy::Battery battery(1.0);
-  EXPECT_DEATH(battery.drain(kNan), kDies);
+  energy::Battery battery(util::WattHours(1.0));
+  EXPECT_DEATH(battery.drain(util::Joules(kNan)), kDies);
 }
 
 TEST(ModuleContractsDeathTest, MacArqRejectsAbsurdConfig) {
@@ -151,11 +151,12 @@ TEST(ContractCheckers, MacrosAreSilentWhenSatisfied) {
 // Documented recoverable errors must still throw — contracts only cover
 // conditions the existing checks could not see (NaN slips past `< 0`).
 TEST(ContractCheckers, DocumentedExceptionsStillThrow) {
-  EXPECT_THROW(energy::Battery(-1.0), std::invalid_argument);
+  EXPECT_THROW(energy::Battery(util::WattHours(-1.0)),
+               std::invalid_argument);
   EXPECT_THROW(phy::bit_error_rate(phy::BerModel::CoherentBpsk, -1.0),
                std::domain_error);
-  energy::Battery battery(1.0);
-  EXPECT_THROW(battery.drain(-0.5), std::invalid_argument);
+  energy::Battery battery(util::WattHours(1.0));
+  EXPECT_THROW(battery.drain(util::Joules(-0.5)), std::invalid_argument);
 }
 
 }  // namespace

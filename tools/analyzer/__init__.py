@@ -1,0 +1,25 @@
+"""braidio-analyzer: project-semantic static analysis (DESIGN.md §13).
+
+Rules regex lint (tools/lint.py) cannot express:
+
+A1 determinism   no wall clock in src/ outside the util/obs timing
+                 shims; no iteration over std::unordered_map/set whose
+                 results flow into ResultTable/EnergyProfile/exports;
+                 no pointer-keyed std::map/std::set ordering.
+A2 energy-flow   every EnergyLedger::charge call site is lexically
+                 inside a BRAIDIO_ENERGY_SPAN scope (or annotated
+                 `// analyzer: unattributed(<reason>)`), and charge
+                 amounts originate in the units layer, not raw
+                 numeric literals.
+A3 units         public APIs in src/energy, src/core, src/mac and
+                 src/phy must not take raw `double` parameters with
+                 unit-suffixed names (_j/_s/_w/_dbm/_hz/_wh) — use
+                 the strong types in src/util/units.hpp.
+A4 contracts     overloads of a REQUIRE-checked function in the same
+                 header/source pair must not silently skip the
+                 precondition.
+
+Suppressions: `// analyzer: <rule-key>(<reason>)` on the finding line
+or the line above. The reason string is mandatory; an empty reason is
+itself a finding.
+"""

@@ -1,0 +1,8 @@
+"""Entry point: `python3 tools/analyzer [...]`."""
+
+import sys
+
+import cli
+
+if __name__ == "__main__":
+    sys.exit(cli.main())

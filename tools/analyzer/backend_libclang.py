@@ -1,0 +1,89 @@
+"""AST backend on the libclang Python bindings (preferred when present).
+
+Produces the same SourceModel as the lexical backend, but recovers
+function definitions and parameter lists from real AST cursors, so
+A3/A4 see through macros, default arguments, and formatting the
+parenthesis-matching scan can only approximate. Comment handling
+(suppressions) and the BRAIDIO_ENERGY_SPAN scope walk reuse the lexical
+primitives — spans are a macro, invisible to the AST after
+preprocessing, and lexical scoping is exactly the rule's contract.
+
+The container/CI image may not ship libclang: ``available()`` probes
+for it and the CLI silently falls back to the lexical backend (the
+chosen backend is reported in --json output as "backend").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import backend_lexical
+from model import FunctionDef, SourceModel
+
+_INDEX = None
+
+
+def available() -> bool:
+    """True when clang.cindex imports AND a libclang is loadable."""
+    global _INDEX
+    if _INDEX is not None:
+        return True
+    try:
+        from clang import cindex  # type: ignore
+        _INDEX = cindex.Index.create()
+        return True
+    except Exception:  # ImportError, LibclangError, ...
+        return False
+
+
+def _ast_functions(tu, path: Path) -> list[FunctionDef]:
+    from clang import cindex  # type: ignore
+
+    kinds = (
+        cindex.CursorKind.FUNCTION_DECL,
+        cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+    )
+    functions: list[FunctionDef] = []
+    want = str(path.resolve())
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is not None and str(loc.file) != want:
+                continue
+            if child.kind in kinds and child.is_definition():
+                params = ", ".join(
+                    f"{p.type.spelling} {p.spelling}".strip()
+                    for p in child.get_arguments())
+                extent = child.extent
+                body = " ".join(t.spelling for t in child.get_tokens())
+                functions.append(FunctionDef(
+                    name=child.spelling,
+                    params=params,
+                    line=loc.line,
+                    body=body,
+                    body_line=loc.line,
+                ))
+            visit(child)
+
+    visit(tu.cursor)
+    return functions
+
+
+def build_model(path: Path, repo: Path,
+                compile_args: list[str] | None = None) -> SourceModel:
+    """Lexical model with functions/params upgraded from the AST."""
+    model = backend_lexical.build_model(path, repo)
+    if not available():
+        return model
+    try:
+        tu = _INDEX.parse(str(path), args=compile_args or [])
+        ast = _ast_functions(tu, path)
+        if ast:
+            model.functions = ast
+    except Exception:
+        # Parse failures degrade to the lexical model rather than
+        # dropping the file from analysis.
+        pass
+    return model

@@ -1,0 +1,19 @@
+// analyzer-path: src/sim/fixture_pointer_key.cpp
+// Known-bad fixture: pointer-keyed ordering in deterministic paths.
+#include <map>
+#include <set>
+
+namespace braidio::sim {
+
+struct Node {
+  double joules = 0.0;
+};
+
+std::map<Node*, double> budget_by_node;  // expect: A1-pointer-key
+
+void collect(const Node* node) {
+  static std::set<const Node*> visited;  // expect: A1-pointer-key
+  visited.insert(node);
+}
+
+}  // namespace braidio::sim

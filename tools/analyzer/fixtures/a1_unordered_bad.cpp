@@ -1,0 +1,34 @@
+// analyzer-path: src/core/fixture_unordered.cpp
+// Known-bad fixture: unordered iteration order flowing into exports.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace braidio::core {
+
+std::unordered_map<std::string, double> totals_by_mode;
+
+void fill_table(util::TablePrinter& table) {
+  // expect: A1-unordered-iter
+  for (const auto& [mode, joules] : totals_by_mode) {
+    table.add_row({mode, std::to_string(joules)});
+  }
+}
+
+void fill_profile(obs::EnergyProfile& profile) {
+  std::unordered_set<std::string> seen;
+  // expect: A1-unordered-iter
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    profile.post(*it, 1.0, 0.0);
+  }
+}
+
+double harmless_total() {
+  // No finding: the sum is order-independent and this function never
+  // touches a ResultTable/EnergyProfile/export sink.
+  double sum = 0.0;
+  for (const auto& [mode, joules] : totals_by_mode) sum += joules;
+  return sum;
+}
+
+}  // namespace braidio::core

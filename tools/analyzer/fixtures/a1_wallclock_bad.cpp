@@ -1,0 +1,18 @@
+// analyzer-path: src/core/fixture_wallclock.cpp
+// Known-bad fixture: wall-clock reads in deterministic core code.
+#include <chrono>
+
+namespace braidio::core {
+
+double elapsed_wall() {
+  const auto start = std::chrono::steady_clock::now();  // expect: A1-wallclock
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();  // expect: A1-wallclock
+}
+
+long stamp() {
+  return time(nullptr);  // expect: A1-wallclock
+}
+
+}  // namespace braidio::core

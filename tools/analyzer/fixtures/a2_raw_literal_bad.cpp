@@ -1,0 +1,25 @@
+// analyzer-path: src/core/fixture_raw_literal.cpp
+// Known-bad fixture: charge amounts hardcoded instead of computed
+// through the units layer.
+#include "energy/ledger.hpp"
+
+namespace braidio::core {
+
+void hardcoded_joules(energy::EnergyLedger& ledger) {
+  BRAIDIO_ENERGY_SPAN(device_span, "device1");
+  // expect: A2-raw-literal
+  ledger.charge(energy::EnergyCategory::ModeSwitch,
+                util::Joules(0.000207));
+  // expect: A2-raw-literal
+  ledger.charge(energy::EnergyCategory::Idle, util::Joules(1.5e-6));
+}
+
+void computed_joules(energy::EnergyLedger& ledger, double power_w,
+                     double elapsed_s) {
+  BRAIDIO_ENERGY_SPAN(device_span, "device1");
+  // No finding: the amount is computed from power and time.
+  ledger.charge(energy::EnergyCategory::ActiveTx,
+                util::Joules(power_w * elapsed_s));
+}
+
+}  // namespace braidio::core

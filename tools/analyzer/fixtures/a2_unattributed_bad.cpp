@@ -1,0 +1,34 @@
+// analyzer-path: src/core/fixture_unattributed.cpp
+// Known-bad fixture: EnergyLedger::charge with no enclosing span.
+#include "energy/ledger.hpp"
+
+namespace braidio::core {
+
+void drain_no_span(energy::EnergyLedger& ledger, double want_j) {
+  // expect: A2-unattributed
+  ledger.charge(energy::EnergyCategory::ActiveTx, util::Joules(want_j),
+                util::Seconds(0.0));
+}
+
+void drain_span_closed(energy::EnergyLedger* ledger, double want_j) {
+  {
+    BRAIDIO_ENERGY_SPAN(device_span, "device1");
+  }
+  // The span above closed before the charge: still unattributed.
+  // expect: A2-unattributed
+  ledger->charge(energy::EnergyCategory::ActiveRx, util::Joules(want_j));
+}
+
+void drain_attributed(energy::EnergyLedger& ledger, double want_j) {
+  BRAIDIO_ENERGY_SPAN(device_span, "device1");
+  // No finding: lexically inside an open span scope.
+  ledger.charge(energy::EnergyCategory::Idle, util::Joules(want_j));
+}
+
+void drain_annotated(energy::EnergyLedger& ledger, double want_j) {
+  // No finding: carries the documented escape hatch.
+  // analyzer: unattributed(bootstrap charge before any span exists)
+  ledger.charge(energy::EnergyCategory::Idle, util::Joules(want_j));
+}
+
+}  // namespace braidio::core

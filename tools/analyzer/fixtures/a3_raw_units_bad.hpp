@@ -1,0 +1,26 @@
+// analyzer-path: src/energy/fixture_raw_units.hpp
+// Known-bad fixture: public API taking unit-suffixed raw doubles.
+#pragma once
+
+namespace braidio::energy {
+
+class FixtureBattery {
+ public:
+  // expect: A3-raw-unit-param
+  explicit FixtureBattery(double capacity_wh);
+
+  // expect: A3-raw-unit-param
+  double drain(double request_j);
+
+  // expect: A3-raw-unit-param
+  double seconds_at(double draw_w) const;
+
+  // No finding: relative dB (snr_db) is dimensionless and stays raw,
+  // and distance has no strong type.
+  double margin(double snr_db, double distance_m) const;
+};
+
+// expect: A3-raw-unit-param
+double thermal_floor(double bandwidth_hz);
+
+}  // namespace braidio::energy

@@ -1,0 +1,40 @@
+// analyzer-path: src/mac/fixture_missing_require.cpp
+// Known-bad fixture: overloads that skip their sibling's precondition.
+#include "util/contract.hpp"
+
+namespace braidio::mac {
+
+class FixtureChannel {
+ public:
+  void set_clock(double sim_time_s) {
+    BRAIDIO_REQUIRE(sim_time_s >= clock_s_,
+                    "set_clock: time must be non-decreasing");
+    clock_s_ = sim_time_s;
+  }
+
+  // expect: A4-missing-require
+  void set_clock(double sim_time_s, bool coarse) {
+    clock_s_ = coarse ? sim_time_s : clock_s_;
+  }
+
+  double airtime(double bits, double rate_bps) const {
+    BRAIDIO_REQUIRE(rate_bps > 0.0, "airtime: rate must be positive");
+    return bits / rate_bps;
+  }
+
+  // expect: A4-missing-require
+  double airtime(double bits) const {
+    return bits / default_rate_;
+  }
+
+  double checked_delegate(double bits) const {
+    // No finding: delegates to the REQUIRE-checked overload.
+    return airtime(bits, default_rate_);
+  }
+
+ private:
+  double clock_s_ = 0.0;
+  double default_rate_ = 1e6;
+};
+
+}  // namespace braidio::mac

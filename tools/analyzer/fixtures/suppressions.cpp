@@ -1,0 +1,27 @@
+// analyzer-path: src/core/fixture_suppressions.cpp
+// Suppression mechanics: reasons are mandatory, typos are findings.
+#include <chrono>
+
+namespace braidio::core {
+
+double suppressed_ok() {
+  // analyzer: wallclock(progress display only; never enters results)
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+double suppressed_empty() {
+  // expect: bad-suppression
+  // analyzer: wallclock()
+  const auto now = std::chrono::steady_clock::now();  // expect: A1-wallclock
+  return now.time_since_epoch().count();
+}
+
+double suppressed_typo() {
+  // expect: bad-suppression
+  // analyzer: wallclok(typo must not silently suppress)
+  const auto now = std::chrono::steady_clock::now();  // expect: A1-wallclock
+  return now.time_since_epoch().count();
+}
+
+}  // namespace braidio::core

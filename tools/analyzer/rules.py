@@ -1,0 +1,244 @@
+"""Rule implementations A1-A4 over the SourceModel (DESIGN.md §13)."""
+
+from __future__ import annotations
+
+import re
+
+from model import Finding, SourceModel
+
+# --- A1: determinism -------------------------------------------------
+
+_WALLCLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(?:system_clock|steady_clock|"
+                r"high_resolution_clock)\b"),
+     "std::chrono wall/monotonic clock"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"\bstd::time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time()"),
+    (re.compile(r"\b(?:std::)?(?:localtime|gmtime)\s*\("),
+     "localtime/gmtime"),
+]
+# Timing shims: util owns logging timestamps, obs owns tracer clocks.
+_WALLCLOCK_SHIMS = ("src/util/", "src/obs/")
+
+_UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;(){}]*?>\s*"
+    r"([A-Za-z_]\w*)\s*[;={]")
+_SINK_RE = re.compile(
+    r"\b(?:TablePrinter|ResultTable|RunRecord|EnergyProfile|add_row|"
+    r"to_json|to_csv|to_collapsed_stack|to_chrome_counters|"
+    r"export_\w+)\b")
+_POINTER_KEY_RE = re.compile(
+    r"std::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*\s*\*")
+
+# --- A3: units discipline --------------------------------------------
+
+_DOUBLE_PARAM_RE = re.compile(
+    r"[(,]\s*(?:const\s+)?double\s+([A-Za-z_]\w*)\s*(?=[,)=])")
+_UNIT_SUFFIXES = ("_j", "_s", "_w", "_dbm", "_hz", "_wh")
+_UNIT_BARE_NAMES = {"joules", "seconds", "watts", "dbm", "hertz",
+                    "watt_hours"}
+_UNIT_TYPE_HINT = {
+    "_j": "util::Joules", "_s": "util::Seconds", "_w": "util::Watts",
+    "_dbm": "util::Dbm", "_hz": "util::Hertz", "_wh": "util::WattHours",
+    "joules": "util::Joules", "seconds": "util::Seconds",
+    "watts": "util::Watts", "dbm": "util::Dbm", "hertz": "util::Hertz",
+    "watt_hours": "util::WattHours",
+}
+_A3_DIRS = ("src/energy/", "src/core/", "src/mac/", "src/phy/")
+
+# --- A4: contract coverage -------------------------------------------
+
+_REQUIRE_RE = re.compile(r"\bBRAIDIO_(?:REQUIRE|ENSURE)\b")
+
+_NUMERIC_LITERAL_RE = re.compile(
+    r"^[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?$")
+_WRAPPED_LITERAL_RE = re.compile(
+    r"^(?:braidio::)?(?:util::)?Joules\s*\((.*)\)$", re.DOTALL)
+
+
+def _in_src(model: SourceModel) -> bool:
+    return model.rel.startswith("src/")
+
+
+def check_wallclock(model: SourceModel) -> list[Finding]:
+    if not _in_src(model) or model.rel.startswith(_WALLCLOCK_SHIMS):
+        return []
+    findings = []
+    blanked_lines = model.blanked.split("\n")
+    for lineno, line in enumerate(blanked_lines, 1):
+        for pattern, label in _WALLCLOCK_PATTERNS:
+            if pattern.search(line):
+                if model.suppressed("wallclock", lineno):
+                    continue
+                findings.append(Finding(
+                    "A1-wallclock", model.rel, lineno,
+                    f"{label} in deterministic code — results must not "
+                    "depend on the host clock; route timing through the "
+                    "util/obs shims or suppress with a reason"))
+    return findings
+
+
+def check_unordered_iteration(model: SourceModel) -> list[Finding]:
+    if not _in_src(model):
+        return []
+    names = set(_UNORDERED_DECL_RE.findall(model.blanked))
+    if not names:
+        return []
+    findings = []
+    for func in model.functions:
+        # Sinks reach a function either in its body or through a
+        # reference parameter (TablePrinter&, EnergyProfile&).
+        if not _SINK_RE.search(func.params + " " + func.body):
+            continue
+        for name in sorted(names):
+            iter_re = re.compile(
+                rf"for\s*\([^;)]*:\s*[^;)]*\b{name}\b|"
+                rf"\b{name}\s*\.\s*(?:begin|cbegin)\s*\(")
+            for match in iter_re.finditer(func.body):
+                lineno = (func.body_line +
+                          func.body.count("\n", 0, match.start()))
+                if model.suppressed("unordered-iter", lineno):
+                    continue
+                findings.append(Finding(
+                    "A1-unordered-iter", model.rel, lineno,
+                    f"iterating unordered container '{name}' in a "
+                    "function that feeds ResultTable/EnergyProfile/"
+                    "exports — order is implementation-defined; copy "
+                    "into a sorted container first"))
+    return findings
+
+
+def check_pointer_keys(model: SourceModel) -> list[Finding]:
+    if not _in_src(model):
+        return []
+    findings = []
+    for lineno, line in enumerate(model.blanked.split("\n"), 1):
+        if _POINTER_KEY_RE.search(line):
+            if model.suppressed("pointer-key", lineno):
+                continue
+            findings.append(Finding(
+                "A1-pointer-key", model.rel, lineno,
+                "pointer-keyed ordered container — iteration order "
+                "follows allocation addresses, which vary run to run; "
+                "key by a value (name, index) instead"))
+    return findings
+
+
+def check_energy_attribution(model: SourceModel) -> list[Finding]:
+    if not _in_src(model):
+        return []
+    findings = []
+    for call in model.charge_calls:
+        if not call.in_span_scope:
+            if not model.suppressed("unattributed", call.line):
+                findings.append(Finding(
+                    "A2-unattributed", model.rel, call.line,
+                    "EnergyLedger::charge outside any lexical "
+                    "BRAIDIO_ENERGY_SPAN scope — the joules land in the "
+                    "profile with no provenance; open a span or annotate "
+                    "`// analyzer: unattributed(<reason>)`"))
+        amount = call.amount_text.strip()
+        wrapped = _WRAPPED_LITERAL_RE.match(amount)
+        inner = wrapped.group(1).strip() if wrapped else amount
+        if _NUMERIC_LITERAL_RE.match(inner):
+            if not model.suppressed("raw-literal", call.line):
+                findings.append(Finding(
+                    "A2-raw-literal", model.rel, call.line,
+                    f"charge amount '{amount}' is a raw numeric literal "
+                    "— energy must be computed through the units layer "
+                    "(power * time, battery drain) or a named constant"))
+    return findings
+
+
+def check_units_discipline(model: SourceModel) -> list[Finding]:
+    if not model.rel.startswith(_A3_DIRS):
+        return []
+    if not model.rel.endswith(".hpp"):
+        return []  # public API surface = headers
+    findings = []
+    for match in _DOUBLE_PARAM_RE.finditer(model.blanked):
+        name = match.group(1)
+        lowered = name.lower()
+        hint = None
+        for suffix in _UNIT_SUFFIXES:
+            if lowered.endswith(suffix):
+                hint = _UNIT_TYPE_HINT[suffix]
+                break
+        if hint is None and lowered in _UNIT_BARE_NAMES:
+            hint = _UNIT_TYPE_HINT[lowered]
+        if hint is None:
+            continue
+        lineno = model.blanked.count("\n", 0, match.start()) + 1
+        if model.suppressed("raw-unit-param", lineno):
+            continue
+        findings.append(Finding(
+            "A3-raw-unit-param", model.rel, lineno,
+            f"public parameter 'double {name}' carries a unit in its "
+            f"name — take {hint} (src/util/units.hpp) so mixups are "
+            "compile errors"))
+    return findings
+
+
+def _bare(name: str) -> str:
+    return name.split("::")[-1].lstrip("~")
+
+
+def check_contract_coverage(models: list[SourceModel]) -> list[Finding]:
+    """A4 over a header/source pair: REQUIRE-checked overload siblings."""
+    groups: dict[str, list[tuple[SourceModel, object]]] = {}
+    for model in models:
+        if not _in_src(model):
+            continue
+        for func in model.functions:
+            name = _bare(func.name)
+            qualifier = func.name.split("::")[:-1]
+            if qualifier and _bare(qualifier[-1]) == name:
+                continue  # constructor (Foo::Foo)
+            groups.setdefault(name, []).append((model, func))
+    findings = []
+    for name, defs in sorted(groups.items()):
+        if len(defs) < 2:
+            continue
+        signatures = {func.params for _, func in defs}
+        if len(signatures) < 2:
+            continue  # redefinition noise, not overloads
+        checked = [f for _, f in defs if _REQUIRE_RE.search(f.body)]
+        if not checked:
+            continue
+        for model, func in defs:
+            if _REQUIRE_RE.search(func.body):
+                continue
+            if not func.params.strip():
+                continue  # nothing to validate
+            # Delegating overloads inherit the sibling's checks.
+            if re.search(rf"\b{name}\s*\(", func.body[1:]):
+                continue
+            if model.suppressed("missing-require", func.line):
+                continue
+            findings.append(Finding(
+                "A4-missing-require", model.rel, func.line,
+                f"overload of '{name}' skips the BRAIDIO_REQUIRE "
+                "precondition its sibling enforces — validate the same "
+                "invariant or delegate to the checked overload"))
+    return findings
+
+
+def run_all(models: list[SourceModel]) -> list[Finding]:
+    findings: list[Finding] = []
+    pairs: dict[str, list[SourceModel]] = {}
+    for model in models:
+        findings.extend(model.bad_suppressions)
+        findings.extend(check_wallclock(model))
+        findings.extend(check_unordered_iteration(model))
+        findings.extend(check_pointer_keys(model))
+        findings.extend(check_energy_attribution(model))
+        findings.extend(check_units_discipline(model))
+        stem = re.sub(r"\.(?:hpp|cpp)$", "", model.rel)
+        pairs.setdefault(stem, []).append(model)
+    for stem in sorted(pairs):
+        findings.extend(check_contract_coverage(pairs[stem]))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return findings

@@ -1,0 +1,65 @@
+"""Suppression annotations: `// analyzer: <key>(<reason>)`.
+
+The annotation goes on the finding line or the line directly above.
+The reason is mandatory: an empty reason is reported as its own
+``bad-suppression`` finding so silencing a rule always leaves a
+documented trail. Unknown keys are also findings — a typo must not
+silently suppress nothing.
+
+A second directive, `// analyzer-path: <repo-relative-path>`, makes a
+file analyze *as if* it lived at that path. It exists for the fixture
+suite (fixtures exercise path-scoped rules like A3 from tools/), and is
+honored anywhere because the path it names is visible in the diff.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import Finding, RULES_BY_KEY
+
+ANNOTATION_RE = re.compile(
+    r"//\s*analyzer:\s*([A-Za-z0-9_-]+)\s*\(([^)]*)\)")
+PRETEND_PATH_RE = re.compile(r"//\s*analyzer-path:\s*(\S+)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([A-Za-z0-9_-]+)")
+
+
+def parse_suppressions(
+    comments: list[tuple[int, str]], rel: str,
+) -> tuple[dict[int, dict[str, str]], list[Finding]]:
+    """Return (line -> key -> reason, bad-suppression findings)."""
+    table: dict[int, dict[str, str]] = {}
+    bad: list[Finding] = []
+    for line, comment in comments:
+        for match in ANNOTATION_RE.finditer(comment):
+            key, reason = match.group(1), match.group(2).strip()
+            if key == "bad-suppression":
+                continue  # not a suppressible rule
+            if key not in RULES_BY_KEY:
+                bad.append(Finding(
+                    "bad-suppression", rel, line,
+                    f"unknown suppression key '{key}' (see "
+                    "`tools/analyzer --list`)"))
+                continue
+            if not reason:
+                bad.append(Finding(
+                    "bad-suppression", rel, line,
+                    f"suppression '{key}' has an empty reason — say why "
+                    "the rule does not apply"))
+                continue
+            table.setdefault(line, {})[key] = reason
+    return table, bad
+
+
+def pretend_path(comments: list[tuple[int, str]]) -> str | None:
+    for _, comment in comments:
+        match = PRETEND_PATH_RE.search(comment)
+        if match:
+            return match.group(1)
+    return None
+
+
+def expected_rules(comments: list[tuple[int, str]]) -> list[str]:
+    """Fixture expectations: every `// expect: <rule-id>` in the file."""
+    return [m.group(1) for _, comment in comments
+            for m in EXPECT_RE.finditer(comment)]

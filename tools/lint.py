@@ -3,8 +3,13 @@
 
 Run from anywhere inside the repo:
 
-    python3 tools/lint.py            # lint the whole tree
-    python3 tools/lint.py --list     # show the rules and exit
+    python3 tools/lint.py                    # lint the whole tree
+    python3 tools/lint.py --paths a.cpp ...  # incremental: only these
+    python3 tools/lint.py --list             # show the rules and exit
+
+Incremental mode (`--paths`) runs the per-file rules (R1/R2/R4/R5/R6)
+on exactly the files given — the pre-commit / editor-save loop. The
+whole-tree R3 test-registration rule only runs in full mode.
 
 Rules
 -----
@@ -117,7 +122,12 @@ def cxx_files() -> list[Path]:
 
 
 def rel(path: Path) -> Path:
-    return path.relative_to(REPO)
+    """Repo-relative path; paths outside the repo stay as given (rules
+    keyed on the top-level directory then simply do not apply)."""
+    try:
+        return path.resolve().relative_to(REPO)
+    except ValueError:
+        return path
 
 
 def check_global_rng(path: Path, lines: list[str], findings: list[str]):
@@ -220,32 +230,62 @@ def check_test_registration(findings: list[str]):
                 f"tests/CMakeLists.txt includes \"{key}\"")
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--list", action="store_true",
-                        help="print the rule docs and exit")
-    args = parser.parse_args()
-    if args.list:
-        print(__doc__)
-        return 0
+# Pinned exit codes — tests/tools/lint_selftest.py asserts these.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
 
+
+def lint_files(paths: list[Path], full: bool) -> list[str]:
     findings: list[str] = []
-    for path in cxx_files():
+    for path in paths:
         lines = path.read_text().splitlines()
         check_global_rng(path, lines, findings)
         check_naked_stdout(path, lines, findings)
         check_stray_threads(path, lines, findings)
         check_events_not_logs(path, lines, findings)
         check_line_hygiene(path, lines, findings)
-    check_test_registration(findings)
+    if full:
+        check_test_registration(findings)
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true",
+                        help="print the rule docs and exit")
+    parser.add_argument("--paths", nargs="+", type=Path, default=None,
+                        metavar="FILE",
+                        help="incremental mode: lint only these files "
+                             "(per-file rules; skips R3)")
+    args = parser.parse_args()
+    if args.list:
+        print(__doc__)
+        return EXIT_CLEAN
+
+    if args.paths is not None:
+        for path in args.paths:
+            if not path.is_file():
+                print(f"tools/lint.py: no such file: {path}",
+                      file=sys.stderr)
+                return EXIT_ERROR
+        paths, full = args.paths, False
+    else:
+        paths, full = cxx_files(), True
+
+    try:
+        findings = lint_files(paths, full)
+    except OSError as error:
+        print(f"tools/lint.py: {error}", file=sys.stderr)
+        return EXIT_ERROR
 
     for finding in findings:
         print(finding)
     if findings:
         print(f"\ntools/lint.py: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
+        return EXIT_FINDINGS
     print("tools/lint.py: clean")
-    return 0
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":
