@@ -4,6 +4,7 @@
 
 #include "bench_common.hpp"
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "core/lifetime_sim.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "sim/run_report.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep_runner.hpp"

@@ -10,6 +10,7 @@
 //   braidio_cli ber <active|passive|backscatter> <10k|100k|1M>
 //   braidio_cli regimes
 //   braidio_cli devices
+//   braidio_cli backends
 //
 // Global flags (any command):
 //   --trace-out=<file>   enable the obs tracer, write Chrome trace JSON
@@ -21,6 +22,8 @@
 //   --faults=<file>      scripted fault timeline (sim/faults text format)
 //                        injected into commands that run the event
 //                        simulator (currently: braid)
+//   --backend=<name>     radio backend behind the HAL (default braidio;
+//                        see `braidio_cli backends` for the registry)
 //
 // Device names are the Fig. 1 catalog entries ("Apple Watch", "iPhone 6S",
 // ...). All output is plain tables; exit code 2 flags usage errors.
@@ -32,7 +35,9 @@
 #include <string>
 #include <vector>
 
+#include "backends/backends.hpp"
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "core/efficiency.hpp"
 #include "core/lifetime_sim.hpp"
 #include "obs/obs.hpp"
@@ -60,8 +65,10 @@ int usage() {
       "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
       "  braidio_cli regimes\n"
       "  braidio_cli devices\n"
+      "  braidio_cli backends\n"
       "global flags: --trace-out=<file> --trace-ring=<n> --metrics\n"
-      "              --log-level=<level> --faults=<file>\n";
+      "              --log-level=<level> --faults=<file>\n"
+      "              --backend=<name>\n";
   return 2;
 }
 
@@ -77,6 +84,7 @@ struct GlobalOptions {
   bool trace_ring_set = false;
   bool metrics = false;
   std::optional<sim::faults::ImpairmentSchedule> faults;
+  std::string backend = backends::kBraidio;
 };
 
 /// Strip the global flags out of `args`; returns false on a bad value.
@@ -100,6 +108,9 @@ bool parse_global_flags(std::vector<std::string>& args,
       options.trace_ring_set = true;
     } else if (arg == "--metrics") {
       options.metrics = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      options.backend = arg.substr(10);
+      if (options.backend.empty()) return false;
     } else if (arg.rfind("--faults=", 0) == 0) {
       std::string error;
       const auto timeline =
@@ -144,16 +155,15 @@ std::optional<phy::Bitrate> parse_rate(const std::string& s) {
   return std::nullopt;
 }
 
-int cmd_plan(const std::vector<std::string>& args) {
+int cmd_plan(const hal::RadioBackend& backend,
+             const std::vector<std::string>& args) {
   if (args.size() < 3) return usage();
   const double e1 = util::wh_to_joules(std::stod(args[0]));
   const double e2 = util::wh_to_joules(std::stod(args[1]));
   const double d = std::stod(args[2]);
   const bool bidir = args.size() > 3 && args[3] == "--bidirectional";
 
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::RegimeMap regimes(table, budget);
+  core::RegimeMap regimes(backend);
   const auto candidates = regimes.available_best_rate(d);
   if (candidates.empty()) {
     std::cout << "no link at " << d << " m\n";
@@ -173,7 +183,8 @@ int cmd_plan(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_braid(const std::vector<std::string>& args,
+int cmd_braid(const hal::RadioBackend& backend,
+              const std::vector<std::string>& args,
               const GlobalOptions& options) {
   if (args.size() < 3) return usage();
   const double e1_wh = std::stod(args[0]);
@@ -189,18 +200,16 @@ int cmd_braid(const std::vector<std::string>& args,
     }
   }
 
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::RegimeMap regimes(table, budget);
-  core::BraidioRadio device1("device1", 1, util::WattHours(e1_wh),
-                             table);
-  core::BraidioRadio device2("device2", 2, util::WattHours(e2_wh),
-                             table);
+  core::RegimeMap regimes(backend);
+  const auto device1 =
+      backend.create_radio("device1", 1, util::WattHours(e1_wh));
+  const auto device2 =
+      backend.create_radio("device2", 2, util::WattHours(e2_wh));
   core::BraidedLinkConfig cfg;
   cfg.distance_m = d;
   cfg.bidirectional = bidir;
   if (options.faults) cfg.impairments = &*options.faults;
-  core::BraidedLink link(device1, device2, regimes, cfg);
+  core::BraidedLink link(*device1, *device2, regimes, cfg);
   const auto stats = link.run(packets);
 
   util::TablePrinter out({"metric", "value"});
@@ -225,7 +234,8 @@ int cmd_braid(const std::vector<std::string>& args,
 // per-device ledgers, and a conservation line (tree total vs ledger
 // total). With --flame-out=<file>, also writes the collapsed-stack
 // flame graph (feed to flamegraph.pl / speedscope).
-int cmd_profile(const std::vector<std::string>& args,
+int cmd_profile(const hal::RadioBackend& backend,
+                const std::vector<std::string>& args,
                 const GlobalOptions& options) {
   if (args.size() < 3) return usage();
   const double e1_wh = std::stod(args[0]);
@@ -248,18 +258,16 @@ int cmd_profile(const std::vector<std::string>& args,
   obs::reset_global_energy_profile();
   obs::set_attribution_enabled(true);
 
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::RegimeMap regimes(table, budget);
-  core::BraidioRadio device1("device1", 1, util::WattHours(e1_wh),
-                             table);
-  core::BraidioRadio device2("device2", 2, util::WattHours(e2_wh),
-                             table);
+  core::RegimeMap regimes(backend);
+  const auto device1 =
+      backend.create_radio("device1", 1, util::WattHours(e1_wh));
+  const auto device2 =
+      backend.create_radio("device2", 2, util::WattHours(e2_wh));
   core::BraidedLinkConfig cfg;
   cfg.distance_m = d;
   cfg.bidirectional = bidir;
   if (options.faults) cfg.impairments = &*options.faults;
-  core::BraidedLink link(device1, device2, regimes, cfg);
+  core::BraidedLink link(*device1, *device2, regimes, cfg);
   const auto stats = link.run(packets);
 
   obs::set_attribution_enabled(false);
@@ -276,11 +284,11 @@ int cmd_profile(const std::vector<std::string>& args,
   }
   std::cout << "energy attribution (span tree):\n" << profile.tree_report()
             << '\n';
-  std::cout << "device1 ledger:\n" << device1.ledger().report() << '\n'
-            << "device2 ledger:\n" << device2.ledger().report() << '\n';
+  std::cout << "device1 ledger:\n" << device1->ledger().report() << '\n'
+            << "device2 ledger:\n" << device2->ledger().report() << '\n';
 
   const double ledger_total =
-      device1.ledger().total_joules() + device2.ledger().total_joules();
+      device1->ledger().total_joules() + device2->ledger().total_joules();
   std::cout << "conservation: tree "
             << util::format_engineering(profile.total_joules(), 6)
             << "J vs ledgers "
@@ -299,7 +307,8 @@ int cmd_profile(const std::vector<std::string>& args,
   return 0;
 }
 
-int cmd_lifetime(const std::vector<std::string>& args) {
+int cmd_lifetime(const hal::RadioBackend& backend,
+                 const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const auto tx = energy::find_device(args[0]);
   const auto rx = energy::find_device(args[1]);
@@ -310,9 +319,7 @@ int cmd_lifetime(const std::vector<std::string>& args) {
   core::LifetimeConfig cfg;
   cfg.distance_m = args.size() > 2 ? std::stod(args[2]) : 0.5;
 
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::LifetimeSimulator sim(table, budget);
+  core::LifetimeSimulator sim(backend);
   const auto e1 = util::to_joules(util::WattHours(tx->battery_wh));
   const auto e2 = util::to_joules(util::WattHours(rx->battery_wh));
   const auto outcome = sim.braidio(e1, e2, cfg);
@@ -330,10 +337,9 @@ int cmd_lifetime(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_matrix(const std::vector<std::string>& args) {
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::LifetimeSimulator sim(table, budget);
+int cmd_matrix(const hal::RadioBackend& backend,
+               const std::vector<std::string>& args) {
+  core::LifetimeSimulator sim(backend);
   core::LifetimeConfig cfg;
   cfg.distance_m = args.empty() ? 0.5 : std::stod(args[0]);
   const auto& catalog = energy::device_catalog();
@@ -352,30 +358,36 @@ int cmd_matrix(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_ber(const std::vector<std::string>& args) {
+int cmd_ber(const hal::RadioBackend& backend,
+            const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const auto mode = parse_mode(args[0]);
   const auto rate = parse_rate(args[1]);
   if (!mode || !rate) return usage();
-  phy::LinkBudget budget;
+  if (backend.caps().find(*mode, *rate) == nullptr) {
+    std::cerr << "backend '" << backend.name() << "' does not support "
+              << hal::to_string(*mode) << "@" << hal::to_string(*rate)
+              << '\n';
+    return 1;
+  }
+  const hal::ChannelModel& channel = backend.channel();
   util::TablePrinter out({"distance [m]", "SNR [dB]", "BER"});
   for (double d = 0.25; d <= 6.01; d += 0.25) {
     out.add_row({util::format_fixed(d, 2),
-                 util::format_fixed(budget.snr_db(*mode, *rate, d), 1),
-                 util::format_scientific(budget.ber(*mode, *rate, d), 3)});
+                 util::format_fixed(channel.snr_db(*mode, *rate, d), 1),
+                 util::format_scientific(channel.ber(*mode, *rate, d), 3)});
   }
   out.print(std::cout);
+  const double range = channel.range_m(*mode, *rate);
   std::cout << "operating range (BER < "
-            << budget.config().ber_threshold
-            << "): " << util::format_fixed(budget.range_m(*mode, *rate), 2)
+            << channel.ber(*mode, *rate, range)
+            << "): " << util::format_fixed(range, 2)
             << " m\n";
   return 0;
 }
 
-int cmd_regimes() {
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::RegimeMap map(table, budget);
+int cmd_regimes(const hal::RadioBackend& backend) {
+  core::RegimeMap map(backend);
   std::cout << "Regime A (carrier movable to either end): <= "
             << util::format_fixed(map.regime_a_limit_m(), 2) << " m\n"
             << "Regime B (receiver can shed its carrier): <= "
@@ -385,6 +397,17 @@ int cmd_regimes() {
   std::cout << "dynamic range at 0.3 m: "
             << util::format_fixed(region.span_orders_of_magnitude(), 2)
             << " orders of magnitude\n";
+  return 0;
+}
+
+int cmd_backends() {
+  backends::register_all();
+  util::TablePrinter out({"backend", "description"});
+  for (const auto& name : hal::BackendRegistry::instance().names()) {
+    out.add_row({name,
+                 hal::BackendRegistry::instance().get(name).description()});
+  }
+  out.print(std::cout);
   return 0;
 }
 
@@ -400,11 +423,12 @@ int cmd_devices() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
   GlobalOptions options;
   if (!parse_global_flags(args, options)) return usage();
+  if (args.empty()) return usage();
+  const std::string cmd = args.front();
+  args.erase(args.begin());
   if (!options.trace_out.empty()) {
     // The one place the ring is sized: the documented default
     // (kDefaultTraceRingEvents) or the explicit --trace-ring=<n> value.
@@ -412,17 +436,27 @@ int main(int argc, char** argv) {
     obs::Tracer::instance().set_enabled(true);
   }
 
+  backends::register_all();
+  if (!hal::BackendRegistry::instance().contains(options.backend)) {
+    std::cerr << "unknown backend '" << options.backend
+              << "'; try `braidio_cli backends`\n";
+    return 2;
+  }
+  const hal::RadioBackend& backend =
+      hal::BackendRegistry::instance().get(options.backend);
+
   int rc = 2;
   bool ran = true;
   try {
-    if (cmd == "plan") rc = cmd_plan(args);
-    else if (cmd == "braid") rc = cmd_braid(args, options);
-    else if (cmd == "profile") rc = cmd_profile(args, options);
-    else if (cmd == "lifetime") rc = cmd_lifetime(args);
-    else if (cmd == "matrix") rc = cmd_matrix(args);
-    else if (cmd == "ber") rc = cmd_ber(args);
-    else if (cmd == "regimes") rc = cmd_regimes();
+    if (cmd == "plan") rc = cmd_plan(backend, args);
+    else if (cmd == "braid") rc = cmd_braid(backend, args, options);
+    else if (cmd == "profile") rc = cmd_profile(backend, args, options);
+    else if (cmd == "lifetime") rc = cmd_lifetime(backend, args);
+    else if (cmd == "matrix") rc = cmd_matrix(backend, args);
+    else if (cmd == "ber") rc = cmd_ber(backend, args);
+    else if (cmd == "regimes") rc = cmd_regimes(backend);
     else if (cmd == "devices") rc = cmd_devices();
+    else if (cmd == "backends") rc = cmd_backends();
     else ran = false;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

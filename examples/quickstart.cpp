@@ -1,36 +1,53 @@
 // Quickstart: the smallest end-to-end Braidio program.
 //
-// Build two radios with different batteries, let the carrier-offload layer
-// plan a braid, run a packetized transfer, and look at where the energy
-// went.
+// Pick a radio backend behind the HAL (default: the calibrated braidio
+// prototype), build two radios with different batteries, let the
+// carrier-offload layer plan a braid, run a packetized transfer, and look
+// at where the energy went.
+//
+//   quickstart [--backend=NAME]   (see `braidio_cli backends`)
 #include <iostream>
+#include <string>
 
+#include "backends/backends.hpp"
 #include "core/braided_link.hpp"
 #include "core/lifetime_sim.hpp"
 #include "obs/obs.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace braidio;
 
-  // 1. The calibrated radio power model and link budget.
-  core::PowerTable table;
-  phy::LinkBudget budget;
-  core::RegimeMap regimes(table, budget);
+  // 1. The radio backend: capability lattice + channel physics + radios.
+  std::string backend_name = backends::kBraidio;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--backend=", 0) == 0) backend_name = arg.substr(10);
+  }
+  backends::register_all();
+  if (!hal::BackendRegistry::instance().contains(backend_name)) {
+    std::cerr << "unknown backend '" << backend_name << "'\n";
+    return 2;
+  }
+  const hal::RadioBackend& backend =
+      hal::BackendRegistry::instance().get(backend_name);
+  core::RegimeMap regimes(backend);
+  std::cout << "Backend: " << backend.name() << " — "
+            << backend.description() << '\n';
 
   // 2. Two devices 0.5 m apart: a phone transfers a file to a smartwatch.
-  core::BraidioRadio phone("phone", /*address=*/1,
-                           util::WattHours(6.55), table);
-  core::BraidioRadio watch("watch", /*address=*/2,
-                           util::WattHours(0.78), table);
+  const auto phone =
+      backend.create_radio("phone", /*address=*/1, util::WattHours(6.55));
+  const auto watch =
+      backend.create_radio("watch", /*address=*/2, util::WattHours(0.78));
 
   // 3. What does the offload plan look like before we move any data?
-  core::LifetimeSimulator sim(table, budget);
+  core::LifetimeSimulator sim(backend);
   core::LifetimeConfig cfg;
   cfg.distance_m = 0.5;
   const auto outcome =
-      sim.braidio(util::Joules(phone.battery().remaining_joules()),
-                  util::Joules(watch.battery().remaining_joules()), cfg);
+      sim.braidio(util::Joules(phone->battery().remaining_joules()),
+                  util::Joules(watch->battery().remaining_joules()), cfg);
   std::cout << "Offload plan: " << outcome.plan.summary() << '\n'
             << "  phone drains " << outcome.plan.tx_joules_per_bit * 1e9
             << " nJ/bit, watch " << outcome.plan.rx_joules_per_bit * 1e9
@@ -38,8 +55,8 @@ int main() {
             << "  bits before a battery dies: " << outcome.bits << " ("
             << outcome.bits /
                    sim.bluetooth_bits(
-                       util::Joules(phone.battery().remaining_joules()),
-                       util::Joules(watch.battery().remaining_joules()),
+                       util::Joules(phone->battery().remaining_joules()),
+                       util::Joules(watch->battery().remaining_joules()),
                        false)
             << "x Bluetooth)\n\n";
 
@@ -47,7 +64,7 @@ int main() {
   core::BraidedLinkConfig link_cfg;
   link_cfg.distance_m = 0.5;
   link_cfg.payload_bytes = 64;
-  core::BraidedLink link(phone, watch, regimes, link_cfg);
+  core::BraidedLink link(*phone, *watch, regimes, link_cfg);
   const auto stats = link.run(/*packets=*/2000);
 
   std::cout << "Session: " << stats.data_packets_delivered << "/"
@@ -56,8 +73,8 @@ int main() {
   for (const auto& [mode, airtime] : stats.mode_airtime_s) {
     std::cout << "  " << mode << ": " << airtime * 1e3 << " ms\n";
   }
-  std::cout << "\nphone " << phone.ledger().report() << "\nwatch "
-            << watch.ledger().report();
+  std::cout << "\nphone " << phone->ledger().report() << "\nwatch "
+            << watch->ledger().report();
 
   // 5. Everything above also streamed into the obs metrics registry.
   const auto metrics = obs::global_metrics_snapshot();

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "core/lifetime_sim.hpp"
 #include "energy/device_catalog.hpp"
 #include "obs/obs.hpp"

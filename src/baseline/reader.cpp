@@ -2,10 +2,7 @@
 
 #include <stdexcept>
 
-#include "phy/ber.hpp"
-#include "rf/pathloss.hpp"
 #include "util/contract.hpp"
-#include "util/units.hpp"
 
 namespace braidio::baseline {
 
@@ -23,47 +20,61 @@ const std::vector<ReaderSpec>& reader_table() {
   return table;
 }
 
-CommercialReaderModel::CommercialReaderModel(Config config)
-    : config_(config) {
-  if (!(config_.range_100k_m > 0.0)) {
+namespace {
+
+// Map the reader's parameters onto the shared budget. The budget's
+// backscatter path applies the round-trip gain with one antenna figure on
+// both ends (2g reader + 2g tag); the radar-equation form here has distinct
+// reader/tag gains (2*G_r + 2*G_t). Splitting the total evenly across the
+// budget's four gain applications keeps the dB sum — and therefore every
+// curve value — identical.
+phy::LinkBudgetConfig reader_budget_config(
+    const CommercialReaderModel::Config& c) {
+  if (!(c.range_100k_m > 0.0)) {
     throw std::invalid_argument("CommercialReaderModel: bad anchor range");
   }
-  util::contract::check_power_dbm_range(config_.spec.tx_power_dbm,
+  util::contract::check_power_dbm_range(c.spec.tx_power_dbm,
                                         "CommercialReaderModel::tx_power_dbm");
-  const double need_db = phy::required_snr_db(phy::BerModel::CoherentBpsk,
-                                              config_.ber_threshold);
-  floor_dbm_ = received_power_dbm(config_.range_100k_m) - need_db;
+  phy::LinkBudgetConfig b;
+  b.freq_hz = c.freq_hz;
+  b.carrier_tx_dbm = c.spec.tx_power_dbm;
+  b.antenna_gain_dbi = (2.0 * c.antenna_gain_dbi + 2.0 * c.tag_gain_dbi) / 4.0;
+  b.backscatter_modulation_loss_db = c.modulation_loss_db;
+  // The reader has no diversity antennas; the radar-equation model carries
+  // the whole loss in the modulation term.
+  b.diversity_residual_loss_db = 0.0;
+  b.ber_threshold = c.ber_threshold;
+  // Anchor the delegated rate at the Fig. 12 operating point; scale the
+  // other backscatter anchors with the same rate-sensitivity ratios the
+  // braidio calibration uses (Fig. 13), so a reader-backed ChannelModel
+  // stays self-consistent across the lattice.
+  b.backscatter_range_100k = c.range_100k_m;
+  b.backscatter_range_1m_bps = c.range_100k_m * (0.9 / 1.8);
+  b.backscatter_range_10k = c.range_100k_m * (2.4 / 1.8);
+  return b;
 }
 
+}  // namespace
+
+CommercialReaderModel::CommercialReaderModel(Config config)
+    : config_(config), budget_(reader_budget_config(config)) {}
+
 double CommercialReaderModel::received_power_dbm(double distance_m) const {
-  const double gain = rf::backscatter_gain(
-      distance_m, config_.freq_hz, config_.antenna_gain_dbi,
-      /*tag_gain_dbi=*/0.0, config_.modulation_loss_db);
-  return config_.spec.tx_power_dbm + util::linear_to_db(gain);
+  return budget_.received_power_dbm(phy::LinkMode::Backscatter, distance_m);
 }
 
 double CommercialReaderModel::snr_db(double distance_m) const {
-  return received_power_dbm(distance_m) - floor_dbm_;
+  return budget_.snr_db(phy::LinkMode::Backscatter, phy::Bitrate::k100,
+                        distance_m);
 }
 
 double CommercialReaderModel::ber(double distance_m) const {
-  return phy::bit_error_rate(phy::BerModel::CoherentBpsk,
-                             util::db_to_linear(snr_db(distance_m)));
+  return budget_.ber(phy::LinkMode::Backscatter, phy::Bitrate::k100,
+                     distance_m);
 }
 
 double CommercialReaderModel::range_m() const {
-  double lo = 0.05, hi = 1000.0;
-  if (ber(hi) <= config_.ber_threshold) return hi;
-  if (ber(lo) > config_.ber_threshold) return 0.0;
-  for (int i = 0; i < 100; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (ber(mid) <= config_.ber_threshold) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
+  return budget_.range_m(phy::LinkMode::Backscatter, phy::Bitrate::k100);
 }
 
 double CommercialReaderModel::efficiency_ratio_vs(double other_power_w) const {

@@ -28,12 +28,19 @@ const std::vector<ReaderSpec>& reader_table();
 /// BER-vs-distance model of the AS3993-class reader for Fig. 12: coherent
 /// IQ demodulation over the radar-equation backscatter path, calibrated so
 /// the 1% BER crossing sits at the paper's 3 m (at 100 kbps).
+///
+/// The propagation/BER math is not duplicated here: the model maps its
+/// antenna/carrier/anchor parameters onto a phy::LinkBudget (backscatter
+/// path at 100 kbps) and delegates, so reader curves and Braidio curves
+/// come from the same calibrated physics. The mapping is exact — the
+/// regression test pins the Fig. 12 curve values.
 class CommercialReaderModel {
  public:
   struct Config {
     ReaderSpec spec = {"AS3993", 0.64, 17.0, 0.25, 397.0};
     double freq_hz = 915e6;
     double antenna_gain_dbi = 2.0;  // proper external antenna, not a chip
+    double tag_gain_dbi = 0.0;      // the tag keeps its chip antenna
     double modulation_loss_db = 6.0;
     double ber_threshold = 0.01;
     double range_100k_m = 3.0;  // Fig. 12 anchor
@@ -54,9 +61,13 @@ class CommercialReaderModel {
 
   const Config& config() const { return config_; }
 
+  /// The shared link budget this model delegates to (backscatter mode,
+  /// 100 kbps). The reader-passive backend exposes it as its ChannelModel.
+  const phy::LinkBudget& link_budget() const { return budget_; }
+
  private:
   Config config_;
-  double floor_dbm_ = 0.0;
+  phy::LinkBudget budget_;
 };
 
 }  // namespace braidio::baseline

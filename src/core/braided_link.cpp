@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/braidio_radio.hpp"  // core::Role alias
 #include "mac/probe.hpp"
 #include "obs/obs.hpp"
 
@@ -27,14 +28,14 @@ mac::Frame make_frame(mac::FrameType type, std::uint8_t src, std::uint8_t dst,
 
 }  // namespace
 
-BraidedLink::BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
+BraidedLink::BraidedLink(hal::IRadio& device_a, hal::IRadio& device_b,
                          const RegimeMap& regimes, BraidedLinkConfig config)
     : a_(device_a),
       b_(device_b),
       regimes_(regimes),
       config_(config),
       rng_(config.seed),
-      channel_(regimes.budget(),
+      channel_(regimes.channel(),
                {config.distance_m, config.block_fading, config.extra_loss_db,
                 config.coherence_time.value()},
                util::Rng(config.seed ^ 0xC3A5C85C97CB3127ull)) {
@@ -59,10 +60,16 @@ BraidedLink::BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
 }
 
 ModeCandidate BraidedLink::active_point() const {
-  const auto rate =
-      regimes_.budget().best_bitrate(phy::LinkMode::Active, config_.distance_m);
-  return regimes_.table().candidate(phy::LinkMode::Active,
-                                    rate.value_or(phy::Bitrate::k10));
+  // The control/fallback plane rides the most conversational mode the
+  // hardware offers: active when present, else the first supported mode
+  // (a reader-class backend braids over backscatter alone).
+  for (phy::LinkMode mode : {phy::LinkMode::Active, phy::LinkMode::PassiveRx,
+                             phy::LinkMode::Backscatter}) {
+    if (!regimes_.supports(mode)) continue;
+    const auto rate = regimes_.best_rate(mode, config_.distance_m);
+    return regimes_.candidate(mode, rate.value_or(*regimes_.lowest_rate(mode)));
+  }
+  throw std::logic_error("BraidedLink: backend lattice is empty");
 }
 
 util::Seconds BraidedLink::ack_timeout(const ModeCandidate& point) const {
@@ -186,7 +193,7 @@ void BraidedLink::setup_control_plane() {
     report.mode = candidate.mode;
     report.rate = candidate.rate;
     report.token = token;
-    report.snr_db = static_cast<float>(regimes_.budget().snr_db(
+    report.snr_db = static_cast<float>(regimes_.channel().snr_db(
         candidate.mode, candidate.rate, config_.distance_m));
     if (!send_control(mac::FrameType::ProbeReport, mac::serialize(report),
                       active)) {
@@ -246,8 +253,8 @@ bool BraidedLink::transfer_packet(const ModeCandidate& point, bool forward,
                                   mac::ArqSender& sender,
                                   mac::ArqReceiver& receiver) {
   BRAIDIO_ENERGY_SPAN(phase_span, "data");
-  BraidioRadio& tx = forward ? a_ : b_;
-  BraidioRadio& rx = forward ? b_ : a_;
+  hal::IRadio& tx = forward ? a_ : b_;
+  hal::IRadio& rx = forward ? b_ : a_;
   if (!tx.switch_to(point, Role::DataTransmitter) ||
       !rx.switch_to(point, Role::DataReceiver)) {
     dead_ = true;

@@ -32,9 +32,9 @@
 #include <vector>
 #include <string>
 
-#include "core/braidio_radio.hpp"
 #include "core/offload.hpp"
 #include "core/regimes.hpp"
+#include "hal/radio.hpp"
 #include "mac/arq.hpp"
 #include "mac/packet_channel.hpp"
 #include "sim/faults/impairment.hpp"
@@ -117,9 +117,10 @@ struct BraidedLinkStats {
 
 class BraidedLink {
  public:
-  /// Transfers run device_a -> device_b. All references must outlive the
-  /// link.
-  BraidedLink(BraidioRadio& device_a, BraidioRadio& device_b,
+  /// Transfers run device_a -> device_b. The endpoints are any HAL radios
+  /// (the same backend the RegimeMap was built from). All references must
+  /// outlive the link.
+  BraidedLink(hal::IRadio& device_a, hal::IRadio& device_b,
               const RegimeMap& regimes, BraidedLinkConfig config = {});
 
   /// Run until `packets` data packets were offered or a battery dies.
@@ -156,8 +157,8 @@ class BraidedLink {
   /// activations, apply distance jumps and battery brownouts.
   void apply_fault_edges();
 
-  BraidioRadio& a_;
-  BraidioRadio& b_;
+  hal::IRadio& a_;
+  hal::IRadio& b_;
   const RegimeMap& regimes_;
   BraidedLinkConfig config_;
   util::Rng rng_;

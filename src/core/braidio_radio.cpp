@@ -1,116 +1,27 @@
 #include "core/braidio_radio.hpp"
 
-#include <stdexcept>
-
-#include "obs/obs.hpp"
-#include "phy/link_mode.hpp"
-
 namespace braidio::core {
 
-const char* to_string(Role role) {
-  return role == Role::DataTransmitter ? "tx" : "rx";
+hal::Capabilities braidio_capabilities(const PowerTable& table) {
+  hal::Capabilities caps;
+  caps.can_active = true;
+  caps.can_source_carrier = true;
+  caps.can_backscatter = true;
+  // The passive chain's envelope detector doubles as a carrier sensor.
+  caps.can_cca = true;
+  caps.cca_threshold_dbm = -60.0;
+  caps.sleep_power = BraidioRadio::kIdleFloor;
+  caps.lattice = table.candidates();
+  for (phy::LinkMode mode : phy::kAllLinkModes) {
+    caps.switch_overhead[static_cast<int>(mode)] = table.switch_overhead(mode);
+  }
+  return caps;
 }
 
 BraidioRadio::BraidioRadio(std::string name, std::uint8_t address,
                            util::WattHours battery_capacity,
                            const PowerTable& table)
-    : name_(std::move(name)),
-      address_(address),
-      battery_(battery_capacity),
-      table_(table) {}
-
-double BraidioRadio::power_draw_w() const {
-  if (!point_ || !role_) return kIdleFloorW;
-  return *role_ == Role::DataTransmitter ? point_->tx_power_w
-                                         : point_->rx_power_w;
-}
-
-energy::EnergyCategory category_for(phy::LinkMode mode, Role role) {
-  using energy::EnergyCategory;
-  const bool tx = role == Role::DataTransmitter;
-  switch (mode) {
-    case phy::LinkMode::Active:
-      return tx ? EnergyCategory::ActiveTx : EnergyCategory::ActiveRx;
-    case phy::LinkMode::PassiveRx:
-      // The data transmitter holds the carrier.
-      return tx ? EnergyCategory::CarrierGeneration
-                : EnergyCategory::PassiveRx;
-    case phy::LinkMode::Backscatter:
-      // The data receiver holds the carrier; the transmitter is a tag.
-      return tx ? EnergyCategory::BackscatterTx
-                : EnergyCategory::CarrierGeneration;
-  }
-  return EnergyCategory::Idle;
-}
-
-energy::EnergyCategory BraidioRadio::active_category() const {
-  if (!point_ || !role_) return energy::EnergyCategory::Idle;
-  return category_for(point_->mode, *role_);
-}
-
-std::string BraidioRadio::state_label() const {
-  if (!point_ || !role_) return "idle";
-  return point_->label() + ':' + to_string(*role_);
-}
-
-bool BraidioRadio::switch_to(const ModeCandidate& candidate, Role role) {
-  const bool same_mode = point_ && point_->mode == candidate.mode &&
-                         role_ && *role_ == role;
-  if (!same_mode) {
-    const auto& overhead = table_.switch_overhead(candidate.mode);
-    const double cost = role == Role::DataTransmitter ? overhead.tx_joules
-                                                      : overhead.rx_joules;
-    const double taken = battery_.drain(util::Joules(cost)).value();
-    {
-      BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
-      BRAIDIO_ENERGY_SPAN(switch_span, phy::to_string(candidate.mode));
-      ledger_.charge(energy::EnergyCategory::ModeSwitch, util::Joules(taken),
-                     util::Seconds(clock_s_));
-    }
-    ++switches_;
-    obs::count(obs::Counter::ModeSwitches);
-    BRAIDIO_TRACE_EVENT(obs::EventType::ModeSwitch,
-                        phy::to_string(candidate.mode), clock_s_, taken);
-    if (taken < cost) {
-      obs::count(obs::Counter::BatteryDeaths);
-      BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath, name_.c_str(),
-                          clock_s_, battery_.remaining_joules());
-      go_idle();
-      return false;
-    }
-  }
-  point_ = candidate;
-  role_ = role;
-  return true;
-}
-
-void BraidioRadio::go_idle() {
-  point_.reset();
-  role_.reset();
-}
-
-bool BraidioRadio::advance(util::Seconds elapsed) {
-  const double seconds = elapsed.value();
-  if (seconds < 0.0) {
-    throw std::invalid_argument("BraidioRadio::advance: negative time");
-  }
-  const double want = power_draw_w() * seconds;
-  const double taken = battery_.drain(util::Joules(want)).value();
-  clock_s_ += seconds;
-  {
-    BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
-    BRAIDIO_ENERGY_SPAN(state_span, state_label().c_str());
-    ledger_.charge(active_category(), util::Joules(taken),
-                   util::Seconds(clock_s_));
-  }
-  if (taken < want) {
-    obs::count(obs::Counter::BatteryDeaths);
-    BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath, name_.c_str(),
-                        clock_s_, battery_.remaining_joules());
-    go_idle();
-    return false;
-  }
-  return true;
-}
+    : hal::StandardRadio(std::move(name), address, battery_capacity,
+                         braidio_capabilities(table)) {}
 
 }  // namespace braidio::core

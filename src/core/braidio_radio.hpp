@@ -1,89 +1,36 @@
-// A Braidio radio endpoint: battery + mode state + energy accounting.
+// A Braidio radio endpoint: the calibrated PowerTable behind the HAL.
 //
-// Wraps the calibrated PowerTable with the stateful bookkeeping a device
-// needs: which (mode, bitrate) it is in, which role (data transmitter or
-// receiver) it plays, Table 5 switching overheads, and a per-category
-// energy ledger charged against its battery.
+// All the stateful bookkeeping (operating point, role, Table 5 switching
+// overheads, per-category ledger charged against the battery) lives in
+// hal::StandardRadio; BraidioRadio just binds the calibrated capability
+// set, so its behavior is the generic driver's behavior by construction.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 
 #include "core/power_table.hpp"
-#include "energy/battery.hpp"
-#include "energy/ledger.hpp"
+#include "hal/radio.hpp"
 #include "util/units.hpp"
 
 namespace braidio::core {
 
-enum class Role { DataTransmitter, DataReceiver };
+using Role = hal::Role;
+using hal::category_for;
+using hal::to_string;
 
-const char* to_string(Role role);
+/// Declared capabilities of the Braidio prototype: all three modes at all
+/// three bitrates, carrier sourcing, tag reflection, and envelope-detector
+/// carrier sense, with Table 5 switch-in costs.
+hal::Capabilities braidio_capabilities(const PowerTable& table);
 
-/// The ledger category a radio in (mode, role) drains while operating:
-/// who holds the carrier, who decodes, who reflects. This mapping is the
-/// single source of truth shared by BraidioRadio's own accounting and
-/// the fluid simulators' energy attribution.
-energy::EnergyCategory category_for(phy::LinkMode mode, Role role);
-
-class BraidioRadio {
+class BraidioRadio final : public hal::StandardRadio {
  public:
-  /// `table` must outlive the radio.
   BraidioRadio(std::string name, std::uint8_t address,
                util::WattHours battery_capacity, const PowerTable& table);
 
-  const std::string& name() const { return name_; }
-  std::uint8_t address() const { return address_; }
-
-  energy::Battery& battery() { return battery_; }
-  const energy::Battery& battery() const { return battery_; }
-  const energy::EnergyLedger& ledger() const { return ledger_; }
-
-  /// Current operating point; nullopt when idle (sleep floor only).
-  std::optional<ModeCandidate> operating_point() const { return point_; }
-  std::optional<Role> role() const { return role_; }
-
-  /// Instantaneous power draw [W] in the current state.
-  double power_draw_w() const;
-
-  /// Switch to an operating point/role, charging the Table 5 overhead for
-  /// entering `candidate.mode` (no charge when already there). Returns
-  /// false (and goes idle) if the battery empties during the switch.
-  bool switch_to(const ModeCandidate& candidate, Role role);
-
-  /// Leave the link (sleep).
-  void go_idle();
-
-  /// Spend `elapsed` time in the current state; drains the battery and
-  /// posts the ledger. Returns false when the battery empties (radio goes
-  /// idle).
-  bool advance(util::Seconds elapsed);
-
-  /// Simulated seconds accumulated over every advance() so far. Stamped
-  /// onto this radio's trace events (ModeSwitch, EnergyPost, ...).
-  double clock_s() const { return clock_s_; }
-
-  std::uint64_t mode_switches() const { return switches_; }
-
-  /// Sleep-state floor draw [W] (MCU retention + RTC).
-  static constexpr double kIdleFloorW = 2e-6;
-
- private:
-  energy::EnergyCategory active_category() const;
-  /// Attribution span label for the current state, "<mode>:<role>"
-  /// (e.g. "active@1M:tx") or "idle".
-  std::string state_label() const;
-
-  std::string name_;
-  std::uint8_t address_;
-  energy::Battery battery_;
-  energy::EnergyLedger ledger_;
-  const PowerTable& table_;
-  std::optional<ModeCandidate> point_;
-  std::optional<Role> role_;
-  std::uint64_t switches_ = 0;
-  double clock_s_ = 0.0;
+  /// Sleep-state floor draw (MCU retention + RTC).
+  static constexpr util::Watts kIdleFloor{2e-6};
 };
 
 }  // namespace braidio::core

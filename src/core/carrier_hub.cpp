@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/braidio_radio.hpp"
 #include "mac/arq.hpp"
 #include "obs/obs.hpp"
 #include "util/units.hpp"
@@ -35,15 +36,40 @@ CarrierHub::CarrierHub(const RegimeMap& regimes, HubConfig config,
   }
 }
 
+CarrierHub::CarrierHub(const hal::RadioBackend& backend, HubConfig config,
+                       std::vector<HubNodeConfig> nodes)
+    : regimes_(backend),
+      backend_(&backend),
+      config_(config),
+      node_configs_(std::move(nodes)) {
+  if (node_configs_.empty()) {
+    throw std::invalid_argument("CarrierHub: need at least one node");
+  }
+  if (config_.packets_per_slot == 0) {
+    throw std::invalid_argument("CarrierHub: packets_per_slot must be >= 1");
+  }
+}
+
+std::unique_ptr<hal::IRadio> CarrierHub::make_radio(
+    const std::string& name, std::uint8_t address,
+    util::WattHours battery_capacity) const {
+  if (backend_ != nullptr) {
+    return backend_->create_radio(name, address, battery_capacity);
+  }
+  return std::make_unique<BraidioRadio>(name, address, battery_capacity,
+                                        regimes_.table());
+}
+
 HubStats CarrierHub::run(std::uint64_t rounds) {
   // Root attribution scope: hub-side and node-side drains both land
   // under "hub/<node>/..." (the per-slot span below names the node).
   BRAIDIO_ENERGY_SPAN(exchange_span, "hub");
-  const auto& table = regimes_.table();
-  BraidioRadio hub("hub", 0, util::WattHours(config_.hub_battery_wh), table);
+  const auto hub_radio =
+      make_radio("hub", 0, util::WattHours(config_.hub_battery_wh));
+  hal::IRadio& hub = *hub_radio;
 
   struct NodeState {
-    BraidioRadio radio;
+    std::unique_ptr<hal::IRadio> radio;
     mac::PacketChannel channel;
     mac::ArqSender sender;
     mac::ArqReceiver receiver;  // hub side, per node for sequence tracking
@@ -62,10 +88,9 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
     if (candidates.empty()) {
       throw std::runtime_error("CarrierHub: node out of range: " + nc.name);
     }
-    BraidioRadio radio(nc.name, address, util::WattHours(nc.battery_wh),
-                       table);
+    auto radio = make_radio(nc.name, address, util::WattHours(nc.battery_wh));
     const auto plan = OffloadPlanner::plan(
-        candidates, radio.battery().remaining_joules(),
+        candidates, radio->battery().remaining_joules(),
         hub.battery().remaining_joules());
     plans_.push_back(plan);
     // The slot runs the plan's dominant operating point; a full braid per
@@ -76,7 +101,7 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
     }
     states.push_back(NodeState{
         std::move(radio),
-        mac::PacketChannel(regimes_.budget(),
+        mac::PacketChannel(regimes_.channel(),
                            {nc.distance_m, false, nc.extra_loss_db},
                            rng.fork()),
         mac::ArqSender(address, 0),
@@ -122,8 +147,8 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
       BRAIDIO_ENERGY_SPAN(slot_span, nc.name.c_str());
       // Enter the slot: both ends adopt the node's operating point.
       if (!hub.switch_to(node.point, Role::DataReceiver) ||
-          !node.radio.switch_to(node.point, Role::DataTransmitter)) {
-        node.alive = node.alive && !node.radio.battery().empty();
+          !node.radio->switch_to(node.point, Role::DataTransmitter)) {
+        node.alive = node.alive && !node.radio->battery().empty();
         if (hub.battery().empty()) break;
         continue;
       }
@@ -143,10 +168,10 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
               mac::PacketChannel::airtime_s(*frame, node.point.rate);
           const double slot_time = air + kTurnaroundS;
           stats.elapsed_s += slot_time;
-          const bool node_ok = node.radio.advance(util::Seconds(slot_time));
+          const bool node_ok = node.radio->advance(util::Seconds(slot_time));
           const bool hub_ok = hub.advance(util::Seconds(slot_time));
           if (!node_ok || !hub_ok) {
-            node.alive = !node.radio.battery().empty();
+            node.alive = !node.radio->battery().empty();
             done = true;
             break;
           }
@@ -161,9 +186,9 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
               const double ack_air = mac::PacketChannel::airtime_s(
                   *result.ack, node.point.rate);
               stats.elapsed_s += ack_air + kTurnaroundS;
-              if (!node.radio.advance(util::Seconds(ack_air + kTurnaroundS)) ||
+              if (!node.radio->advance(util::Seconds(ack_air + kTurnaroundS)) ||
                   !hub.advance(util::Seconds(ack_air + kTurnaroundS))) {
-                node.alive = !node.radio.battery().empty();
+                node.alive = !node.radio->battery().empty();
                 done = true;
                 break;
               }
@@ -196,8 +221,8 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
     auto& node = states[i];
     node.stats.node_joules =
         util::wh_to_joules(node_configs_[i].battery_wh) -
-        node.radio.battery().remaining_joules();
-    stats.mode_switches += node.radio.mode_switches();
+        node.radio->battery().remaining_joules();
+    stats.mode_switches += node.radio->mode_switches();
     stats.nodes.push_back(node.stats);
   }
   stats.mode_switches += hub.mode_switches();

@@ -16,12 +16,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/braidio_radio.hpp"
 #include "core/offload.hpp"
 #include "core/regimes.hpp"
+#include "hal/backend.hpp"
 #include "mac/packet_channel.hpp"
 #include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
@@ -72,7 +73,14 @@ struct HubStats {
 
 class CarrierHub {
  public:
+  /// Legacy braidio form: the map must come from the PowerTable/LinkBudget
+  /// ctor (hub and node radios are built from its table).
   CarrierHub(const RegimeMap& regimes, HubConfig config,
+             std::vector<HubNodeConfig> nodes);
+
+  /// Backend form: radios come from backend.create_radio. The backend must
+  /// outlive the hub.
+  CarrierHub(const hal::RadioBackend& backend, HubConfig config,
              std::vector<HubNodeConfig> nodes);
 
   /// Run `rounds` TDMA rounds (each node gets packets_per_slot transfers
@@ -84,7 +92,12 @@ class CarrierHub {
   const std::vector<OffloadPlan>& plans() const { return plans_; }
 
  private:
-  const RegimeMap& regimes_;
+  std::unique_ptr<hal::IRadio> make_radio(
+      const std::string& name, std::uint8_t address,
+      util::WattHours battery_capacity) const;
+
+  RegimeMap regimes_;
+  const hal::RadioBackend* backend_ = nullptr;
   HubConfig config_;
   std::vector<HubNodeConfig> node_configs_;
   std::vector<OffloadPlan> plans_;

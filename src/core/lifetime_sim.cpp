@@ -74,7 +74,10 @@ void post_lifetime_attribution(const LifetimeOutcome& outcome) {
 
 LifetimeSimulator::LifetimeSimulator(const PowerTable& table,
                                      const phy::LinkBudget& budget)
-    : table_(table), regimes_(table, budget) {}
+    : regimes_(table, budget) {}
+
+LifetimeSimulator::LifetimeSimulator(const hal::RadioBackend& backend)
+    : regimes_(backend) {}
 
 std::vector<ModeCandidate> LifetimeSimulator::candidates_at(
     double distance_m) const {
@@ -112,11 +115,11 @@ void LifetimeSimulator::apply_switch_overhead(
   const double cycle_bits = config.bits_per_dwell / max_fraction;
   double tx_extra = 0.0, rx_extra = 0.0;
   for (const auto& e : plan.entries) {
-    const auto& o = table_.switch_overhead(e.candidate.mode);
+    const auto& o = regimes_.switch_overhead(e.candidate.mode);
     tx_extra += o.tx_joules;
     rx_extra += o.rx_joules;
     if (e.reverse) {
-      const auto& ro = table_.switch_overhead(e.reverse->mode);
+      const auto& ro = regimes_.switch_overhead(e.reverse->mode);
       // Role swap: device 1 receives in the reverse leg.
       tx_extra += ro.rx_joules;
       rx_extra += ro.tx_joules;

@@ -43,8 +43,12 @@ struct LifetimeOutcome {
 /// engine; keep new members const-initialized or re-audit.
 class LifetimeSimulator {
  public:
-  /// Both references must outlive the simulator.
+  /// Legacy braidio form. Both references must outlive the simulator.
   LifetimeSimulator(const PowerTable& table, const phy::LinkBudget& budget);
+
+  /// Any HAL backend (lattice + channel + overheads from its declared
+  /// capability set). The backend must outlive the simulator.
+  explicit LifetimeSimulator(const hal::RadioBackend& backend);
 
   /// Braidio with energy-aware carrier offload. `e1`/`e2` are the two
   /// devices' energy budgets (device 1 transmits the data).
@@ -87,7 +91,6 @@ class LifetimeSimulator {
                              const LifetimeConfig& config) const;
   static double plan_seconds_per_bit(const OffloadPlan& plan);
 
-  const PowerTable& table_;
   RegimeMap regimes_;
   baseline::BluetoothRadioModel bluetooth_;
 };

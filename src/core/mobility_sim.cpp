@@ -76,7 +76,10 @@ double MobilityTrace::distance_at(util::Seconds time) const {
 
 MobilitySimulator::MobilitySimulator(const PowerTable& table,
                                      const phy::LinkBudget& budget)
-    : table_(table), budget_(budget), regimes_(table, budget) {}
+    : regimes_(table, budget) {}
+
+MobilitySimulator::MobilitySimulator(const hal::RadioBackend& backend)
+    : regimes_(backend) {}
 
 MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
                                        const MobilitySimConfig& config) const {
@@ -119,8 +122,8 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
       // Out of range entirely: idle floor only.
       sample.link_up = false;
       sample.plan = "(no link)";
-      e1 = std::max(0.0, e1 - BraidioRadio::kIdleFloorW * dt);
-      e2 = std::max(0.0, e2 - BraidioRadio::kIdleFloorW * dt);
+      e1 = std::max(0.0, e1 - regimes_.sleep_power().value() * dt);
+      e2 = std::max(0.0, e2 - regimes_.sleep_power().value() * dt);
     } else {
       const auto plan =
           config.bidirectional
@@ -162,7 +165,8 @@ MobilityOutcome MobilitySimulator::run(const MobilityTrace& trace,
     }
     // Bluetooth baseline on the same trace: works wherever its (active)
     // link works, same per-bit energies everywhere.
-    if (budget_.available(phy::LinkMode::Active, phy::Bitrate::M1, d) &&
+    if (regimes_.channel().available(phy::LinkMode::Active, phy::Bitrate::M1,
+                                    d) &&
         bt1 > 0.0 && bt2 > 0.0) {
       double bt_bits = dt * bluetooth.bitrate_bps;
       bt_bits = std::min(bt_bits, bt1 / bluetooth.tx_energy_per_bit());

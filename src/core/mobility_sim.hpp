@@ -107,7 +107,11 @@ struct MobilityOutcome {
 
 class MobilitySimulator {
  public:
+  /// Legacy braidio form. Both references must outlive the simulator.
   MobilitySimulator(const PowerTable& table, const phy::LinkBudget& budget);
+
+  /// Any HAL backend. The backend must outlive the simulator.
+  explicit MobilitySimulator(const hal::RadioBackend& backend);
 
   /// Run the trace to completion (or until a battery dies). Out-of-range
   /// stretches idle both radios (the paper: past the active range there is
@@ -116,8 +120,6 @@ class MobilitySimulator {
                       const MobilitySimConfig& config) const;
 
  private:
-  const PowerTable& table_;
-  const phy::LinkBudget& budget_;
   RegimeMap regimes_;
 };
 

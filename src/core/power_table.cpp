@@ -28,10 +28,6 @@ constexpr double kBackscatterRatio10k = 7800.0;  // tag = 16.5 uW, the paper's
 
 }  // namespace
 
-std::string ModeCandidate::label() const {
-  return std::string(phy::to_string(mode)) + "@" + phy::to_string(rate);
-}
-
 PowerTable::PowerTable() {
   using phy::Bitrate;
   using phy::LinkMode;

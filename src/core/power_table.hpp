@@ -4,43 +4,24 @@
 // ratio (Figs. 9 and 14), the carrier-side power budget (129 mW for the
 // carrier-holding end), and the floor (16 uW, the backscatter tag at
 // 10 kbps). Those constraints pin the full power table; see DESIGN.md §4.
-// The table is the single source of truth for every energy computation in
-// the offload planner and the lifetime simulators.
+// The table is the single source of truth for the braidio backend's
+// capability lattice and Table 5 switch overheads.
 #pragma once
 
-#include <optional>
-#include <string>
 #include <vector>
 
+#include "hal/radio.hpp"
 #include "phy/link_mode.hpp"
 
 namespace braidio::core {
 
-/// One operating point: a (mode, bitrate) pair with its per-end powers.
-struct ModeCandidate {
-  phy::LinkMode mode = phy::LinkMode::Active;
-  phy::Bitrate rate = phy::Bitrate::M1;
-  double tx_power_w = 0.0;  // data-transmitter side
-  double rx_power_w = 0.0;  // data-receiver side
-
-  double bits_per_second() const { return phy::bitrate_bps(rate); }
-  /// Per-bit energy at each end (the paper's T_i and R_i of Eq. 1).
-  double tx_joules_per_bit() const { return tx_power_w / bits_per_second(); }
-  double rx_joules_per_bit() const { return rx_power_w / bits_per_second(); }
-  /// TX:RX efficiency ratio expressed as the paper does ("1:2546" -> this
-  /// returns 1/2546): (bits/J at TX) / (bits/J at RX) = rx_power / tx_power.
-  double efficiency_ratio() const { return rx_power_w / tx_power_w; }
-
-  std::string label() const;
-
-  bool operator==(const ModeCandidate&) const = default;
-};
+/// One operating point. The struct itself now lives at the HAL boundary
+/// (hal::OperatingPoint) so every backend shares it; these aliases keep the
+/// historical core:: spellings valid.
+using ModeCandidate = hal::OperatingPoint;
 
 /// Per-mode energy cost of switching *into* a mode (Table 5), per end.
-struct SwitchOverhead {
-  double tx_joules = 0.0;
-  double rx_joules = 0.0;
-};
+using SwitchOverhead = hal::SwitchOverhead;
 
 class PowerTable {
  public:

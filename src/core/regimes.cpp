@@ -1,6 +1,9 @@
 #include "core/regimes.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "core/braidio_radio.hpp"
 
 namespace braidio::core {
 
@@ -14,12 +17,30 @@ const char* to_string(Regime regime) {
 }
 
 RegimeMap::RegimeMap(const PowerTable& table, const phy::LinkBudget& budget)
-    : table_(table), budget_(budget) {}
+    : lattice_(table.candidates()),
+      sleep_power_(BraidioRadio::kIdleFloor),
+      channel_(&budget),
+      table_(&table),
+      budget_(&budget) {
+  for (phy::LinkMode mode : phy::kAllLinkModes) {
+    overheads_[static_cast<int>(mode)] = table.switch_overhead(mode);
+  }
+}
+
+RegimeMap::RegimeMap(const hal::RadioBackend& backend)
+    : lattice_(backend.caps().lattice),
+      sleep_power_(backend.caps().sleep_power),
+      channel_(&backend.channel()) {
+  for (phy::LinkMode mode : phy::kAllLinkModes) {
+    overheads_[static_cast<int>(mode)] =
+        backend.caps().switch_overhead[static_cast<int>(mode)];
+  }
+}
 
 std::vector<ModeCandidate> RegimeMap::available(double distance_m) const {
   std::vector<ModeCandidate> out;
-  for (const auto& candidate : table_.candidates()) {
-    if (budget_.available(candidate.mode, candidate.rate, distance_m)) {
+  for (const auto& candidate : lattice_) {
+    if (channel_->available(candidate.mode, candidate.rate, distance_m)) {
       out.push_back(candidate);
     }
   }
@@ -30,18 +51,18 @@ std::vector<ModeCandidate> RegimeMap::available_best_rate(
     double distance_m) const {
   std::vector<ModeCandidate> out;
   for (phy::LinkMode mode : phy::kAllLinkModes) {
-    if (const auto rate = budget_.best_bitrate(mode, distance_m)) {
-      out.push_back(table_.candidate(mode, *rate));
+    if (const auto rate = best_rate(mode, distance_m)) {
+      out.push_back(candidate(mode, *rate));
     }
   }
   return out;
 }
 
 Regime RegimeMap::regime(double distance_m) const {
-  if (budget_.best_bitrate(phy::LinkMode::Backscatter, distance_m)) {
+  if (best_rate(phy::LinkMode::Backscatter, distance_m)) {
     return Regime::A;
   }
-  if (budget_.best_bitrate(phy::LinkMode::PassiveRx, distance_m)) {
+  if (best_rate(phy::LinkMode::PassiveRx, distance_m)) {
     return Regime::B;
   }
   return Regime::C;
@@ -49,19 +70,85 @@ Regime RegimeMap::regime(double distance_m) const {
 
 double RegimeMap::regime_a_limit_m() const {
   double limit = 0.0;
-  for (phy::Bitrate rate : phy::kAllBitrates) {
-    limit = std::max(limit,
-                     budget_.range_m(phy::LinkMode::Backscatter, rate));
+  for (const auto& c : lattice_) {
+    if (c.mode != phy::LinkMode::Backscatter) continue;
+    limit = std::max(limit, channel_->range_m(c.mode, c.rate));
   }
   return limit;
 }
 
 double RegimeMap::regime_b_limit_m() const {
   double limit = 0.0;
-  for (phy::Bitrate rate : phy::kAllBitrates) {
-    limit = std::max(limit, budget_.range_m(phy::LinkMode::PassiveRx, rate));
+  for (const auto& c : lattice_) {
+    if (c.mode != phy::LinkMode::PassiveRx) continue;
+    limit = std::max(limit, channel_->range_m(c.mode, c.rate));
   }
   return limit;
+}
+
+const ModeCandidate& RegimeMap::candidate(phy::LinkMode mode,
+                                          phy::Bitrate rate) const {
+  const auto it = std::find_if(
+      lattice_.begin(), lattice_.end(), [&](const ModeCandidate& c) {
+        return c.mode == mode && c.rate == rate;
+      });
+  if (it == lattice_.end()) {
+    throw std::out_of_range("RegimeMap: unsupported mode/rate");
+  }
+  return *it;
+}
+
+bool RegimeMap::supports(phy::LinkMode mode) const {
+  return std::any_of(lattice_.begin(), lattice_.end(),
+                     [&](const ModeCandidate& c) { return c.mode == mode; });
+}
+
+std::optional<phy::Bitrate> RegimeMap::best_rate(phy::LinkMode mode,
+                                                 double distance_m) const {
+  using phy::Bitrate;
+  for (Bitrate rate : {Bitrate::M1, Bitrate::k100, Bitrate::k10}) {
+    if (!std::any_of(lattice_.begin(), lattice_.end(),
+                     [&](const ModeCandidate& c) {
+                       return c.mode == mode && c.rate == rate;
+                     })) {
+      continue;
+    }
+    if (channel_->available(mode, rate, distance_m)) return rate;
+  }
+  return std::nullopt;
+}
+
+std::optional<phy::Bitrate> RegimeMap::lowest_rate(phy::LinkMode mode) const {
+  using phy::Bitrate;
+  for (Bitrate rate : {Bitrate::k10, Bitrate::k100, Bitrate::M1}) {
+    if (std::any_of(lattice_.begin(), lattice_.end(),
+                    [&](const ModeCandidate& c) {
+                      return c.mode == mode && c.rate == rate;
+                    })) {
+      return rate;
+    }
+  }
+  return std::nullopt;
+}
+
+const SwitchOverhead& RegimeMap::switch_overhead(phy::LinkMode mode) const {
+  return overheads_[static_cast<int>(mode)];
+}
+
+const phy::LinkBudget& RegimeMap::budget() const {
+  if (!budget_) {
+    throw std::logic_error(
+        "RegimeMap::budget: not built from a PowerTable/LinkBudget pair");
+  }
+  return *budget_;
+}
+
+const PowerTable& RegimeMap::table() const {
+  if (!table_) {
+    throw std::logic_error(
+        "RegimeMap::table: not built from a PowerTable/LinkBudget pair");
+  }
+  return *table_;
 }
 
 }  // namespace braidio::core

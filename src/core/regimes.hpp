@@ -5,12 +5,20 @@
 //   Regime A: backscatter available -> the carrier can sit at either end.
 //   Regime B: only passive + active -> asymmetry can favor the receiver.
 //   Regime C: only active -> no offload, Braidio behaves like Bluetooth.
+//
+// RegimeMap is the MAC side's view of a radio backend: the capability
+// lattice crossed with the channel model. It is built either from a
+// hal::RadioBackend (any driver) or, for legacy braidio-only call sites,
+// directly from the PowerTable + LinkBudget pair.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/power_table.hpp"
+#include "hal/backend.hpp"
 #include "phy/link_budget.hpp"
+#include "util/units.hpp"
 
 namespace braidio::core {
 
@@ -20,7 +28,12 @@ const char* to_string(Regime regime);
 
 class RegimeMap {
  public:
+  /// Legacy braidio-only form. Keeps table()/budget() accessors valid.
   RegimeMap(const PowerTable& table, const phy::LinkBudget& budget);
+
+  /// Backend form: lattice/overheads copied from the declared capability
+  /// set, channel borrowed from the backend (which must outlive this map).
+  explicit RegimeMap(const hal::RadioBackend& backend);
 
   /// All (mode, bitrate) candidates whose BER clears the threshold at d.
   std::vector<ModeCandidate> available(double distance_m) const;
@@ -36,12 +49,42 @@ class RegimeMap {
   double regime_a_limit_m() const;
   double regime_b_limit_m() const;
 
-  const phy::LinkBudget& budget() const { return budget_; }
-  const PowerTable& table() const { return table_; }
+  /// The capability lattice this map plans over.
+  const std::vector<ModeCandidate>& lattice() const { return lattice_; }
+
+  /// Lattice lookup; throws std::out_of_range when unsupported.
+  const ModeCandidate& candidate(phy::LinkMode mode, phy::Bitrate rate) const;
+
+  /// True when the lattice has any point in `mode`.
+  bool supports(phy::LinkMode mode) const;
+
+  /// Best / lowest lattice bitrate for a mode at distance d (best also
+  /// requires channel availability); nullopt when none qualifies.
+  std::optional<phy::Bitrate> best_rate(phy::LinkMode mode,
+                                        double distance_m) const;
+  std::optional<phy::Bitrate> lowest_rate(phy::LinkMode mode) const;
+
+  /// Switch-in overhead for a mode, from the declared capability set.
+  const SwitchOverhead& switch_overhead(phy::LinkMode mode) const;
+
+  /// Sleep-state floor draw of the backing hardware.
+  util::Watts sleep_power() const { return sleep_power_; }
+
+  /// The channel physics behind this map.
+  const hal::ChannelModel& channel() const { return *channel_; }
+
+  /// Legacy accessors for braidio-only call sites; require the legacy ctor.
+  const phy::LinkBudget& budget() const;
+  const PowerTable& table() const;
 
  private:
-  const PowerTable& table_;
-  const phy::LinkBudget& budget_;
+  std::vector<ModeCandidate> lattice_;
+  SwitchOverhead overheads_[3];
+  util::Watts sleep_power_{2e-6};
+  const hal::ChannelModel* channel_ = nullptr;
+  // Non-null only when constructed the legacy way.
+  const PowerTable* table_ = nullptr;
+  const phy::LinkBudget* budget_ = nullptr;
 };
 
 }  // namespace braidio::core

@@ -1,0 +1,50 @@
+#include "hal/backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace braidio::hal {
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(std::unique_ptr<RadioBackend> backend) {
+  if (!backend) {
+    throw std::invalid_argument("BackendRegistry: null backend");
+  }
+  if (contains(backend->name())) {
+    throw std::invalid_argument("BackendRegistry: duplicate backend '" +
+                                backend->name() + "'");
+  }
+  backends_.push_back(std::move(backend));
+}
+
+const RadioBackend& BackendRegistry::get(const std::string& name) const {
+  for (const auto& b : backends_) {
+    if (b->name() == name) return *b;
+  }
+  std::string known;
+  for (const auto& n : names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::out_of_range("BackendRegistry: unknown backend '" + name +
+                          "' (known: " + known + ")");
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  return std::any_of(backends_.begin(), backends_.end(),
+                     [&](const auto& b) { return b->name() == name; });
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace braidio::hal

@@ -1,0 +1,65 @@
+// Pluggable radio backends behind the HAL.
+//
+// A backend bundles everything one hardware family needs to drive the
+// full stack: its declared Capabilities, its ChannelModel physics, and a
+// factory for per-device IRadio endpoints. The MAC, planners, simulators,
+// CLI, and examples select a backend by name (`--backend=NAME`) and never
+// look past this interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hal/channel_model.hpp"
+#include "hal/radio.hpp"
+#include "util/units.hpp"
+
+namespace braidio::hal {
+
+class RadioBackend {
+ public:
+  virtual ~RadioBackend() = default;
+
+  /// Registry key, e.g. "braidio", "ble-active".
+  virtual const std::string& name() const = 0;
+  /// One-line human description for `braidio_cli backends`.
+  virtual const std::string& description() const = 0;
+
+  /// Declared hardware capabilities. Stable for the backend's lifetime.
+  virtual const Capabilities& caps() const = 0;
+
+  /// Propagation + demodulation physics. Stable for the backend's lifetime.
+  virtual const ChannelModel& channel() const = 0;
+
+  /// Build one radio endpoint for a simulated device.
+  virtual std::unique_ptr<IRadio> create_radio(
+      std::string name, std::uint8_t address,
+      util::WattHours battery_capacity) const = 0;
+};
+
+/// Process-wide name -> backend registry. Registration is explicit (see
+/// backends::register_all) rather than via static initializers, which the
+/// linker may dead-strip out of static libraries.
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Throws std::invalid_argument on duplicate names.
+  void register_backend(std::unique_ptr<RadioBackend> backend);
+
+  /// Throws std::out_of_range with the known names when `name` is unknown.
+  const RadioBackend& get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry() = default;
+  std::vector<std::unique_ptr<RadioBackend>> backends_;
+};
+
+}  // namespace braidio::hal

@@ -1,6 +1,6 @@
-#include "phy/link_mode.hpp"
+#include "hal/link_mode.hpp"
 
-namespace braidio::phy {
+namespace braidio::hal {
 
 double bitrate_bps(Bitrate rate) {
   switch (rate) {
@@ -29,4 +29,4 @@ std::string to_string(Bitrate rate) {
   return "?";
 }
 
-}  // namespace braidio::phy
+}  // namespace braidio::hal

@@ -14,8 +14,7 @@
 
 #include <optional>
 
-#include "phy/ber.hpp"
-#include "phy/link_mode.hpp"
+#include "hal/link_mode.hpp"
 #include "util/units.hpp"
 
 namespace braidio::mac {
@@ -61,11 +60,11 @@ class RateSelector {
   /// `required_snr_db(rate)`. Stateless requirement model, stateful
   /// hysteresis. Returns nullopt if even 10 kbps cannot be sustained.
   template <typename RequiredSnrFn>
-  std::optional<phy::Bitrate> select(double snr_db,
+  std::optional<hal::Bitrate> select(double snr_db,
                                      RequiredSnrFn required_snr_db) {
-    std::optional<phy::Bitrate> best;
-    for (phy::Bitrate rate :
-         {phy::Bitrate::M1, phy::Bitrate::k100, phy::Bitrate::k10}) {
+    std::optional<hal::Bitrate> best;
+    for (hal::Bitrate rate :
+         {hal::Bitrate::M1, hal::Bitrate::k100, hal::Bitrate::k10}) {
       const double need = required_snr_db(rate);
       const bool is_upgrade =
           current_ && static_cast<int>(rate) > static_cast<int>(*current_);
@@ -79,12 +78,12 @@ class RateSelector {
     return best;
   }
 
-  std::optional<phy::Bitrate> current() const { return current_; }
+  std::optional<hal::Bitrate> current() const { return current_; }
   void reset() { current_.reset(); }
 
  private:
   RateSelectorConfig config_;
-  std::optional<phy::Bitrate> current_;
+  std::optional<hal::Bitrate> current_;
 };
 
 }  // namespace braidio::mac

@@ -4,15 +4,14 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
-#include "phy/ber.hpp"
 #include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace braidio::mac {
 
-PacketChannel::PacketChannel(const phy::LinkBudget& budget,
+PacketChannel::PacketChannel(const hal::ChannelModel& channel,
                              PacketChannelConfig config, util::Rng rng)
-    : budget_(budget), config_(config), rng_(rng) {
+    : channel_(channel), config_(config), rng_(rng) {
   if (config_.distance_m < 0.0) {
     throw std::invalid_argument("PacketChannel: negative distance");
   }
@@ -26,18 +25,16 @@ PacketChannel::PacketChannel(const phy::LinkBudget& budget,
                   "coherence_time_s", config_.coherence_time_s);
 }
 
-double PacketChannel::current_ber(phy::LinkMode mode,
-                                  phy::Bitrate rate) const {
-  const double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
+double PacketChannel::current_ber(hal::LinkMode mode,
+                                  hal::Bitrate rate) const {
+  const double snr_db = channel_.snr_db(mode, rate, config_.distance_m) -
                         config_.extra_loss_db;
   return util::contract::check_probability(
-      phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
-                          util::db_to_linear(snr_db)),
-      "PacketChannel::current_ber");
+      channel_.ber_from_snr_db(mode, snr_db), "PacketChannel::current_ber");
 }
 
-double PacketChannel::airtime_s(const Frame& frame, phy::Bitrate rate) {
-  return static_cast<double>(frame.wire_bits()) / phy::bitrate_bps(rate);
+double PacketChannel::airtime_s(const Frame& frame, hal::Bitrate rate) {
+  return static_cast<double>(frame.wire_bits()) / hal::bitrate_bps(rate);
 }
 
 void PacketChannel::set_distance(double distance_m) {
@@ -90,8 +87,8 @@ double PacketChannel::fault_fade_power_gain(
 }
 
 std::optional<Frame> PacketChannel::transmit(const Frame& frame,
-                                             phy::LinkMode mode,
-                                             phy::Bitrate rate) {
+                                             hal::LinkMode mode,
+                                             hal::Bitrate rate) {
   ++sent_;
   sim::faults::ImpairmentState impairment;
   if (impairments_ != nullptr) {
@@ -99,19 +96,19 @@ std::optional<Frame> PacketChannel::transmit(const Frame& frame,
   }
   auto bytes = serialize(frame);
   obs::count(obs::Counter::PacketsTx);
-  BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, phy::to_string(mode),
+  BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, hal::to_string(mode),
                       obs::no_sim_time(),
                       static_cast<double>(bytes.size()));
   if (impairment.carrier_dropout) {
     // Carrier gone: nothing reaches the receiver, deterministically.
     ++corrupted_;
     obs::count(obs::Counter::PacketsDropped);
-    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, phy::to_string(mode),
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, hal::to_string(mode),
                         obs::no_sim_time(),
                         static_cast<double>(bytes.size()));
     return std::nullopt;
   }
-  double snr_db = budget_.snr_db(mode, rate, config_.distance_m) -
+  double snr_db = channel_.snr_db(mode, rate, config_.distance_m) -
                   config_.extra_loss_db - impairment.extra_loss_db;
   if (config_.block_fading) {
     snr_db += util::linear_to_db(std::max(fade_power_gain(), 1e-9));
@@ -120,8 +117,7 @@ std::optional<Frame> PacketChannel::transmit(const Frame& frame,
     snr_db += util::linear_to_db(
         std::max(fault_fade_power_gain(impairment), 1e-9));
   }
-  const double ber = phy::bit_error_rate(phy::LinkBudget::ber_model(mode),
-                                         util::db_to_linear(snr_db));
+  const double ber = channel_.ber_from_snr_db(mode, snr_db);
   if (ber > 0.0) {
     for (auto& byte : bytes) {
       for (int bit = 0; bit < 8; ++bit) {
@@ -133,13 +129,13 @@ std::optional<Frame> PacketChannel::transmit(const Frame& frame,
   if (parsed) {
     ++delivered_;
     obs::count(obs::Counter::PacketsRx);
-    BRAIDIO_TRACE_EVENT(obs::EventType::PacketRx, phy::to_string(mode),
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketRx, hal::to_string(mode),
                         obs::no_sim_time(),
                         static_cast<double>(bytes.size()));
   } else {
     ++corrupted_;
     obs::count(obs::Counter::PacketsDropped);
-    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, phy::to_string(mode),
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, hal::to_string(mode),
                         obs::no_sim_time(),
                         static_cast<double>(bytes.size()));
   }

@@ -1,6 +1,6 @@
 // BER-driven packet channel: puts serialized frames "on the air".
 //
-// Uses the calibrated LinkBudget to derive the bit error rate for the
+// Uses the backend's hal::ChannelModel to derive the bit error rate for the
 // current (mode, bitrate, distance), flips bits independently, and lets the
 // frame CRC do its job at the receiver. Supports Rayleigh block fading to
 // stress the fallback logic — either redrawn independently per packet
@@ -20,8 +20,9 @@
 #include <optional>
 #include <vector>
 
+#include "hal/channel_model.hpp"
+#include "hal/link_mode.hpp"
 #include "mac/frame.hpp"
-#include "phy/link_budget.hpp"
 #include "rf/fading.hpp"
 #include "sim/faults/impairment.hpp"
 #include "util/rng.hpp"
@@ -41,20 +42,20 @@ struct PacketChannelConfig {
 
 class PacketChannel {
  public:
-  PacketChannel(const phy::LinkBudget& budget, PacketChannelConfig config,
+  PacketChannel(const hal::ChannelModel& channel, PacketChannelConfig config,
                 util::Rng rng);
 
   /// Transmit a frame over (mode, rate). Returns the deserialized frame if
   /// it survives (bit corruption is applied to the wire bytes; the CRC
   /// rejects damaged frames), nullopt otherwise.
-  std::optional<Frame> transmit(const Frame& frame, phy::LinkMode mode,
-                                phy::Bitrate rate);
+  std::optional<Frame> transmit(const Frame& frame, hal::LinkMode mode,
+                                hal::Bitrate rate);
 
   /// The BER the next packet would see (before fading and faults).
-  double current_ber(phy::LinkMode mode, phy::Bitrate rate) const;
+  double current_ber(hal::LinkMode mode, hal::Bitrate rate) const;
 
   /// Airtime of a frame at `rate` [s].
-  static double airtime_s(const Frame& frame, phy::Bitrate rate);
+  static double airtime_s(const Frame& frame, hal::Bitrate rate);
 
   void set_distance(double distance_m);
   double distance() const { return config_.distance_m; }
@@ -81,7 +82,7 @@ class PacketChannel {
   /// Power gain of an active fault fade burst (depth-scaled, coherent).
   double fault_fade_power_gain(const sim::faults::ImpairmentState& state);
 
-  const phy::LinkBudget& budget_;
+  const hal::ChannelModel& channel_;
   PacketChannelConfig config_;
   util::Rng rng_;
   const sim::faults::ImpairmentSchedule* impairments_ = nullptr;

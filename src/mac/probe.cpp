@@ -43,16 +43,16 @@ float get_f32(std::span<const std::uint8_t> b, std::size_t at) {
   return v;
 }
 
-std::optional<std::pair<phy::LinkMode, phy::Bitrate>> parse_mode_rate(
+std::optional<std::pair<hal::LinkMode, hal::Bitrate>> parse_mode_rate(
     std::uint8_t byte) {
   const std::uint8_t mode = byte >> 4;
   const std::uint8_t rate = byte & 0x0F;
   if (mode > 2 || rate > 2) return std::nullopt;
-  return std::make_pair(static_cast<phy::LinkMode>(mode),
-                        static_cast<phy::Bitrate>(rate));
+  return std::make_pair(static_cast<hal::LinkMode>(mode),
+                        static_cast<hal::Bitrate>(rate));
 }
 
-std::uint8_t pack_mode_rate(phy::LinkMode mode, phy::Bitrate rate) {
+std::uint8_t pack_mode_rate(hal::LinkMode mode, hal::Bitrate rate) {
   return static_cast<std::uint8_t>((static_cast<std::uint8_t>(mode) << 4) |
                                    static_cast<std::uint8_t>(rate));
 }

@@ -11,21 +11,21 @@
 #include <span>
 #include <vector>
 
-#include "phy/link_mode.hpp"
+#include "hal/link_mode.hpp"
 
 namespace braidio::mac {
 
 /// Sounding request: which (mode, bitrate) the sender is probing.
 struct ProbePayload {
-  phy::LinkMode mode = phy::LinkMode::Active;
-  phy::Bitrate rate = phy::Bitrate::M1;
+  hal::LinkMode mode = hal::LinkMode::Active;
+  hal::Bitrate rate = hal::Bitrate::M1;
   std::uint16_t token = 0;  // echoed in the report
 };
 
 /// Measured link quality echoed back to the prober.
 struct ProbeReportPayload {
-  phy::LinkMode mode = phy::LinkMode::Active;
-  phy::Bitrate rate = phy::Bitrate::M1;
+  hal::LinkMode mode = hal::LinkMode::Active;
+  hal::Bitrate rate = hal::Bitrate::M1;
   std::uint16_t token = 0;
   float snr_db = 0.0f;
   float ber_estimate = 0.0f;
@@ -40,8 +40,8 @@ struct BatteryStatusPayload {
 
 /// Commanded mode change: the schedule entry to apply after this frame.
 struct ModeSwitchPayload {
-  phy::LinkMode mode = phy::LinkMode::Active;
-  phy::Bitrate rate = phy::Bitrate::M1;
+  hal::LinkMode mode = hal::LinkMode::Active;
+  hal::Bitrate rate = hal::Bitrate::M1;
   std::uint16_t packets_in_mode = 1;  // dwell before the next entry
 };
 

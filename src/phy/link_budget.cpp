@@ -111,6 +111,10 @@ double LinkBudget::snr(LinkMode mode, Bitrate rate, double distance_m) const {
   return util::db_to_linear(snr_db(mode, rate, distance_m));
 }
 
+double LinkBudget::ber_from_snr_db(LinkMode mode, double snr_db) const {
+  return bit_error_rate(ber_model(mode), util::db_to_linear(snr_db));
+}
+
 double LinkBudget::ber(LinkMode mode, Bitrate rate, double distance_m) const {
   return bit_error_rate(ber_model(mode), snr(mode, rate, distance_m));
 }

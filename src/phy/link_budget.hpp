@@ -22,6 +22,7 @@
 
 #include <optional>
 
+#include "hal/channel_model.hpp"
 #include "phy/ber.hpp"
 #include "phy/link_mode.hpp"
 
@@ -54,7 +55,12 @@ struct LinkBudgetConfig {
 /// the constructor; every public method is const over immutable state, so
 /// one LinkBudget may be shared by concurrent sweep workers (audited for
 /// the sim engine).
-class LinkBudget {
+///
+/// This is the canonical hal::ChannelModel implementation — the braidio
+/// backend exposes it directly, and other backends (reader-passive)
+/// delegate to it with their own configs rather than duplicating the
+/// propagation/BER math.
+class LinkBudget : public hal::ChannelModel {
  public:
   explicit LinkBudget(LinkBudgetConfig config = {});
 
@@ -69,19 +75,25 @@ class LinkBudget {
 
   /// Per-bit SNR (linear / dB) at distance d.
   double snr(LinkMode mode, Bitrate rate, double distance_m) const;
-  double snr_db(LinkMode mode, Bitrate rate, double distance_m) const;
+  double snr_db(LinkMode mode, Bitrate rate,
+                double distance_m) const override;
+
+  /// BER the mode's demodulator produces at a given per-bit SNR [dB].
+  double ber_from_snr_db(LinkMode mode, double snr_db) const override;
 
   /// Analytic bit error rate at distance d.
   double ber(LinkMode mode, Bitrate rate, double distance_m) const;
 
   /// Operating range [m]: distance where BER hits the configured threshold.
-  double range_m(LinkMode mode, Bitrate rate) const;
+  double range_m(LinkMode mode, Bitrate rate) const override;
 
   /// True when (mode, bitrate) meets the BER threshold at distance d.
-  bool available(LinkMode mode, Bitrate rate, double distance_m) const;
+  bool available(LinkMode mode, Bitrate rate,
+                 double distance_m) const override;
 
   /// Highest bitrate meeting the BER threshold at d, if any.
-  std::optional<Bitrate> best_bitrate(LinkMode mode, double distance_m) const;
+  std::optional<Bitrate> best_bitrate(LinkMode mode,
+                                      double distance_m) const override;
 
   const LinkBudgetConfig& config() const { return config_; }
 

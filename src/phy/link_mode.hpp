@@ -1,30 +1,21 @@
-// The three Braidio link modes (named, as in the paper, by who holds the
-// carrier / what the receiver does) and the supported bitrates.
+// The three Braidio link modes and supported bitrates.
+//
+// The definitions moved below the HAL boundary (hal/link_mode.hpp) so MAC
+// code can name a mode without including driver headers; this header
+// re-exports them into braidio::phy for driver-side code, which keeps
+// every existing phy::LinkMode spelling valid.
 #pragma once
 
-#include <array>
-#include <string>
+#include "hal/link_mode.hpp"
 
 namespace braidio::phy {
 
-enum class LinkMode {
-  Active,       // both ends run full transceivers
-  PassiveRx,    // data TX holds the carrier; data RX is an envelope detector
-  Backscatter,  // data RX holds the carrier; data TX is a reflecting tag
-};
+using hal::Bitrate;
+using hal::LinkMode;
+using hal::kAllBitrates;
+using hal::kAllLinkModes;
 
-inline constexpr std::array<LinkMode, 3> kAllLinkModes = {
-    LinkMode::Active, LinkMode::PassiveRx, LinkMode::Backscatter};
-
-enum class Bitrate { k10, k100, M1 };
-
-inline constexpr std::array<Bitrate, 3> kAllBitrates = {
-    Bitrate::k10, Bitrate::k100, Bitrate::M1};
-
-/// Bits per second for a Bitrate.
-double bitrate_bps(Bitrate rate);
-
-const char* to_string(LinkMode mode);
-std::string to_string(Bitrate rate);
+using hal::bitrate_bps;
+using hal::to_string;
 
 }  // namespace braidio::phy

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baseline/bluetooth.hpp"
 #include "baseline/reader.hpp"
 #include "util/units.hpp"
@@ -127,6 +129,56 @@ TEST(ReaderModel, ConfigValidation) {
   CommercialReaderModel::Config bad;
   bad.range_100k_m = 0.0;
   EXPECT_THROW(CommercialReaderModel{bad}, std::invalid_argument);
+}
+
+TEST(ReaderModel, Figure12CurvePinnedAcrossLinkBudgetDelegation) {
+  // Golden Fig. 12 curve captured before the reader model delegated its
+  // propagation/BER math to phy::LinkBudget. The delegation maps the
+  // radar-equation gains (2*G_reader + 2*G_tag) onto the budget's 4*G form
+  // exactly, so every value must survive to ~1e-9 relative.
+  struct Point {
+    double d, pr_dbm, snr_db, ber;
+  };
+  const Point golden[] = {
+      {0.5, -36.311210379865429, 35.449243221668851, 0.0},
+      {1.0, -48.352410206424679, 23.408043395109601, 1.2291200465026382e-97},
+      {1.5, -55.396060568651933, 16.364393032882347, 6.6749801079425883e-21},
+      {2.0, -60.393610032983929, 11.366843568550351, 8.2813389304419363e-08},
+      {2.5, -64.270010553306179, 7.4904430482281015, 0.00040414396504373577},
+      {3.0, -67.437260395211169, 4.3231932063231113, 0.010000000000000026},
+      {3.5, -70.115131980435706, 1.6453216210985744, 0.043711256130458405},
+      {4.0, -72.434809859543179, -0.67435625800889909, 0.095339909188181277},
+  };
+  CommercialReaderModel reader;
+  for (const Point& p : golden) {
+    EXPECT_NEAR(reader.received_power_dbm(p.d), p.pr_dbm,
+                1e-9 * std::abs(p.pr_dbm))
+        << "d=" << p.d;
+    EXPECT_NEAR(reader.snr_db(p.d), p.snr_db,
+                1e-9 * std::max(1.0, std::abs(p.snr_db)))
+        << "d=" << p.d;
+    EXPECT_NEAR(reader.ber(p.d), p.ber, 1e-9 * std::max(1e-30, p.ber))
+        << "d=" << p.d;
+  }
+  EXPECT_NEAR(reader.range_m(), 2.9999999999999973, 1e-9 * 3.0);
+}
+
+TEST(ReaderModel, SharesLinkBudgetPhysicsWithBraidio) {
+  // S6: the reader's curve must come from the shared phy::LinkBudget, not
+  // a private copy of the math — the exposed budget reproduces the model's
+  // public outputs identically.
+  CommercialReaderModel reader;
+  const phy::LinkBudget& budget = reader.link_budget();
+  for (double d : {0.5, 1.5, 3.0, 4.0}) {
+    EXPECT_DOUBLE_EQ(
+        reader.received_power_dbm(d),
+        budget.received_power_dbm(phy::LinkMode::Backscatter, d));
+    EXPECT_DOUBLE_EQ(reader.ber(d), budget.ber(phy::LinkMode::Backscatter,
+                                               phy::Bitrate::k100, d));
+  }
+  EXPECT_DOUBLE_EQ(
+      reader.range_m(),
+      budget.range_m(phy::LinkMode::Backscatter, phy::Bitrate::k100));
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "util/units.hpp"
 
 #include <gtest/gtest.h>

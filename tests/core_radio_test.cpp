@@ -16,7 +16,8 @@ class RadioTest : public ::testing::Test {
 TEST_F(RadioTest, StartsIdleAtFloorPower) {
   EXPECT_FALSE(radio_.operating_point().has_value());
   EXPECT_FALSE(radio_.role().has_value());
-  EXPECT_DOUBLE_EQ(radio_.power_draw_w(), BraidioRadio::kIdleFloorW);
+  EXPECT_DOUBLE_EQ(radio_.power_draw().value(),
+                   BraidioRadio::kIdleFloor.value());
   EXPECT_EQ(radio_.name(), "watch");
   EXPECT_EQ(radio_.address(), 1);
 }
@@ -25,9 +26,10 @@ TEST_F(RadioTest, PowerDrawFollowsRoleAndMode) {
   const auto& bs = table_.candidate(phy::LinkMode::Backscatter,
                                     phy::Bitrate::M1);
   ASSERT_TRUE(radio_.switch_to(bs, Role::DataTransmitter));
-  EXPECT_DOUBLE_EQ(radio_.power_draw_w(), bs.tx_power_w);  // tag: ~36 uW
+  EXPECT_DOUBLE_EQ(radio_.power_draw().value(), bs.tx_power_w);  // tag: ~36 uW
   ASSERT_TRUE(radio_.switch_to(bs, Role::DataReceiver));
-  EXPECT_DOUBLE_EQ(radio_.power_draw_w(), bs.rx_power_w);  // carrier: 129 mW
+  // Carrier side: 129 mW.
+  EXPECT_DOUBLE_EQ(radio_.power_draw().value(), bs.rx_power_w);
 }
 
 TEST_F(RadioTest, SwitchChargesTable5OverheadOncePerTransition) {
@@ -94,14 +96,14 @@ TEST_F(RadioTest, BatteryDeathDuringAdvanceGoesIdle) {
   EXPECT_FALSE(tiny.advance(util::Seconds(1.0)));
   EXPECT_TRUE(tiny.battery().empty());
   EXPECT_FALSE(tiny.operating_point().has_value());
-  EXPECT_DOUBLE_EQ(tiny.power_draw_w(), BraidioRadio::kIdleFloorW);
+  EXPECT_DOUBLE_EQ(tiny.power_draw().value(), BraidioRadio::kIdleFloor.value());
 }
 
 TEST_F(RadioTest, IdleAdvanceUsesFloor) {
   const double before = radio_.battery().remaining_joules();
   ASSERT_TRUE(radio_.advance(util::Seconds(100.0)));
   EXPECT_NEAR(before - radio_.battery().remaining_joules(),
-              100.0 * BraidioRadio::kIdleFloorW, 1e-12);
+              100.0 * BraidioRadio::kIdleFloor.value(), 1e-12);
   EXPECT_GT(radio_.ledger().joules(energy::EnergyCategory::Idle), 0.0);
 }
 
@@ -110,7 +112,8 @@ TEST_F(RadioTest, GoIdleStopsModeDraw) {
       table_.candidate(phy::LinkMode::Active, phy::Bitrate::M1);
   ASSERT_TRUE(radio_.switch_to(active, Role::DataTransmitter));
   radio_.go_idle();
-  EXPECT_DOUBLE_EQ(radio_.power_draw_w(), BraidioRadio::kIdleFloorW);
+  EXPECT_DOUBLE_EQ(radio_.power_draw().value(),
+                   BraidioRadio::kIdleFloor.value());
 }
 
 TEST(RoleNames, Stable) {

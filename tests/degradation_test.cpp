@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "sim/faults/fault_timeline.hpp"
 #include "sim/faults/impairment.hpp"
 #include "sim/scenario.hpp"

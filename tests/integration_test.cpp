@@ -12,6 +12,7 @@
 #include "circuits/netlist.hpp"
 #include "circuits/transient.hpp"
 #include "core/braided_link.hpp"
+#include "core/braidio_radio.hpp"
 #include "core/lifetime_sim.hpp"
 #include "phy/waveform.hpp"
 #include "rf/phase_field.hpp"

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "phy/ber.hpp"
+#include "phy/link_budget.hpp"
 #include "sim/faults/fault_timeline.hpp"
 #include "sim/faults/impairment.hpp"
 

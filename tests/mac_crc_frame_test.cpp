@@ -3,6 +3,7 @@
 #include "mac/crc.hpp"
 #include "mac/frame.hpp"
 #include "mac/probe.hpp"
+#include "phy/link_mode.hpp"
 #include "util/rng.hpp"
 
 namespace braidio::mac {

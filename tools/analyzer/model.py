@@ -42,6 +42,10 @@ RULES: tuple[Rule, ...] = (
     Rule("A4-missing-require", "missing-require",
          "an overload of a BRAIDIO_REQUIRE-checked function skips the "
          "precondition its sibling enforces"),
+    Rule("A5-layering", "layering",
+         "src/mac/ sits below the radio HAL boundary and must not "
+         "include phy/ or core/ headers — modes, bitrates, and channel "
+         "physics come from hal/"),
     Rule("bad-suppression", "bad-suppression",
          "a suppression annotation needs a non-empty reason"),
 )

@@ -1,4 +1,4 @@
-"""Rule implementations A1-A4 over the SourceModel (DESIGN.md §13)."""
+"""Rule implementations A1-A5 over the SourceModel (DESIGN.md §13)."""
 
 from __future__ import annotations
 
@@ -52,6 +52,11 @@ _A3_DIRS = ("src/energy/", "src/core/", "src/mac/", "src/phy/")
 # --- A4: contract coverage -------------------------------------------
 
 _REQUIRE_RE = re.compile(r"\bBRAIDIO_(?:REQUIRE|ENSURE)\b")
+
+# --- A5: layering ----------------------------------------------------
+
+_A5_DIR = "src/mac/"
+_A5_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"((phy|core)/[^"]*)"')
 
 _NUMERIC_LITERAL_RE = re.compile(
     r"^[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?$")
@@ -182,6 +187,34 @@ def check_units_discipline(model: SourceModel) -> list[Finding]:
     return findings
 
 
+def check_layering(model: SourceModel) -> list[Finding]:
+    """A5: mac/ may not reach across the HAL boundary into phy/ or core/.
+
+    Include paths live inside string literals, which the blanker erases,
+    so the directive is matched on the raw line; the blanked line is
+    consulted only to skip includes that are commented out.
+    """
+    if not model.rel.startswith(_A5_DIR):
+        return []
+    findings = []
+    blanked_lines = model.blanked.split("\n")
+    for lineno, raw in enumerate(model.lines, 1):
+        match = _A5_INCLUDE_RE.match(raw)
+        if not match:
+            continue
+        if lineno <= len(blanked_lines) and "#" not in blanked_lines[lineno - 1]:
+            continue  # the whole directive sits inside a comment
+        if model.suppressed("layering", lineno):
+            continue
+        header, layer = match.group(1), match.group(2)
+        findings.append(Finding(
+            "A5-layering", model.rel, lineno,
+            f"#include \"{header}\" in src/mac/ — the MAC sits below the "
+            f"radio HAL and must not depend on {layer}/; take LinkMode/"
+            "Bitrate/ChannelModel from hal/ instead"))
+    return findings
+
+
 def _bare(name: str) -> str:
     return name.split("::")[-1].lstrip("~")
 
@@ -236,6 +269,7 @@ def run_all(models: list[SourceModel]) -> list[Finding]:
         findings.extend(check_pointer_keys(model))
         findings.extend(check_energy_attribution(model))
         findings.extend(check_units_discipline(model))
+        findings.extend(check_layering(model))
         stem = re.sub(r"\.(?:hpp|cpp)$", "", model.rel)
         pairs.setdefault(stem, []).append(model)
     for stem in sorted(pairs):
