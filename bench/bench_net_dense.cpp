@@ -1,0 +1,97 @@
+// NET dense: scheduler throughput on the 10k-passive-tag star.
+//
+// The hub-wall scenario of the paper's asymmetric-IoT framing at adverse
+// density: 10,000 tags packed on a 2 m disc around one wall-powered hub,
+// every tag pushing frames uplink through CSMA-CA on a shared medium.
+// Each replica is one full discrete-event run; the sweep reports the
+// scheduler's event throughput (events/sec across all replicas) and the
+// delivered bits per joule of the dense deployment. The delivery ratio
+// itself is intentionally terrible — carrier sensing cannot hear -76 dBm
+// backscatter reflections, so an uncoordinated dense deployment collapses
+// (see DESIGN.md §15) — which is exactly what makes the scenario a good
+// stress test: maximal contention, maximal event churn.
+//
+// Everything except wall time is deterministic: replica r always runs
+// with the sweep's child seed for flat index r, so the per-replica event
+// counts, delivery counts, and joules in BENCH_net_dense.json are
+// byte-identical for any --threads value.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "backends/backends.hpp"
+#include "bench_common.hpp"
+#include "net/network_sim.hpp"
+#include "obs/obs.hpp"
+#include "sim/run_report.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep_runner.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace braidio;
+  sim::RunReport report(std::cout, "NET dense",
+                        "10k-tag dense star: scheduler event throughput");
+
+  constexpr std::size_t kTags = 10000;
+  constexpr std::size_t kReplicas = 8;
+
+  backends::register_all();
+  const hal::RadioBackend& backend =
+      hal::BackendRegistry::instance().get(backends::kBraidio);
+
+  // Attribution stays off: this bench measures raw scheduler throughput,
+  // and per-charge span attribution would tax exactly the path under
+  // test. bits/J comes from the per-node ledgers, which are always on.
+  sim::Scenario scenario(
+      "net_dense", {sim::Axis::indexed("replica", kReplicas)},
+      {"events", "delivered", "csma fail", "bits/J"},
+      [&](sim::SweepPoint& p) {
+        net::NetConfig cfg;
+        cfg.backend = &backend;
+        cfg.topology.kind = net::TopologyKind::Star;
+        cfg.topology.nodes = kTags;
+        cfg.seed = p.seed();
+        net::NetworkSimulator sim(cfg);
+        const auto stats = sim.run();
+        sim::RunRecord record;
+        record.cells = {std::to_string(stats.events),
+                        std::to_string(stats.delivered),
+                        std::to_string(stats.csma_failures),
+                        util::format_engineering(stats.bits_per_joule(), 4)};
+        record.numbers = {static_cast<double>(stats.events),
+                          stats.delivered_payload_bits, stats.total_joules};
+        return record;
+      });
+
+  const auto out =
+      sim::SweepRunner(bench::sweep_options(argc, argv)).run(scenario);
+  report.table(out);
+  report.metrics(out);
+  report.export_csv("net_dense", out);
+  report.export_json("net_dense", out);
+
+  double events = 0.0, bits = 0.0, joules = 0.0;
+  for (std::size_t row = 0; row < out.row_count(); ++row) {
+    const auto& numbers = out.record(row).numbers;
+    events += numbers[0];
+    bits += numbers[1];
+    joules += numbers[2];
+  }
+  const double wall = out.total_wall_seconds();
+  const double events_per_second = wall > 0.0 ? events / wall : 0.0;
+  const double bits_per_joule = joules > 0.0 ? bits / joules : 0.0;
+
+  bench::export_bench_telemetry(report, "net_dense", out, bits_per_joule);
+
+  report.check("scheduler throughput", ">= 1M events/sec",
+               util::format_engineering(events_per_second, 4) +
+                   "events/sec (" + std::to_string(out.threads_used()) +
+                   " threads)");
+  report.check("dense goodput", "collapse (CCA deaf to backscatter)",
+               util::format_engineering(bits_per_joule, 4) + "bits/J");
+  report.note("events/sec = sum(net_events) / sweep wall time; the "
+              "per-replica rows above are deterministic, the rate is not.");
+  return 0;
+}

@@ -8,6 +8,9 @@
 //   braidio_cli lifetime <tx-device> <rx-device> [distance_m]
 //   braidio_cli matrix [distance_m]
 //   braidio_cli ber <active|passive|backscatter> <10k|100k|1M>
+//   braidio_cli net [--topology=<star|grid|rgg>] [--nodes=<n>]
+//                   [--packets=<n>] [--extent=<m>] [--range=<m>]
+//                   [--seed=<n>]
 //   braidio_cli regimes
 //   braidio_cli devices
 //   braidio_cli backends
@@ -40,6 +43,7 @@
 #include "core/braidio_radio.hpp"
 #include "core/efficiency.hpp"
 #include "core/lifetime_sim.hpp"
+#include "net/network_sim.hpp"
 #include "obs/obs.hpp"
 #include "sim/faults/fault_timeline.hpp"
 #include "sim/faults/impairment.hpp"
@@ -63,6 +67,9 @@ int usage() {
       "  braidio_cli lifetime <tx-device> <rx-device> [distance_m]\n"
       "  braidio_cli matrix [distance_m]\n"
       "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
+      "  braidio_cli net [--topology=<star|grid|rgg>] [--nodes=<n>]"
+      " [--packets=<n>]\n"
+      "                  [--extent=<m>] [--range=<m>] [--seed=<n>]\n"
       "  braidio_cli regimes\n"
       "  braidio_cli devices\n"
       "  braidio_cli backends\n"
@@ -386,6 +393,71 @@ int cmd_ber(const hal::RadioBackend& backend,
   return 0;
 }
 
+// Many-node discrete-event network run: build the topology, drain the
+// scheduler, and report delivery + energy. Global --backend and --faults
+// plug straight into the NetConfig.
+int cmd_net(const hal::RadioBackend& backend,
+            const std::vector<std::string>& args,
+            const GlobalOptions& options) {
+  net::NetConfig cfg;
+  cfg.backend = &backend;
+  if (options.faults) cfg.impairments = &*options.faults;
+  for (const auto& arg : args) {
+    if (arg.rfind("--topology=", 0) == 0) {
+      const auto kind = net::parse_topology(arg.substr(11));
+      if (!kind) {
+        std::cerr << "bad --topology value: " << arg.substr(11)
+                  << " (want star|grid|rgg)\n";
+        return 2;
+      }
+      cfg.topology.kind = *kind;
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      cfg.topology.nodes = std::stoul(arg.substr(8));
+    } else if (arg.rfind("--packets=", 0) == 0) {
+      cfg.packets_per_node =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(10)));
+    } else if (arg.rfind("--extent=", 0) == 0) {
+      cfg.topology.extent_m = std::stod(arg.substr(9));
+    } else if (arg.rfind("--range=", 0) == 0) {
+      cfg.topology.link_range_m = std::stod(arg.substr(8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = std::stoull(arg.substr(7));
+    } else {
+      std::cerr << "unknown net flag: " << arg << '\n';
+      return usage();
+    }
+  }
+
+  net::NetworkSimulator sim(cfg);
+  const auto stats = sim.run();
+
+  util::TablePrinter out({"metric", "value"});
+  out.add_row({"topology", net::to_string(cfg.topology.kind)});
+  out.add_row({"nodes (tags + hub)",
+               std::to_string(cfg.topology.nodes + 1)});
+  out.add_row({"reachable", std::to_string(stats.reachable)});
+  out.add_row({"planned uplinks", std::to_string(stats.planned)});
+  out.add_row({"max hops", std::to_string(stats.max_hops)});
+  out.add_row({"events", std::to_string(stats.events)});
+  out.add_row({"virtual time",
+               util::format_fixed(stats.elapsed_s, 3) + " s"});
+  out.add_row({"generated", std::to_string(stats.generated)});
+  out.add_row({"delivered", std::to_string(stats.delivered)});
+  out.add_row({"forwarded", std::to_string(stats.forwarded)});
+  out.add_row({"tx attempts", std::to_string(stats.tx_attempts)});
+  out.add_row({"csma failures", std::to_string(stats.csma_failures)});
+  out.add_row({"arq drops", std::to_string(stats.arq_drops)});
+  out.add_row({"battery deaths", std::to_string(stats.battery_deaths)});
+  out.add_row({"hub energy",
+               util::format_engineering(stats.hub_joules, 4) + "J"});
+  out.add_row({"total energy",
+               util::format_engineering(stats.total_joules, 4) + "J"});
+  out.add_row({"goodput", util::format_engineering(
+                              stats.bits_per_joule(), 4) + "bits/J"});
+  out.print(std::cout);
+  return 0;
+}
+
 int cmd_regimes(const hal::RadioBackend& backend) {
   core::RegimeMap map(backend);
   std::cout << "Regime A (carrier movable to either end): <= "
@@ -454,6 +526,7 @@ int main(int argc, char** argv) {
     else if (cmd == "lifetime") rc = cmd_lifetime(backend, args);
     else if (cmd == "matrix") rc = cmd_matrix(backend, args);
     else if (cmd == "ber") rc = cmd_ber(backend, args);
+    else if (cmd == "net") rc = cmd_net(backend, args, options);
     else if (cmd == "regimes") rc = cmd_regimes(backend);
     else if (cmd == "devices") rc = cmd_devices();
     else if (cmd == "backends") rc = cmd_backends();

@@ -4,6 +4,7 @@
 
 #include "core/braidio_radio.hpp"
 #include "mac/arq.hpp"
+#include "net/event_queue.hpp"
 #include "obs/obs.hpp"
 #include "util/units.hpp"
 
@@ -137,11 +138,22 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
   };
   scan_fault_edges();
 
-  for (std::uint64_t round = 0; round < rounds; ++round) {
-    if (hub.battery().empty()) break;
-    for (std::size_t i = 0; i < states.size(); ++i) {
-      auto& node = states[i];
-      if (!node.alive) continue;
+  // TDMA rounds ride the network scheduler: each (round, node-slot) is
+  // one event, and the handler chains the next slot at the virtual time
+  // the current one finished. A slot's body — and therefore every
+  // advance, RNG draw, and fault scan, in order — is exactly the old
+  // nested loop's, so stats and goldens are byte-identical to the
+  // pre-scheduler implementation.
+  net::EventQueue queue;
+  if (rounds > 0) queue.schedule(0.0, 0, 0, /*round=*/0);
+  net::Event slot_event;
+  while (queue.pop(slot_event)) {
+    const std::uint64_t round = slot_event.a;
+    const std::size_t i = slot_event.node;
+    // The old round loop checked the hub battery at every round start.
+    if (i == 0 && hub.battery().empty()) break;
+    auto& node = states[i];
+    if (node.alive) {
       scan_fault_edges();
       const auto& nc = node_configs_[i];
       BRAIDIO_ENERGY_SPAN(slot_span, nc.name.c_str());
@@ -150,70 +162,78 @@ HubStats CarrierHub::run(std::uint64_t rounds) {
           !node.radio->switch_to(node.point, Role::DataTransmitter)) {
         node.alive = node.alive && !node.radio->battery().empty();
         if (hub.battery().empty()) break;
-        continue;
-      }
-      const double slot_start_s = stats.elapsed_s;
-      BRAIDIO_TRACE_EVENT(obs::EventType::DwellStart, nc.name.c_str(),
-                          slot_start_s, static_cast<double>(round));
-      for (unsigned p = 0; p < config_.packets_per_slot; ++p) {
-        std::vector<std::uint8_t> payload(nc.payload_bytes,
-                                          static_cast<std::uint8_t>(i));
-        if (!node.sender.submit(std::move(payload))) break;
-        ++node.stats.offered;
-        bool done = false;
-        while (!done) {
-          const auto frame = node.sender.frame_to_send();
-          if (!frame) break;
-          const double air =
-              mac::PacketChannel::airtime_s(*frame, node.point.rate);
-          const double slot_time = air + kTurnaroundS;
-          stats.elapsed_s += slot_time;
-          const bool node_ok = node.radio->advance(util::Seconds(slot_time));
-          const bool hub_ok = hub.advance(util::Seconds(slot_time));
-          if (!node_ok || !hub_ok) {
-            node.alive = !node.radio->battery().empty();
-            done = true;
-            break;
-          }
-          node.channel.set_clock(util::Seconds(stats.elapsed_s));
-          const auto arrived =
-              node.channel.transmit(*frame, node.point.mode,
-                                    node.point.rate);
-          bool acked = false;
-          if (arrived) {
-            const auto result = node.receiver.on_data(*arrived);
-            if (result.ack) {
-              const double ack_air = mac::PacketChannel::airtime_s(
-                  *result.ack, node.point.rate);
-              stats.elapsed_s += ack_air + kTurnaroundS;
-              if (!node.radio->advance(util::Seconds(ack_air + kTurnaroundS)) ||
-                  !hub.advance(util::Seconds(ack_air + kTurnaroundS))) {
-                node.alive = !node.radio->battery().empty();
-                done = true;
-                break;
-              }
-              node.channel.set_clock(util::Seconds(stats.elapsed_s));
-              const auto ack_arrived = node.channel.transmit(
-                  *result.ack, node.point.mode, node.point.rate);
-              if (ack_arrived && node.sender.on_ack(*ack_arrived)) {
-                acked = true;
+      } else {
+        const double slot_start_s = stats.elapsed_s;
+        BRAIDIO_TRACE_EVENT(obs::EventType::DwellStart, nc.name.c_str(),
+                            slot_start_s, static_cast<double>(round));
+        for (unsigned p = 0; p < config_.packets_per_slot; ++p) {
+          std::vector<std::uint8_t> payload(nc.payload_bytes,
+                                            static_cast<std::uint8_t>(i));
+          if (!node.sender.submit(std::move(payload))) break;
+          ++node.stats.offered;
+          bool done = false;
+          while (!done) {
+            const auto frame = node.sender.frame_to_send();
+            if (!frame) break;
+            const double air =
+                mac::PacketChannel::airtime_s(*frame, node.point.rate);
+            const double slot_time = air + kTurnaroundS;
+            stats.elapsed_s += slot_time;
+            const bool node_ok =
+                node.radio->advance(util::Seconds(slot_time));
+            const bool hub_ok = hub.advance(util::Seconds(slot_time));
+            if (!node_ok || !hub_ok) {
+              node.alive = !node.radio->battery().empty();
+              done = true;
+              break;
+            }
+            node.channel.set_clock(util::Seconds(stats.elapsed_s));
+            const auto arrived =
+                node.channel.transmit(*frame, node.point.mode,
+                                      node.point.rate);
+            bool acked = false;
+            if (arrived) {
+              const auto result = node.receiver.on_data(*arrived);
+              if (result.ack) {
+                const double ack_air = mac::PacketChannel::airtime_s(
+                    *result.ack, node.point.rate);
+                stats.elapsed_s += ack_air + kTurnaroundS;
+                if (!node.radio->advance(
+                        util::Seconds(ack_air + kTurnaroundS)) ||
+                    !hub.advance(util::Seconds(ack_air + kTurnaroundS))) {
+                  node.alive = !node.radio->battery().empty();
+                  done = true;
+                  break;
+                }
+                node.channel.set_clock(util::Seconds(stats.elapsed_s));
+                const auto ack_arrived = node.channel.transmit(
+                    *result.ack, node.point.mode, node.point.rate);
+                if (ack_arrived && node.sender.on_ack(*ack_arrived)) {
+                  acked = true;
+                }
               }
             }
+            if (acked) {
+              ++node.stats.delivered;
+              done = true;
+            } else if (!node.sender.on_timeout()) {
+              done = true;  // retry budget exhausted
+            }
           }
-          if (acked) {
-            ++node.stats.delivered;
-            done = true;
-          } else if (!node.sender.on_timeout()) {
-            done = true;  // retry budget exhausted
-          }
+          if (hub.battery().empty() || !node.alive) break;
         }
-        if (hub.battery().empty() || !node.alive) break;
+        obs::observe(obs::Histogram::DwellSeconds,
+                     stats.elapsed_s - slot_start_s);
+        BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd, nc.name.c_str(),
+                            stats.elapsed_s, stats.elapsed_s - slot_start_s);
+        if (hub.battery().empty()) break;
       }
-      obs::observe(obs::Histogram::DwellSeconds,
-                   stats.elapsed_s - slot_start_s);
-      BRAIDIO_TRACE_EVENT(obs::EventType::DwellEnd, nc.name.c_str(),
-                          stats.elapsed_s, stats.elapsed_s - slot_start_s);
-      if (hub.battery().empty()) break;
+    }
+    if (i + 1 < states.size()) {
+      queue.schedule(stats.elapsed_s, static_cast<std::uint32_t>(i + 1), 0,
+                     round);
+    } else if (round + 1 < rounds) {
+      queue.schedule(stats.elapsed_s, 0, 0, round + 1);
     }
   }
 

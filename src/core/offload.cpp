@@ -372,6 +372,46 @@ OffloadPlan OffloadPlanner::plan_with_min_throughput(
   return checked_plan(std::move(fastest));
 }
 
+std::vector<ModeCandidate> OffloadPlanner::intersect_candidates(
+    const hal::Capabilities& tx_caps, const hal::Capabilities& rx_caps) {
+  std::vector<ModeCandidate> out;
+  for (const hal::OperatingPoint& tx_point : tx_caps.lattice) {
+    const hal::OperatingPoint* rx_point =
+        rx_caps.find(tx_point.mode, tx_point.rate);
+    if (rx_point == nullptr) continue;
+    bool ok = false;
+    switch (tx_point.mode) {
+      case hal::LinkMode::Active:
+        ok = tx_caps.can_active && rx_caps.can_active;
+        break;
+      case hal::LinkMode::PassiveRx:
+        ok = tx_caps.can_source_carrier;
+        break;
+      case hal::LinkMode::Backscatter:
+        ok = tx_caps.can_backscatter && rx_caps.can_source_carrier;
+        break;
+    }
+    if (!ok) continue;
+    ModeCandidate merged = tx_point;
+    merged.rx_power_w = rx_point->rx_power_w;
+    out.push_back(merged);
+  }
+  return out;
+}
+
+OffloadPlan OffloadPlanner::plan_heterogeneous(
+    const hal::Capabilities& tx_caps, const hal::Capabilities& rx_caps,
+    double e1_joules, double e2_joules) {
+  const std::vector<ModeCandidate> candidates =
+      intersect_candidates(tx_caps, rx_caps);
+  if (candidates.empty()) {
+    throw std::invalid_argument(
+        "OffloadPlanner: capability sets share no operating point in "
+        "this direction");
+  }
+  return plan(candidates, e1_joules, e2_joules);
+}
+
 OffloadPlan OffloadPlanner::plan_bidirectional(
     const std::vector<ModeCandidate>& candidates, double e1_joules,
     double e2_joules) {

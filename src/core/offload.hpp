@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/power_table.hpp"
+#include "hal/radio.hpp"
 
 namespace braidio::core {
 
@@ -71,6 +72,29 @@ class OffloadPlanner {
   /// are not positive.
   static OffloadPlan plan(const std::vector<ModeCandidate>& candidates,
                           double e1_joules, double e2_joules);
+
+  /// The per-direction candidate set two heterogeneous radios can run
+  /// for data tx -> rx. A (mode, rate) lattice point qualifies only when
+  /// BOTH lattices contain it AND the direction's capability flags hold:
+  ///   Active      — both ends can_active;
+  ///   PassiveRx   — the data transmitter can_source_carrier (it holds
+  ///                 the carrier the receiver passively decodes);
+  ///   Backscatter — the transmitter can_backscatter and the receiver
+  ///                 can_source_carrier (it holds the reflected carrier).
+  /// Costs are per-end: tx_power from the transmitter's lattice entry,
+  /// rx_power from the receiver's — so a braidio tag talking to a
+  /// 640 mW reader pays tag-side reflection power against reader-side
+  /// decode power, not one backend's symmetric numbers.
+  static std::vector<ModeCandidate> intersect_candidates(
+      const hal::Capabilities& tx_caps, const hal::Capabilities& rx_caps);
+
+  /// plan() over the per-direction intersection of two capability sets.
+  /// Throws std::invalid_argument when the intersection is empty (the
+  /// pair has no common operating point in this direction) or energies
+  /// are not positive.
+  static OffloadPlan plan_heterogeneous(const hal::Capabilities& tx_caps,
+                                        const hal::Capabilities& rx_caps,
+                                        double e1_joules, double e2_joules);
 
   /// Bi-directional plan with an equal data split: each "composite bit" is
   /// half a bit in each direction; direction 2 swaps the TX/RX roles of the

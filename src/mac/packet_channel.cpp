@@ -92,7 +92,7 @@ std::optional<Frame> PacketChannel::transmit(const Frame& frame,
   ++sent_;
   sim::faults::ImpairmentState impairment;
   if (impairments_ != nullptr) {
-    impairment = impairments_->state_at(clock_s_);
+    impairment = impairments_->state_at(clock_s_, fault_node_);
   }
   auto bytes = serialize(frame);
   obs::count(obs::Counter::PacketsTx);

@@ -71,6 +71,11 @@ class PacketChannel {
     impairments_ = schedule;
   }
 
+  /// Scope fault lookups to one network node id; the default
+  /// (kNodeBroadcast) keeps the legacy all-events view, so single-link
+  /// users are unaffected.
+  void set_fault_node(int node) { fault_node_ = node; }
+
   std::uint64_t frames_sent() const { return sent_; }
   std::uint64_t frames_delivered() const { return delivered_; }
   std::uint64_t frames_corrupted() const { return corrupted_; }
@@ -86,6 +91,7 @@ class PacketChannel {
   PacketChannelConfig config_;
   util::Rng rng_;
   const sim::faults::ImpairmentSchedule* impairments_ = nullptr;
+  int fault_node_ = sim::faults::kNodeBroadcast;
   double clock_s_ = 0.0;
   // Coherent block-fade process (lazily built on first faded transmit).
   std::optional<rf::CoherentChannelProcess> fade_;

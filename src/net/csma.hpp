@@ -1,0 +1,52 @@
+// SubMAC-style CSMA-CA backoff (the RIOT IEEE 802.15.4 SubMAC model).
+//
+// Unslotted CSMA-CA as a pure state machine: before each transmission
+// attempt the node waits a random backoff of uniform_int(0, 2^BE - 1)
+// unit periods, then samples the channel (CCA through the HAL); a busy
+// channel raises the backoff exponent (capped at max_be) and burns one of
+// max_backoffs retries, after which the access attempt fails and the
+// frame is dropped — exactly the macMinBE / macMaxBE / macMaxCSMABackoffs
+// knobs of 802.15.4. The random draws come from the owning node's private
+// deterministic stream, so contention resolution is byte-identical for
+// any sweep thread count.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace braidio::net {
+
+struct CsmaConfig {
+  unsigned min_be = 3;       // macMinBE: initial backoff exponent
+  unsigned max_be = 5;       // macMaxBE: exponent cap
+  unsigned max_backoffs = 4; // macMaxCSMABackoffs: busy-CCA budget
+  /// aUnitBackoffPeriod: one backoff slot [s] (20 symbols at 62.5 ksym/s
+  /// in 802.15.4; kept as a knob so topologies can scale it to airtime).
+  double unit_backoff_s = 320e-6;
+};
+
+class CsmaCa {
+ public:
+  /// Throws std::invalid_argument when the exponents are inverted or the
+  /// unit period is not positive.
+  explicit CsmaCa(CsmaConfig config = {});
+
+  /// Arm for a new frame: backoff exponent and busy budget reset.
+  void begin();
+
+  /// Draw the next random backoff delay [s] from `rng`.
+  double backoff_s(util::Rng& rng);
+
+  /// Record a busy CCA: raises BE and burns one retry. Returns false
+  /// when the busy budget is exhausted (channel-access failure).
+  bool busy();
+
+  unsigned backoffs() const { return backoffs_; }
+  const CsmaConfig& config() const { return config_; }
+
+ private:
+  CsmaConfig config_;
+  unsigned be_;
+  unsigned backoffs_ = 0;
+};
+
+}  // namespace braidio::net

@@ -1,0 +1,200 @@
+#include "net/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+
+namespace braidio::net {
+
+namespace {
+/// Largest time/width ratio the integer day counter can represent; far
+/// beyond any simulated horizon, but a contract beats silent overflow.
+constexpr double kMaxDays = 9.0e18;
+
+/// Width re-tune probe: after this many inserts, check the mean scan.
+constexpr std::uint64_t kProbeInserts = 64;
+/// Mean sorted-insert scan length that triggers a width re-tune.
+constexpr std::uint64_t kMaxMeanScan = 8;
+/// Day-counter headroom kept when shrinking the width (days < 1e15).
+constexpr double kWidthFloorDays = 1.0e15;
+}  // namespace
+
+EventQueue::EventQueue(double bucket_width_s, std::size_t buckets)
+    : width_(bucket_width_s) {
+  if (!(bucket_width_s > 0.0) || !std::isfinite(bucket_width_s)) {
+    throw std::invalid_argument(
+        "net::EventQueue: bucket width must be finite and > 0");
+  }
+  if (buckets == 0) {
+    throw std::invalid_argument("net::EventQueue: need at least one bucket");
+  }
+  heads_.assign(buckets, kNoEvent);
+}
+
+EventId EventQueue::acquire() {
+  if (free_head_ != kNoEvent) {
+    const EventId id = free_head_;
+    free_head_ = pool_[id].next;
+    return id;
+  }
+  pool_.emplace_back();
+  return static_cast<EventId>(pool_.size() - 1);
+}
+
+void EventQueue::release(EventId id) {
+  pool_[id].next = free_head_;
+  free_head_ = id;
+}
+
+std::uint64_t EventQueue::day_of(double time_s) const {
+  return static_cast<std::uint64_t>(time_s / width_);
+}
+
+void EventQueue::insert(EventId id) {
+  const Event& ev = pool_[id];
+  const std::size_t b =
+      static_cast<std::size_t>(day_of(ev.time_s) % heads_.size());
+  EventId* link = &heads_[b];
+  while (*link != kNoEvent) {
+    const Event& at = pool_[*link];
+    if (ev.time_s < at.time_s ||
+        (ev.time_s == at.time_s && ev.seq < at.seq)) {
+      break;
+    }
+    link = &pool_[*link].next;
+    ++probe_scan_steps_;
+  }
+  pool_[id].next = *link;
+  *link = id;
+}
+
+void EventQueue::maybe_grow() {
+  const bool crowded = size_ > 2 * heads_.size();
+  double new_width = width_;
+  if (probe_inserts_ >= kProbeInserts) {
+    if (probe_scan_steps_ > kMaxMeanScan * probe_inserts_ && size_ > 1) {
+      // Long scans mean the live events cluster into far fewer days than
+      // there are buckets. Re-tune the day length to twice the mean gap
+      // (the classic calendar-queue rule). The live span is bounded
+      // O(1): every live time is in [now_s_, max_sched_s_] because pops
+      // run in time order. Floored so the integer day counter keeps
+      // ~1e15 days of headroom, and only ever shrinking (a sparse
+      // calendar already pops via the day cursor / sparse jump), with a
+      // 2x hysteresis so a borderline probe does not thrash rebuilds.
+      const double span = max_sched_s_ - now_s_;
+      double cand = 2.0 * span / static_cast<double>(size_);
+      cand = std::max(cand, max_sched_s_ / kWidthFloorDays);
+      if (cand > 0.0 && cand < 0.5 * width_) new_width = cand;
+    }
+    probe_inserts_ = 0;
+    probe_scan_steps_ = 0;
+  }
+  const bool retune = new_width != width_;
+  if (!crowded && !retune) return;
+  // Collect every live event, resize/re-tune the calendar, re-bucket.
+  // Collection walks buckets in index order and re-inserts sorted, so the
+  // rebuild is a pure function of the queue contents.
+  std::vector<EventId> live;
+  live.reserve(size_);
+  for (EventId& head : heads_) {
+    for (EventId id = head; id != kNoEvent;) {
+      const EventId next = pool_[id].next;
+      live.push_back(id);
+      id = next;
+    }
+    head = kNoEvent;
+  }
+  if (crowded) heads_.assign(heads_.size() * 2, kNoEvent);
+  if (retune) {
+    width_ = new_width;
+    day_ = day_of(now_s_);  // same clock, new day units
+  }
+  for (const EventId id : live) insert(id);
+  // The rebuild's own inserts must not count toward the next probe.
+  probe_inserts_ = 0;
+  probe_scan_steps_ = 0;
+}
+
+EventId EventQueue::schedule(double time_s, std::uint32_t node,
+                             std::uint32_t kind, std::uint64_t a,
+                             std::uint64_t b) {
+  BRAIDIO_REQUIRE(std::isfinite(time_s) && time_s >= now_s_, "time_s",
+                  time_s, "now_s", now_s_);
+  BRAIDIO_REQUIRE(time_s / width_ < kMaxDays, "time_s", time_s, "width_s",
+                  width_);
+  const EventId id = acquire();
+  Event& ev = pool_[id];
+  ev.time_s = time_s;
+  ev.seq = next_seq_++;
+  ev.node = node;
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  ev.next = kNoEvent;
+  max_sched_s_ = std::max(max_sched_s_, time_s);
+  ++probe_inserts_;
+  insert(id);
+  ++size_;
+  maybe_grow();
+  return id;
+}
+
+bool EventQueue::pop(Event& out) {
+  if (size_ == 0) return false;
+  // One calendar lap from the cursor day: a bucket head fires only when
+  // its own day has been reached, which keeps events a whole lap away
+  // (wraparound) from firing a year early.
+  const std::size_t buckets = heads_.size();
+  EventId hit = kNoEvent;
+  for (std::size_t step = 0; step < buckets; ++step) {
+    const EventId head = heads_[static_cast<std::size_t>(day_ % buckets)];
+    if (head != kNoEvent && day_of(pool_[head].time_s) <= day_) {
+      hit = head;
+      break;
+    }
+    ++day_;
+  }
+  if (hit == kNoEvent) {
+    // Sparse region: nothing within the next lap. Jump the calendar
+    // straight to the earliest head (deterministic bucket-index scan,
+    // (time, seq) ordered).
+    for (const EventId head : heads_) {
+      if (head == kNoEvent) continue;
+      const Event& ev = pool_[head];
+      if (hit == kNoEvent || ev.time_s < pool_[hit].time_s ||
+          (ev.time_s == pool_[hit].time_s && ev.seq < pool_[hit].seq)) {
+        hit = head;
+      }
+    }
+    day_ = day_of(pool_[hit].time_s);
+  }
+  heads_[static_cast<std::size_t>(day_ % buckets)] = pool_[hit].next;
+  out = pool_[hit];
+  out.next = kNoEvent;
+  now_s_ = out.time_s;
+  release(hit);
+  --size_;
+  ++processed_;
+  return true;
+}
+
+void EventQueue::reset() {
+  for (EventId& head : heads_) head = kNoEvent;
+  free_head_ = kNoEvent;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_[i].next = i + 1 < pool_.size() ? static_cast<EventId>(i + 1)
+                                         : kNoEvent;
+  }
+  if (!pool_.empty()) free_head_ = 0;
+  size_ = 0;
+  day_ = 0;
+  now_s_ = 0.0;
+  next_seq_ = 0;
+  probe_inserts_ = 0;
+  probe_scan_steps_ = 0;
+  max_sched_s_ = 0.0;
+}
+
+}  // namespace braidio::net

@@ -1,0 +1,96 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+#include "util/units.hpp"
+
+namespace braidio::net {
+
+namespace {
+/// Distances below this are clamped before the log — the log-distance
+/// model diverges at 0 and colocated nodes are a topology artifact.
+constexpr double kMinDistanceM = 0.01;
+}  // namespace
+
+SharedMedium::SharedMedium(MediumConfig config,
+                           const std::vector<Vec2>& positions)
+    : config_(config), positions_(positions) {
+  if (!std::isfinite(config_.noise_floor_dbm) ||
+      !std::isfinite(config_.tx_power_dbm) ||
+      !std::isfinite(config_.ref_loss_db)) {
+    throw std::invalid_argument("net::SharedMedium: non-finite config");
+  }
+  if (!(config_.path_loss_exponent > 0.0) ||
+      !std::isfinite(config_.path_loss_exponent)) {
+    throw std::invalid_argument(
+        "net::SharedMedium: path_loss_exponent must be finite and > 0");
+  }
+  noise_floor_w_ = util::dbm_to_watts(config_.noise_floor_dbm);
+  ref_gain_ = std::pow(10.0, -config_.ref_loss_db / 10.0);
+}
+
+void SharedMedium::begin(std::uint32_t tx, std::uint32_t rx,
+                         double until_s, double power_dbm) {
+  BRAIDIO_REQUIRE(tx < positions_.size() && rx < positions_.size(), "tx",
+                  tx, "rx", rx, "nodes", positions_.size());
+  BRAIDIO_REQUIRE(std::isfinite(power_dbm), "power_dbm", power_dbm);
+  active_.push_back({tx, rx, until_s, power_dbm,
+                     util::dbm_to_watts(power_dbm)});
+}
+
+void SharedMedium::end(std::uint32_t tx) {
+  const auto it =
+      std::find_if(active_.begin(), active_.end(),
+                   [tx](const ActiveTx& a) { return a.tx == tx; });
+  BRAIDIO_REQUIRE(it != active_.end(), "tx", tx);
+  active_.erase(it);  // order-preserving: later sums stay deterministic
+}
+
+double SharedMedium::path_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  return config_.ref_loss_db +
+         10.0 * config_.path_loss_exponent * std::log10(d);
+}
+
+double SharedMedium::interference_watts(std::uint32_t node,
+                                        std::uint32_t exclude_tx) const {
+  BRAIDIO_REQUIRE(node < positions_.size(), "node", node, "nodes",
+                  positions_.size());
+  // Hot path (sampled per CCA and twice per transmission in a dense
+  // deployment): the log-distance loss is applied in linear form,
+  //   rx_w = tx_w * 10^(-ref/10) * d^(-n) = tx_w * ref_gain_ * (d^2)^(-n/2),
+  // so each interferer costs one pow on the squared distance — no sqrt,
+  // no log10, no second pow through dBm and back.
+  constexpr double kMinD2 = kMinDistanceM * kMinDistanceM;
+  const Vec2& at = positions_[node];
+  const double half_exponent = -0.5 * config_.path_loss_exponent;
+  double total_w = 0.0;
+  for (const ActiveTx& a : active_) {
+    if (a.tx == exclude_tx || a.tx == node) continue;
+    const Vec2& from = positions_[a.tx];
+    const double dx = from.x_m - at.x_m;
+    const double dy = from.y_m - at.y_m;
+    const double d2 = std::max(dx * dx + dy * dy, kMinD2);
+    total_w += a.power_w * ref_gain_ * std::pow(d2, half_exponent);
+  }
+  return total_w;
+}
+
+double SharedMedium::ambient_dbm(std::uint32_t node,
+                                 std::uint32_t exclude_tx) const {
+  const double total_w =
+      noise_floor_w_ + interference_watts(node, exclude_tx);
+  return util::watts_to_dbm(total_w);
+}
+
+double SharedMedium::interference_penalty_db(
+    std::uint32_t rx, std::uint32_t exclude_tx) const {
+  const double i_w = interference_watts(rx, exclude_tx);
+  if (i_w <= 0.0) return 0.0;
+  return util::linear_to_db(1.0 + i_w / noise_floor_w_);
+}
+
+}  // namespace braidio::net

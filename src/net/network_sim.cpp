@@ -1,0 +1,392 @@
+#include "net/network_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "mac/packet_channel.hpp"
+#include "obs/obs.hpp"
+#include "util/contract.hpp"
+
+namespace braidio::net {
+
+namespace {
+
+// Event kinds on the queue.
+constexpr std::uint32_t kKick = 0;     // pop the relay queue, arm CSMA
+constexpr std::uint32_t kAttempt = 1;  // backoff expired: CCA + transmit
+constexpr std::uint32_t kTxEnd = 2;    // airtime over: resolve delivery
+
+mac::Frame make_data_frame(std::uint32_t source, std::uint32_t dest,
+                           std::uint16_t sequence,
+                           std::size_t payload_bytes) {
+  mac::Frame frame;
+  frame.type = mac::FrameType::Data;
+  frame.source = static_cast<std::uint8_t>(source);
+  frame.destination = static_cast<std::uint8_t>(dest);
+  frame.sequence = sequence;
+  frame.payload.assign(payload_bytes, 0);
+  return frame;
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(NetConfig config)
+    : config_(std::move(config)) {
+  if (config_.backend == nullptr) {
+    throw std::invalid_argument("net::NetworkSimulator: backend required");
+  }
+  if (config_.payload_bytes > mac::kMaxPayloadBytes) {
+    throw std::invalid_argument("net::NetworkSimulator: payload too large");
+  }
+  BRAIDIO_REQUIRE(config_.turnaround_s >= 0.0 &&
+                      std::isfinite(config_.turnaround_s),
+                  "turnaround_s", config_.turnaround_s);
+  BRAIDIO_REQUIRE(config_.kick_spread_s >= 0.0 &&
+                      std::isfinite(config_.kick_spread_s),
+                  "kick_spread_s", config_.kick_spread_s);
+  BRAIDIO_REQUIRE(config_.tag_battery_wh > 0.0 &&
+                      config_.hub_battery_wh > 0.0,
+                  "tag_battery_wh", config_.tag_battery_wh,
+                  "hub_battery_wh", config_.hub_battery_wh);
+
+  // Topology placement uses its own stream (index nodes+1) so node
+  // streams [0, nodes] stay private to the nodes.
+  util::Rng topo_rng =
+      util::Rng::stream(config_.seed, config_.topology.nodes + 1);
+  topo_ = build_topology(config_.topology, topo_rng);
+
+  const std::size_t total = topo_.size();
+  nodes_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool hub = i == 0;
+    std::string name = hub ? "hub" : "tag" + std::to_string(i);
+    auto radio = config_.backend->create_radio(
+        std::move(name), static_cast<std::uint8_t>(i),
+        util::WattHours(hub ? config_.hub_battery_wh
+                            : config_.tag_battery_wh));
+    nodes_.emplace_back(static_cast<std::uint32_t>(i), std::move(radio),
+                        util::Rng::stream(config_.seed, i), config_.csma);
+  }
+  busy_until_s_.assign(total, 0.0);
+  next_sequence_.assign(total, 0);
+  medium_.emplace(config_.medium, topo_.positions);
+  plan_links();
+}
+
+void NetworkSimulator::plan_links() {
+  const hal::Capabilities& caps = config_.backend->caps();
+  const hal::ChannelModel& channel = config_.backend->channel();
+  links_.assign(topo_.size(), LinkPlan{});
+  // Uplink preference order (the asymmetric-energy default): reflect if
+  // the pair can, source a carrier for a passive receiver otherwise,
+  // burn active symmetric power only as the last resort.
+  struct ModeRule {
+    hal::LinkMode mode;
+    bool ok;
+  };
+  const ModeRule rules[] = {
+      {hal::LinkMode::Backscatter,
+       caps.can_backscatter && caps.can_source_carrier},
+      {hal::LinkMode::PassiveRx, caps.can_source_carrier},
+      {hal::LinkMode::Active, caps.can_active},
+  };
+  for (std::size_t i = 1; i < topo_.size(); ++i) {
+    if (topo_.hops[i] == kNoRoute) continue;
+    LinkPlan& plan = links_[i];
+    plan.distance_m =
+        distance_m(topo_.positions[i], topo_.positions[topo_.next_hop[i]]);
+    for (const ModeRule& rule : rules) {
+      if (!rule.ok) continue;
+      const auto rate = channel.best_bitrate(rule.mode, plan.distance_m);
+      if (!rate) continue;
+      const hal::OperatingPoint* point = caps.find(rule.mode, *rate);
+      if (point == nullptr) continue;
+      plan.point = *point;
+      plan.usable = true;
+      plan.interferer_dbm =
+          config_.medium.tx_power_dbm -
+          (rule.mode == hal::LinkMode::Backscatter
+               ? config_.backscatter_loss_db
+               : 0.0);
+      break;
+    }
+  }
+}
+
+const Node& NetworkSimulator::node(std::uint32_t i) const {
+  BRAIDIO_REQUIRE(i < nodes_.size(), "i", i, "nodes", nodes_.size());
+  return nodes_[i];
+}
+
+std::optional<hal::OperatingPoint> NetworkSimulator::link_point(
+    std::uint32_t i) const {
+  BRAIDIO_REQUIRE(i < links_.size(), "i", i, "nodes", links_.size());
+  if (!links_[i].usable) return std::nullopt;
+  return links_[i].point;
+}
+
+void NetworkSimulator::note_death(Node& node) {
+  if (!node.alive()) return;
+  node.set_alive(false);
+  ++stats_.battery_deaths;  // the radio posts the counter + trace event
+}
+
+void NetworkSimulator::charge_window(Node& node, double from_s,
+                                     double to_s) {
+  if (!node.alive()) return;
+  double& busy = busy_until_s_[node.index()];
+  const double start = std::max(from_s, busy);
+  if (to_s > start && !node.radio().advance(util::Seconds(to_s - start))) {
+    note_death(node);
+  }
+  busy = std::max(busy, to_s);
+}
+
+double NetworkSimulator::fault_loss_db(double now_s, std::uint32_t tx,
+                                       std::uint32_t rx,
+                                       bool& dropout) const {
+  dropout = false;
+  if (config_.impairments == nullptr || config_.impairments->empty()) {
+    return 0.0;
+  }
+  const auto at_tx =
+      config_.impairments->state_at(now_s, static_cast<int>(tx));
+  const auto at_rx =
+      config_.impairments->state_at(now_s, static_cast<int>(rx));
+  dropout = at_tx.carrier_dropout || at_rx.carrier_dropout;
+  return std::max(at_tx.extra_loss_db, at_rx.extra_loss_db);
+}
+
+void NetworkSimulator::handle_kick(const Event& ev) {
+  Node& node = nodes_[ev.node];
+  if (!node.alive() || node.transfer().active || node.queue_empty()) return;
+  const std::uint32_t origin = node.dequeue();
+  Node::Transfer& t = node.transfer();
+  t.active = true;
+  t.origin = origin;
+  t.dest = topo_.next_hop[ev.node];
+  t.attempts = 0;
+  t.frame = make_data_frame(ev.node, t.dest, next_sequence_[ev.node]++,
+                            config_.payload_bytes);
+  node.csma().begin();
+  queue_.schedule(queue_.now_s() + node.csma().backoff_s(node.rng()),
+                  ev.node, kAttempt);
+}
+
+void NetworkSimulator::handle_attempt(const Event& ev) {
+  Node& node = nodes_[ev.node];
+  Node::Transfer& t = node.transfer();
+  const double now = queue_.now_s();
+  if (!node.alive() || !links_[ev.node].usable) {
+    t.active = false;
+    return;
+  }
+  const LinkPlan& plan = links_[ev.node];
+  Node& dest = nodes_[t.dest];
+
+  if (node.radio().caps().can_cca) {
+    const double ambient = medium_->ambient_dbm(ev.node, ev.node);
+    if (!node.radio().cca_clear(util::Dbm(ambient))) {
+      if (node.csma().busy()) {
+        queue_.schedule(now + node.csma().backoff_s(node.rng()), ev.node,
+                        kAttempt);
+      } else {
+        // Channel-access failure: the CSMA budget is gone, the frame
+        // never made it onto the air.
+        ++stats_.csma_failures;
+        ++node.stats().csma_failures;
+        obs::count(obs::Counter::PacketsDropped);
+        t.active = false;
+        queue_.schedule(now + config_.turnaround_s, ev.node, kKick);
+      }
+      return;
+    }
+  }
+
+  if (!node.radio().switch_to(plan.point, hal::Role::DataTransmitter)) {
+    note_death(node);
+    t.active = false;
+    return;
+  }
+  if (dest.alive() &&
+      !dest.radio().switch_to(plan.point, hal::Role::DataReceiver)) {
+    note_death(dest);
+  }
+
+  const double airtime =
+      mac::PacketChannel::airtime_s(t.frame, plan.point.rate);
+  ++t.attempts;
+  ++stats_.tx_attempts;
+  ++node.stats().tx_attempts;
+  obs::count(obs::Counter::PacketsTx);
+  BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, "net", now,
+                      static_cast<double>(ev.node));
+
+  if (!node.radio().advance(util::Seconds(airtime))) note_death(node);
+  charge_window(dest, now, now + airtime);
+  medium_->begin(ev.node, t.dest, now + airtime, plan.interferer_dbm);
+  // Interference is sampled here and again at tx-end; the worse sample
+  // decides the SNR penalty (captures transmissions that start mid-air).
+  const double pen0 = medium_->interference_penalty_db(t.dest, ev.node);
+  queue_.schedule(now + airtime, ev.node, kTxEnd,
+                  std::bit_cast<std::uint64_t>(pen0));
+}
+
+void NetworkSimulator::handle_tx_end(const Event& ev) {
+  Node& node = nodes_[ev.node];
+  Node::Transfer& t = node.transfer();
+  const LinkPlan& plan = links_[ev.node];
+  Node& dest = nodes_[t.dest];
+  const double now = queue_.now_s();
+
+  const double pen1 = medium_->interference_penalty_db(t.dest, ev.node);
+  medium_->end(ev.node);
+  const double penalty =
+      std::max(std::bit_cast<double>(ev.a), pen1);
+
+  bool dropout = false;
+  const double loss = fault_loss_db(now, ev.node, t.dest, dropout);
+
+  bool data_ok = false;
+  bool acked = false;
+  double done = now;
+  if (node.alive() && dest.alive() && !dropout) {
+    const hal::ChannelModel& channel = config_.backend->channel();
+    const double snr = channel.snr_db(plan.point.mode, plan.point.rate,
+                                      plan.distance_m) -
+                       loss - penalty;
+    const double ber = channel.ber_from_snr_db(plan.point.mode, snr);
+    const double p_data =
+        std::pow(1.0 - ber, static_cast<double>(t.frame.wire_bits()));
+    data_ok = node.rng().bernoulli(p_data);
+    if (data_ok) {
+      // Ack leg: turnaround then a bare Ack frame at the same operating
+      // point, roles held at both ends (the CarrierHub convention).
+      mac::Frame ack;
+      ack.type = mac::FrameType::Ack;
+      const double ack_air =
+          mac::PacketChannel::airtime_s(ack, plan.point.rate);
+      done = now + config_.turnaround_s + ack_air;
+      if (!node.radio().advance(
+              util::Seconds(config_.turnaround_s + ack_air))) {
+        note_death(node);
+      }
+      charge_window(dest, now, done);
+      const double p_ack =
+          std::pow(1.0 - ber, static_cast<double>(ack.wire_bits()));
+      acked = node.rng().bernoulli(p_ack);
+    }
+  }
+
+  if (data_ok) {
+    obs::count(obs::Counter::PacketsRx);
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketRx, "net", now,
+                        static_cast<double>(t.dest));
+  } else {
+    obs::count(obs::Counter::PacketsDropped);
+    BRAIDIO_TRACE_EVENT(obs::EventType::PacketDrop, "net", now,
+                        static_cast<double>(t.dest));
+  }
+
+  if (acked) {
+    finish_transfer(node, true, done);
+    return;
+  }
+  if (t.attempts > config_.max_retransmissions) {
+    ++stats_.arq_drops;
+    ++node.stats().arq_drops;
+    obs::count(obs::Counter::ArqDrops);
+    finish_transfer(node, false, done);
+    return;
+  }
+  obs::count(obs::Counter::ArqRetries);
+  BRAIDIO_TRACE_EVENT(obs::EventType::ArqRetry, "net", now,
+                      static_cast<double>(ev.node));
+  node.csma().begin();
+  queue_.schedule(done + config_.turnaround_s +
+                      node.csma().backoff_s(node.rng()),
+                  ev.node, kAttempt);
+}
+
+void NetworkSimulator::finish_transfer(Node& node, bool acked,
+                                       double done_s) {
+  Node::Transfer& t = node.transfer();
+  t.active = false;
+  const double next = done_s + config_.turnaround_s;
+  if (acked) {
+    if (t.dest == 0) {
+      ++stats_.delivered;
+      ++nodes_[t.origin].stats().delivered;
+      stats_.delivered_payload_bits +=
+          static_cast<double>(t.frame.payload.size()) * 8.0;
+    } else {
+      ++stats_.forwarded;
+      ++node.stats().forwarded;
+      nodes_[t.dest].enqueue(t.origin);
+      queue_.schedule(next, t.dest, kKick);
+    }
+  }
+  queue_.schedule(next, node.index(), kKick);
+}
+
+NetStats NetworkSimulator::run() {
+  BRAIDIO_REQUIRE(!ran_, "ran", ran_);
+  ran_ = true;
+  stats_.reachable = topo_.reachable();
+  stats_.max_hops = topo_.max_hops();
+
+  BRAIDIO_ENERGY_SPAN(run_span, "net");
+
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (topo_.hops[i] == kNoRoute || !links_[i].usable) continue;
+    ++stats_.planned;
+    Node& node = nodes_[i];
+    for (std::uint32_t p = 0; p < config_.packets_per_node; ++p) {
+      node.enqueue(static_cast<std::uint32_t>(i));
+    }
+    stats_.generated += config_.packets_per_node;
+    node.stats().generated += config_.packets_per_node;
+    const double start =
+        config_.kick_spread_s > 0.0
+            ? node.rng().uniform(0.0, config_.kick_spread_s)
+            : 0.0;
+    queue_.schedule(start, static_cast<std::uint32_t>(i), kKick);
+  }
+
+  Event ev;
+  while (queue_.pop(ev)) {
+    switch (ev.kind) {
+      case kKick: handle_kick(ev); break;
+      case kAttempt: handle_attempt(ev); break;
+      case kTxEnd: handle_tx_end(ev); break;
+      default:
+        BRAIDIO_INVARIANT(false, "kind", ev.kind);
+    }
+  }
+
+  // Sleep fill: every radio idles forward to the final virtual time, so
+  // each ledger covers the whole run and conservation is exact.
+  stats_.elapsed_s = queue_.now_s();
+  stats_.node_joules.reserve(nodes_.size());
+  for (Node& node : nodes_) {
+    node.radio().go_idle();
+    const double gap = stats_.elapsed_s - node.radio().clock_s();
+    if (gap > 0.0 && !node.radio().advance(util::Seconds(gap))) {
+      note_death(node);
+    }
+    const double joules = node.radio().ledger().total_joules();
+    stats_.node_joules.push_back(joules);
+    stats_.total_joules += joules;
+  }
+  stats_.hub_joules = stats_.node_joules.empty() ? 0.0
+                                                 : stats_.node_joules[0];
+  stats_.events = queue_.processed();
+  obs::count(obs::Counter::NetEvents, stats_.events);
+  return stats_;
+}
+
+}  // namespace braidio::net

@@ -1,0 +1,163 @@
+// Many-node discrete-event network simulator.
+//
+// One EventQueue drives a population of Nodes sharing a medium: tags
+// originate frames and relay them hop by hop toward the hub (node 0)
+// with CSMA-CA channel access, stop-and-wait retries per hop, and
+// interference-aware delivery. The per-link physics come from the
+// backend's hal::ChannelModel; the network-level physics (ambient power
+// for CCA, the I/N penalty concurrent transmissions inflict on a
+// receiver) come from SharedMedium.
+//
+// Protocol, per frame and hop:
+//   kick    — the node pops its relay queue, arms CSMA-CA, and schedules
+//             an attempt after the random backoff;
+//   attempt — CCA against the medium's ambient power (when the hardware
+//             declares can_cca; pure-backscatter tags have no receiver
+//             to sense with and rely on the backoff jitter alone). Busy
+//             raises BE and retries; an exhausted budget drops the frame
+//             as a channel-access failure. Clear puts the frame on the
+//             air: both endpoint radios switch to the link's operating
+//             point and are charged the airtime;
+//   tx-end  — delivery is Bernoulli with p = (1 - BER)^wire_bits, where
+//             the BER comes from the link SNR minus node-targeted fault
+//             losses and the interference penalty (sampled at both the
+//             start and end of the airtime; the worse sample wins). A
+//             delivered frame is acked (turnaround + ack airtime at both
+//             ends, roles held — the CarrierHub convention); an acked
+//             frame either lands at the hub or joins the next relay's
+//             queue. Failures retry through the per-hop ARQ budget.
+//
+// Determinism: node i draws only from util::Rng::stream(seed, i), always
+// from within that node's event handlers, so the schedule is a pure
+// function of (config, seed) and byte-identical under any SweepRunner
+// thread count. All iteration is index-ordered (analyzer rule A6).
+//
+// Energy: every joule flows through each node's own radio (battery +
+// ledger). Receive airtime at a shared receiver is clamped against a
+// per-node busy-until mark so overlapping receptions charge the carrier
+// once, not once per transmitter. After the last event every radio goes
+// idle and sleeps forward to the queue's final time, so per-node ledger
+// totals are exact: sum(ledger) == capacity - remaining, and the global
+// total is the index-ordered sum of the per-node totals.
+//
+// Scope notes: fault extra-loss and carrier-dropout windows apply (per
+// node when the schedule targets one); DistanceJump/FadeBurst/Brownout
+// are two-endpoint pair-link concepts consumed by BraidedLink, not here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hal/backend.hpp"
+#include "net/event_queue.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "sim/faults/impairment.hpp"
+
+namespace braidio::net {
+
+struct NetConfig {
+  /// Required: every node's radio + channel physics come from here.
+  const hal::RadioBackend* backend = nullptr;
+  TopologyConfig topology;
+  MediumConfig medium;
+  CsmaConfig csma;
+  std::uint64_t seed = 1;
+  /// Frames each reachable tag originates toward the hub.
+  std::uint32_t packets_per_node = 4;
+  std::size_t payload_bytes = 24;
+  double tag_battery_wh = 0.5;
+  double hub_battery_wh = 99.5;
+  /// Per-hop stop-and-wait retry budget (attempts beyond the first).
+  unsigned max_retransmissions = 7;
+  /// RX->TX turnaround before the ack leg [s] (the braid's 150 us).
+  double turnaround_s = 150e-6;
+  /// First kicks are spread uniformly over this window so a dense
+  /// deployment does not put every tag on the air in the same slot [s].
+  double kick_spread_s = 1.0;
+  /// Backscatter reflections radiate this much below the medium's active
+  /// tx power when they interfere with other links [dB].
+  double backscatter_loss_db = 30.0;
+  /// Scripted faults (not owned; must outlive the run). Node-targeted
+  /// events (`@<id>`) hit only that node's links.
+  const sim::faults::ImpairmentSchedule* impairments = nullptr;
+};
+
+struct NetStats {
+  std::uint64_t events = 0;       // events the queue processed
+  double elapsed_s = 0.0;         // final virtual time
+  std::uint64_t generated = 0;    // frames originated by tags
+  std::uint64_t delivered = 0;    // origin frames that reached the hub
+  std::uint64_t forwarded = 0;    // relay hops completed
+  std::uint64_t tx_attempts = 0;  // physical transmissions
+  std::uint64_t csma_failures = 0;
+  std::uint64_t arq_drops = 0;
+  std::uint64_t battery_deaths = 0;
+  std::size_t reachable = 0;   // nodes with a route to the hub
+  std::size_t planned = 0;     // tags whose first hop has a usable mode
+  std::uint32_t max_hops = 0;
+  double hub_joules = 0.0;
+  double total_joules = 0.0;   // index-ordered sum of per-node ledgers
+  std::vector<double> node_joules;  // per node; [0] is the hub
+  double delivered_payload_bits = 0.0;
+
+  double bits_per_joule() const {
+    return total_joules > 0.0 ? delivered_payload_bits / total_joules : 0.0;
+  }
+};
+
+class NetworkSimulator {
+ public:
+  /// Builds the topology and the node population. Throws
+  /// std::invalid_argument when `backend` is null or the topology/CSMA
+  /// configuration is invalid.
+  explicit NetworkSimulator(NetConfig config);
+
+  /// Drain the event schedule to completion. Call once.
+  NetStats run();
+
+  const Topology& topology() const { return topo_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Post-run inspection: per-node stats, radio ledger/battery, CSMA
+  /// state. Index 0 is the hub.
+  const Node& node(std::uint32_t i) const;
+  /// The (mode, rate) chosen for node i's uplink hop; nullopt when no
+  /// lattice point reaches i's next hop (or i is the hub / stranded).
+  std::optional<hal::OperatingPoint> link_point(std::uint32_t i) const;
+
+ private:
+  struct LinkPlan {
+    bool usable = false;
+    hal::OperatingPoint point;
+    double distance_m = 0.0;
+    double interferer_dbm = 0.0;  // power this link radiates at others
+  };
+
+  void plan_links();
+  void note_death(Node& node);
+  /// Charge `node`'s radio for occupying [from_s, to_s] of air, clamped
+  /// against its busy-until mark (shared receivers pay once).
+  void charge_window(Node& node, double from_s, double to_s);
+  double fault_loss_db(double now_s, std::uint32_t tx, std::uint32_t rx,
+                       bool& dropout) const;
+
+  void handle_kick(const Event& ev);
+  void handle_attempt(const Event& ev);
+  void handle_tx_end(const Event& ev);
+  void finish_transfer(Node& node, bool acked, double now_s);
+
+  NetConfig config_;
+  Topology topo_;
+  std::vector<Node> nodes_;
+  std::vector<LinkPlan> links_;
+  std::vector<double> busy_until_s_;
+  std::vector<std::uint16_t> next_sequence_;
+  std::optional<SharedMedium> medium_;
+  EventQueue queue_;
+  NetStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace braidio::net

@@ -1,0 +1,82 @@
+// One simulated device: a HAL radio endpoint plus the per-node state the
+// network simulator drives around it.
+//
+// A Node owns its radio (battery + ledger + operating point), a private
+// deterministic RNG stream (stream index == node index, so contention
+// resolution never depends on sweep threading), its CSMA-CA state
+// machine, a relay queue of frame origins waiting to be forwarded toward
+// the hub, and the in-flight transfer the ARQ loop is currently
+// retrying. Everything the simulator mutates per event lives here; the
+// Node itself has no behavior beyond queue bookkeeping — protocol logic
+// stays in NetworkSimulator so it reads as one event loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hal/radio.hpp"
+#include "mac/frame.hpp"
+#include "net/csma.hpp"
+#include "util/rng.hpp"
+
+namespace braidio::net {
+
+struct NodeStats {
+  std::uint64_t generated = 0;      // frames originated at this node
+  std::uint64_t delivered = 0;      // originated frames that reached the hub
+  std::uint64_t forwarded = 0;      // relayed frames passed one hop onward
+  std::uint64_t tx_attempts = 0;    // physical transmissions
+  std::uint64_t csma_failures = 0;  // channel-access failures (CCA budget)
+  std::uint64_t arq_drops = 0;      // retry budget exhausted
+};
+
+class Node {
+ public:
+  /// A frame making its way toward the hub: which node originated it,
+  /// which neighbor this hop is addressed to, and how many times this
+  /// hop has been attempted.
+  struct Transfer {
+    bool active = false;
+    std::uint32_t origin = 0;
+    std::uint32_t dest = 0;
+    unsigned attempts = 0;
+    mac::Frame frame;
+  };
+
+  /// Takes ownership of `radio` (must be non-null).
+  Node(std::uint32_t index, std::unique_ptr<hal::IRadio> radio,
+       util::Rng rng, CsmaConfig csma);
+
+  std::uint32_t index() const { return index_; }
+  hal::IRadio& radio() { return *radio_; }
+  const hal::IRadio& radio() const { return *radio_; }
+  util::Rng& rng() { return rng_; }
+  CsmaCa& csma() { return csma_; }
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+  Transfer& transfer() { return transfer_; }
+
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// FIFO of frame origins waiting at this node for their next hop.
+  void enqueue(std::uint32_t origin);
+  bool queue_empty() const { return head_ == queue_.size(); }
+  std::size_t backlog() const { return queue_.size() - head_; }
+  /// Pop the oldest origin; precondition !queue_empty().
+  std::uint32_t dequeue();
+
+ private:
+  std::uint32_t index_;
+  std::unique_ptr<hal::IRadio> radio_;
+  util::Rng rng_;
+  CsmaCa csma_;
+  NodeStats stats_;
+  Transfer transfer_;
+  std::vector<std::uint32_t> queue_;
+  std::size_t head_ = 0;
+  bool alive_ = true;
+};
+
+}  // namespace braidio::net

@@ -1,0 +1,77 @@
+// Topology builders: node placement plus relay routes toward the hub.
+//
+// Three deployment shapes from the paper's scenarios and the multi-hop
+// backscatter tag-to-tag literature (PAPERS.md, arXiv:1901.10274):
+//   * star — one wall-powered hub, tags packed on a disc around it
+//     (Fig. 1's asymmetric-IoT room; the dense 10k-tag bench);
+//   * grid — tags on a square lattice, hub at the center, multi-hop
+//     routes stepping between lattice neighbors;
+//   * random-geometric — tags uniform in a box, links where separation
+//     is under the link range, BFS routes toward the hub.
+// Placement is deterministic: star/grid use closed-form positions, the
+// random-geometric builder draws only from the caller's Rng. Routes are
+// next-hop pointers toward node 0 (the hub) chosen by breadth-first
+// search processed in node-index order, so ties always resolve to the
+// lowest-index parent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace braidio::net {
+
+struct Vec2 {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+/// Euclidean separation of two positions [m].
+double distance_m(const Vec2& a, const Vec2& b);
+
+enum class TopologyKind : std::uint8_t { Star, Grid, RandomGeometric };
+
+const char* to_string(TopologyKind kind);
+std::optional<TopologyKind> parse_topology(const std::string& name);
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::Star;
+  /// Tag count (the hub is node 0 and comes on top of this).
+  std::size_t nodes = 16;
+  /// Star: disc radius. Grid: lattice extent (side length). Random
+  /// geometric: half-side of the centered box. [m]
+  double extent_m = 2.0;
+  /// Maximum single-hop separation for the multi-hop builders [m].
+  double link_range_m = 1.0;
+};
+
+/// No route to the hub (disconnected component of the range graph).
+inline constexpr std::uint32_t kNoRoute =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct Topology {
+  /// positions[0] is the hub.
+  std::vector<Vec2> positions;
+  /// Next hop toward the hub; next_hop[0] == 0, kNoRoute when stranded.
+  std::vector<std::uint32_t> next_hop;
+  /// Hops to the hub; 0 for the hub itself, kNoRoute when stranded.
+  std::vector<std::uint32_t> hops;
+
+  std::size_t size() const { return positions.size(); }
+  /// Nodes (including the hub) with a route to the hub.
+  std::size_t reachable() const;
+  /// Longest finite route length in hops.
+  std::uint32_t max_hops() const;
+};
+
+/// Build a topology. The star builder ignores `rng` entirely; grid uses
+/// it only when jitter would be added (it is not); random-geometric
+/// consumes exactly 2*nodes draws. Throws std::invalid_argument on a
+/// non-positive extent/range or zero nodes.
+Topology build_topology(const TopologyConfig& config, util::Rng& rng);
+
+}  // namespace braidio::net

@@ -28,6 +28,7 @@ const char* to_string(Counter counter) {
     case Counter::SweepPoints: return "sweep_points";
     case Counter::SweepFailures: return "sweep_failures";
     case Counter::FaultActivations: return "fault_activations";
+    case Counter::NetEvents: return "net_events";
   }
   return "?";
 }

@@ -49,9 +49,10 @@ enum class Counter : std::uint8_t {
   SweepPoints,       // grid points evaluated by the sweep engine
   SweepFailures,     // grid-point evaluations that threw
   FaultActivations,  // scripted fault events fired (sim/faults)
+  NetEvents,         // events the network simulator's queue processed
 };
 
-inline constexpr std::size_t kCounterCount = 15;
+inline constexpr std::size_t kCounterCount = 16;
 
 const char* to_string(Counter counter);
 

@@ -68,6 +68,9 @@ void validate(const FaultEvent& ev) {
     case FaultKind::CarrierDropout:
       break;
   }
+  if (ev.node < kNodeBroadcast) {
+    fail("node must be a node id >= 0 or broadcast");
+  }
 }
 
 }  // namespace
@@ -159,8 +162,28 @@ std::optional<FaultTimeline> FaultTimeline::parse(std::istream& in,
     } else {
       return fail("unknown fault kind '" + kind + "'");
     }
+    // Optional node scope (`@<id>`), then nothing else. The optional
+    // numeric fields above may have left the stream failed on a
+    // non-numeric token — clear so that token is still read here.
+    fields.clear();
     std::string extra;
-    if (fields >> extra) return fail("trailing tokens after " + kind);
+    if (fields >> extra) {
+      if (extra.size() < 2 || extra[0] != '@') {
+        return fail("trailing tokens after " + kind);
+      }
+      std::size_t used = 0;
+      int node = -1;
+      try {
+        node = std::stoi(extra.substr(1), &used);
+      } catch (const std::exception&) {
+        return fail("bad node scope '" + extra + "'");
+      }
+      if (used + 1 != extra.size() || node < 0) {
+        return fail("bad node scope '" + extra + "'");
+      }
+      ev.node = node;
+      if (fields >> extra) return fail("trailing tokens after " + kind);
+    }
     events.push_back(ev);
   }
   try {

@@ -43,6 +43,10 @@ inline constexpr int kTargetA = 0;
 inline constexpr int kTargetB = 1;
 inline constexpr int kTargetBoth = -1;
 
+/// Node scope: an event hits every node (the single-link legacy reading)
+/// unless it names a specific simulator node id.
+inline constexpr int kNodeBroadcast = -1;
+
 struct FaultEvent {
   FaultKind kind = FaultKind::Shadowing;
   double start_s = 0.0;
@@ -50,6 +54,9 @@ struct FaultEvent {
   double magnitude = 0.0;   // dB / dBm / m / J depending on kind
   double param = 0.0;       // kind-specific second knob (offset Hz, tau s)
   int target = kTargetBoth; // Brownout only
+  /// Network-simulator node this event targets; kNodeBroadcast hits all.
+  /// Single-link consumers (state_at without a node) ignore this field.
+  int node = kNodeBroadcast;
 
   /// Exclusive end of the active window (== start_s for instant kinds).
   double end_s() const { return is_instant(kind) ? start_s
@@ -86,8 +93,10 @@ class FaultTimeline {
   ///   fade       <start_s> <duration_s> <depth_db> [coherence_s]
   ///   distance   <t_s> <new_distance_m>
   ///   brownout   <t_s> <joules> [a|b|both]
-  /// Blank lines and `#` comments are ignored. Returns nullopt and fills
-  /// `error` (file:line plus reason) on malformed input.
+  /// Any line may end with `@<node>` to scope the event to one network
+  /// node id (default: broadcast — every node, and every single-link
+  /// consumer). Blank lines and `#` comments are ignored. Returns nullopt
+  /// and fills `error` (file:line plus reason) on malformed input.
   static std::optional<FaultTimeline> parse(std::istream& in,
                                             std::string* error);
   static std::optional<FaultTimeline> parse_file(const std::string& path,

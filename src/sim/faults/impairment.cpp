@@ -23,10 +23,20 @@ double ImpairmentSchedule::interferer_penalty_db(
 }
 
 ImpairmentState ImpairmentSchedule::state_at(double sim_s) const {
+  // Legacy single-link view: every event applies, whatever its node
+  // scope. Must stay byte-identical for un-scoped timelines (goldens).
+  return state_at(sim_s, kNodeBroadcast);
+}
+
+ImpairmentState ImpairmentSchedule::state_at(double sim_s, int node) const {
   BRAIDIO_REQUIRE(std::isfinite(sim_s), "sim_s", sim_s);
   ImpairmentState state;
   for (const auto& ev : timeline_.events()) {
     if (ev.start_s > sim_s) break;  // sorted by start
+    if (node != kNodeBroadcast && ev.node != kNodeBroadcast &&
+        ev.node != node) {
+      continue;
+    }
     if (ev.kind == FaultKind::DistanceJump) {
       state.distance_m = ev.magnitude;  // latest jump wins
       continue;

@@ -57,8 +57,14 @@ class ImpairmentSchedule {
   bool empty() const { return timeline_.empty(); }
 
   /// Superposed impairment at sim time t. Pure function of (timeline, t):
-  /// safe to call concurrently from sweep workers.
+  /// safe to call concurrently from sweep workers. Applies EVERY event
+  /// regardless of node scope — the single-link consumers' legacy view.
   ImpairmentState state_at(double sim_s) const;
+
+  /// Node-scoped view for the network simulator: only events that are
+  /// broadcast or target exactly `node` contribute. A timeline with no
+  /// node-scoped events gives the same answer as state_at(sim_s).
+  ImpairmentState state_at(double sim_s, int node) const;
 
   /// Joules to drain from endpoint `device` (kTargetA / kTargetB) for
   /// Brownout events starting in (t0, t1].

@@ -2,10 +2,13 @@
 #include "core/offload.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "backends/backends.hpp"
 #include "core/power_table.hpp"
+#include "hal/backend.hpp"
 #include "util/units.hpp"
 
 namespace braidio::core {
@@ -260,6 +263,77 @@ TEST_P(BidirectionalSweep, ProportionalAndCheaperPerBitThanTwoUnidirectional) {
 
 INSTANTIATE_TEST_SUITE_P(Ratios, BidirectionalSweep,
                          ::testing::Values(0.01, 0.2, 1.0, 5.0, 100.0));
+
+// ---------- heterogeneous capability pairs (HAL backends) ----------
+
+const hal::Capabilities& backend_caps(const char* name) {
+  backends::register_all();
+  return hal::BackendRegistry::instance().get(name).caps();
+}
+
+TEST(OffloadHeterogeneous, BraidioTagToReaderIsBackscatterOnly) {
+  // A braidio tag uplinking to a commercial reader: Active needs both
+  // ends active-capable (the reader is not); PassiveRx needs a lattice
+  // entry the reader carries (its lattice is backscatter-only). What
+  // remains is backscatter at every shared rate, costed per end — tag
+  // reflection power against the reader's 640 mW decode chain.
+  const auto candidates = OffloadPlanner::intersect_candidates(
+      backend_caps(backends::kBraidio),
+      backend_caps(backends::kReaderPassive));
+  const PowerTable table;
+  ASSERT_EQ(candidates.size(), 3u);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.mode, phy::LinkMode::Backscatter);
+    const auto& tag = table.candidate(phy::LinkMode::Backscatter, c.rate);
+    EXPECT_DOUBLE_EQ(c.tx_power_w, tag.tx_power_w);
+    EXPECT_DOUBLE_EQ(c.rx_power_w, 0.64);  // AS3993-class reader
+  }
+}
+
+TEST(OffloadHeterogeneous, PlanChargesEachEndItsOwnLattice) {
+  const auto plan = OffloadPlanner::plan_heterogeneous(
+      backend_caps(backends::kBraidio),
+      backend_caps(backends::kReaderPassive), 1.0, 2000.0);
+  ASSERT_FALSE(plan.entries.empty());
+  double fractions = 0.0;
+  for (const auto& e : plan.entries) {
+    EXPECT_EQ(e.candidate.mode, phy::LinkMode::Backscatter);
+    fractions += e.fraction;
+  }
+  EXPECT_NEAR(fractions, 1.0, 1e-9);
+  // The wall-powered reader holds the carrier and decodes coherently: it
+  // must be paying orders of magnitude more per bit than the tag.
+  EXPECT_GT(plan.rx_joules_per_bit, 1e3 * plan.tx_joules_per_bit);
+}
+
+TEST(OffloadHeterogeneous, BlispPairMixesActiveAndBackscatter) {
+  // Two BLISP-style hybrids facing each other keep the active point and
+  // all three backscatter rates; PassiveRx drops out because neither
+  // lattice lists a PassiveRx entry.
+  const auto candidates = OffloadPlanner::intersect_candidates(
+      backend_caps(backends::kBlispHybrid),
+      backend_caps(backends::kBlispHybrid));
+  ASSERT_EQ(candidates.size(), 4u);
+  std::size_t active = 0, backscatter = 0;
+  for (const auto& c : candidates) {
+    if (c.mode == phy::LinkMode::Active) ++active;
+    if (c.mode == phy::LinkMode::Backscatter) ++backscatter;
+  }
+  EXPECT_EQ(active, 1u);
+  EXPECT_EQ(backscatter, 3u);
+}
+
+TEST(OffloadHeterogeneous, DisjointCapabilityPairsThrow) {
+  // BLE module vs reader: no direction works. Active needs the reader
+  // active-capable; backscatter needs the BLE side to reflect; passive
+  // RX needs the BLE side to source a carrier.
+  const auto& ble = backend_caps(backends::kBleActive);
+  const auto& reader = backend_caps(backends::kReaderPassive);
+  EXPECT_TRUE(OffloadPlanner::intersect_candidates(ble, reader).empty());
+  EXPECT_TRUE(OffloadPlanner::intersect_candidates(reader, ble).empty());
+  EXPECT_THROW(OffloadPlanner::plan_heterogeneous(ble, reader, 1.0, 1.0),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace braidio::core

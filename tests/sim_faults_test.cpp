@@ -166,5 +166,88 @@ TEST(ImpairmentSchedule, InterfererPenaltyGrowsWithPower) {
               1e-12);
 }
 
+// ---------- node-scoped events (`@<id>`, network simulator) ----------
+
+TEST(FaultTimeline, ParsesNodeScopes) {
+  std::istringstream in(
+      "shadowing 1 2 12 @3\n"
+      "dropout 0 5 @1\n"
+      "interferer 2 1 -45 250e3 @0\n"
+      "brownout 7 0.25 b @4\n"
+      "fade 5 1 8 @2\n"
+      "distance 6 1.5\n");
+  std::string error;
+  const auto timeline = FaultTimeline::parse(in, &error);
+  ASSERT_TRUE(timeline.has_value()) << error;
+  ASSERT_EQ(timeline->size(), 6u);
+  // Sorted by start: dropout@1, shadowing@3, interferer@0, fade@2,
+  // distance (broadcast), brownout b@4.
+  EXPECT_EQ(timeline->events()[0].node, 1);
+  EXPECT_EQ(timeline->events()[1].node, 3);
+  EXPECT_EQ(timeline->events()[2].node, 0);
+  EXPECT_EQ(timeline->events()[3].node, 2);
+  EXPECT_EQ(timeline->events()[4].node, kNodeBroadcast);
+  EXPECT_EQ(timeline->events()[5].node, 4);
+  EXPECT_EQ(timeline->events()[5].target, kTargetB);  // composes with @
+}
+
+TEST(FaultTimeline, RejectsBadNodeScopes) {
+  const char* bad[] = {
+      "dropout 0 1 @x\n",       // non-numeric id
+      "dropout 0 1 @-2\n",      // negative id
+      "dropout 0 1 @\n",        // empty id
+      "dropout 0 1 @1 junk\n",  // trailing tokens after the scope
+      "dropout 0 1 @1x\n",      // junk glued to the id
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    std::string error;
+    EXPECT_FALSE(FaultTimeline::parse(in, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ImpairmentSchedule, NodeScopedQueryFiltersByTarget) {
+  std::vector<FaultEvent> events;
+  // Broadcast shadowing everyone sees, plus a dropout only node 2 sees.
+  events.push_back({FaultKind::Shadowing, 0.0, 10.0, 6.0, 0.0, kTargetBoth});
+  FaultEvent dropout{FaultKind::CarrierDropout, 0.0, 10.0, 0.0, 0.0,
+                     kTargetBoth};
+  dropout.node = 2;
+  events.push_back(dropout);
+  const ImpairmentSchedule schedule{FaultTimeline{std::move(events)}};
+
+  const ImpairmentState at_node2 = schedule.state_at(5.0, 2);
+  EXPECT_TRUE(at_node2.carrier_dropout);
+  EXPECT_DOUBLE_EQ(at_node2.extra_loss_db, 6.0);
+
+  const ImpairmentState at_node1 = schedule.state_at(5.0, 1);
+  EXPECT_FALSE(at_node1.carrier_dropout);  // targeted: invisible elsewhere
+  EXPECT_DOUBLE_EQ(at_node1.extra_loss_db, 6.0);  // broadcast: visible
+
+  // The legacy single-link view applies every event regardless of scope.
+  const ImpairmentState legacy = schedule.state_at(5.0);
+  EXPECT_TRUE(legacy.carrier_dropout);
+  EXPECT_DOUBLE_EQ(legacy.extra_loss_db, 6.0);
+}
+
+TEST(ImpairmentSchedule, BroadcastTimelineMatchesLegacyView) {
+  // With no node-scoped events the two overloads must agree everywhere.
+  std::vector<FaultEvent> events;
+  events.push_back({FaultKind::Shadowing, 1.0, 2.0, 9.0, 0.0, kTargetBoth});
+  events.push_back(
+      {FaultKind::CarrierDropout, 4.0, 0.5, 0.0, 0.0, kTargetBoth});
+  const ImpairmentSchedule schedule{FaultTimeline{std::move(events)}};
+  for (const double t : {0.5, 1.5, 3.5, 4.25, 6.0}) {
+    for (const int node : {0, 1, 7}) {
+      const ImpairmentState scoped = schedule.state_at(t, node);
+      const ImpairmentState legacy = schedule.state_at(t);
+      EXPECT_EQ(scoped.carrier_dropout, legacy.carrier_dropout);
+      EXPECT_DOUBLE_EQ(scoped.extra_loss_db, legacy.extra_loss_db);
+      EXPECT_EQ(scoped.fade_active, legacy.fade_active);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace braidio::sim::faults

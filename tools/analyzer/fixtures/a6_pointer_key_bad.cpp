@@ -1,0 +1,20 @@
+// analyzer-path: src/net/fixture_pointer_key.cpp
+// Known-bad fixture: ordering event state by Node*. The map's iteration
+// order follows allocation addresses, so the kick order — and the whole
+// event schedule behind it — changes run to run. Fires both the general
+// determinism rule (A1-pointer-key, anywhere in src/) and the net-local
+// event-ordering rule (A6-event-order).
+
+#include <map>
+
+#include "net/node.hpp"
+
+namespace braidio::net {
+
+struct FixtureKickPlan {
+  // expect: A1-pointer-key
+  // expect: A6-event-order
+  std::map<Node*, double> next_kick_s;
+};
+
+}  // namespace braidio::net

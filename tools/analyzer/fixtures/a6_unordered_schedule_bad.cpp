@@ -1,0 +1,34 @@
+// analyzer-path: src/net/fixture_unordered_schedule.cpp
+// Known-bad fixture: draining an unordered container into the event
+// queue. The pops come back in hash order, so the (time, seq) sequence
+// numbers — and with them every CSMA tie-break downstream — differ
+// between standard libraries and even between runs. A1-unordered-iter
+// stays quiet (no ResultTable/export sink in sight); A6 is what makes
+// the event schedule itself a sink inside src/net/.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/event_queue.hpp"
+
+namespace braidio::net {
+
+inline void fixture_flush_pending(
+    EventQueue& queue,
+    const std::unordered_map<std::uint32_t, double>& pending_kicks) {
+  // expect: A6-event-order
+  for (const auto& [node, time_s] : pending_kicks) {
+    queue.schedule(time_s, node, 0);
+  }
+}
+
+inline void fixture_retry_backlog(EventQueue& queue, double now_s) {
+  std::unordered_set<std::uint32_t> backlog{3, 1, 2};
+  // expect: A6-event-order
+  for (auto it = backlog.begin(); it != backlog.end(); ++it) {
+    queue.schedule(now_s + 1e-3, *it, 1);
+  }
+}
+
+}  // namespace braidio::net

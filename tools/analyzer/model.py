@@ -46,6 +46,11 @@ RULES: tuple[Rule, ...] = (
          "src/mac/ sits below the radio HAL boundary and must not "
          "include phy/ or core/ headers — modes, bitrates, and channel "
          "physics come from hal/"),
+    Rule("A6-event-order", "event-order",
+         "src/net/ event ordering must not depend on hash or address "
+         "order: no unordered-container iteration, no pointer-keyed "
+         "containers — the event schedule is a pure function of "
+         "(config, seed)"),
     Rule("bad-suppression", "bad-suppression",
          "a suppression annotation needs a non-empty reason"),
 )

@@ -1,4 +1,4 @@
-"""Rule implementations A1-A5 over the SourceModel (DESIGN.md §13)."""
+"""Rule implementations A1-A6 over the SourceModel (DESIGN.md §13)."""
 
 from __future__ import annotations
 
@@ -215,6 +215,55 @@ def check_layering(model: SourceModel) -> list[Finding]:
     return findings
 
 
+# --- A6: net event ordering ------------------------------------------
+
+_A6_DIR = "src/net/"
+# The A1 decl regex only sees local/member declarations; in src/net/ a
+# container arriving as a reference parameter is just as hazardous.
+_UNORDERED_PARAM_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;(){}]*?>\s*"
+    r"&?\s*([A-Za-z_]\w*)\s*[,)]")
+
+
+def check_net_event_order(model: SourceModel) -> list[Finding]:
+    """A6: src/net/ event ordering must not depend on hash or address.
+
+    The network simulator's determinism guarantee (DESIGN.md §15) is
+    that the event schedule is a pure function of (config, seed), so
+    every container that can feed it must iterate in a deterministic
+    index order. Unordered-container iteration (hash order) and
+    pointer-keyed maps (allocation order) are banned outright in
+    src/net/, sink or no sink — the schedule itself is the sink.
+    """
+    if not model.rel.startswith(_A6_DIR):
+        return []
+    findings = []
+    names = set(_UNORDERED_DECL_RE.findall(model.blanked))
+    names |= set(_UNORDERED_PARAM_RE.findall(model.blanked))
+    for lineno, line in enumerate(model.blanked.split("\n"), 1):
+        if (_POINTER_KEY_RE.search(line)
+                and not model.suppressed("event-order", lineno)):
+            findings.append(Finding(
+                "A6-event-order", model.rel, lineno,
+                "pointer-keyed container in src/net/ — event ordering "
+                "would follow allocation addresses, which vary run to "
+                "run; key by node index instead"))
+        for name in sorted(names):
+            iter_re = re.compile(
+                rf"for\s*\([^;)]*:\s*[^;)]*\b{name}\b|"
+                rf"\b{name}\s*\.\s*(?:begin|cbegin)\s*\(")
+            if not iter_re.search(line):
+                continue
+            if model.suppressed("event-order", lineno):
+                continue
+            findings.append(Finding(
+                "A6-event-order", model.rel, lineno,
+                f"iterating unordered container '{name}' in src/net/ — "
+                "hash order would flow into the event schedule; use an "
+                "index-ordered vector instead"))
+    return findings
+
+
 def _bare(name: str) -> str:
     return name.split("::")[-1].lstrip("~")
 
@@ -270,6 +319,7 @@ def run_all(models: list[SourceModel]) -> list[Finding]:
         findings.extend(check_energy_attribution(model))
         findings.extend(check_units_discipline(model))
         findings.extend(check_layering(model))
+        findings.extend(check_net_event_order(model))
         stem = re.sub(r"\.(?:hpp|cpp)$", "", model.rel)
         pairs.setdefault(stem, []).append(model)
     for stem in sorted(pairs):
