@@ -10,7 +10,7 @@
 //   braidio_cli ber <active|passive|backscatter> <10k|100k|1M>
 //   braidio_cli net [--topology=<star|grid|rgg>] [--nodes=<n>]
 //                   [--packets=<n>] [--extent=<m>] [--range=<m>]
-//                   [--seed=<n>]
+//                   [--seed=<n>] [--mac=<csma|tdma>]
 //   braidio_cli regimes
 //   braidio_cli devices
 //   braidio_cli backends
@@ -35,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -69,7 +70,8 @@ int usage() {
       "  braidio_cli ber <active|passive|backscatter> <10k|100k|1M>\n"
       "  braidio_cli net [--topology=<star|grid|rgg>] [--nodes=<n>]"
       " [--packets=<n>]\n"
-      "                  [--extent=<m>] [--range=<m>] [--seed=<n>]\n"
+      "                  [--extent=<m>] [--range=<m>] [--seed=<n>]"
+      " [--mac=<csma|tdma>]\n"
       "  braidio_cli regimes\n"
       "  braidio_cli devices\n"
       "  braidio_cli backends\n"
@@ -422,6 +424,14 @@ int cmd_net(const hal::RadioBackend& backend,
       cfg.topology.link_range_m = std::stod(arg.substr(8));
     } else if (arg.rfind("--seed=", 0) == 0) {
       cfg.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--mac=", 0) == 0) {
+      try {
+        cfg.mac = net::parse_mac(arg.substr(6));
+      } catch (const std::invalid_argument&) {
+        std::cerr << "bad --mac value: " << arg.substr(6)
+                  << " (want csma|tdma)\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown net flag: " << arg << '\n';
       return usage();
@@ -433,6 +443,7 @@ int cmd_net(const hal::RadioBackend& backend,
 
   util::TablePrinter out({"metric", "value"});
   out.add_row({"topology", net::to_string(cfg.topology.kind)});
+  out.add_row({"mac", net::to_string(cfg.mac)});
   out.add_row({"nodes (tags + hub)",
                std::to_string(cfg.topology.nodes + 1)});
   out.add_row({"reachable", std::to_string(stats.reachable)});
@@ -445,8 +456,14 @@ int cmd_net(const hal::RadioBackend& backend,
   out.add_row({"delivered", std::to_string(stats.delivered)});
   out.add_row({"forwarded", std::to_string(stats.forwarded)});
   out.add_row({"tx attempts", std::to_string(stats.tx_attempts)});
-  out.add_row({"csma failures", std::to_string(stats.csma_failures)});
+  out.add_row({"access failures", std::to_string(stats.csma_failures)});
   out.add_row({"arq drops", std::to_string(stats.arq_drops)});
+  if (cfg.mac == net::MacKind::Tdma) {
+    out.add_row({"tdma rounds", std::to_string(stats.mac.rounds)});
+    out.add_row({"registrations", std::to_string(stats.mac.registrations)});
+    out.add_row({"slots reclaimed",
+                 std::to_string(stats.mac.slots_reclaimed)});
+  }
   out.add_row({"battery deaths", std::to_string(stats.battery_deaths)});
   out.add_row({"hub energy",
                util::format_engineering(stats.hub_joules, 4) + "J"});

@@ -147,10 +147,23 @@ void check_state_machine(const RadioBackend& backend,
         radio->cca_clear(util::Dbm(thr + 20.0))) {
       out.push_back("cca_clear ignores the declared threshold");
     }
+    // The sense window itself must cost energy: a listen is never free.
+    const double before = radio->battery().remaining_joules();
+    if (!radio->sense(util::Seconds(1e-3))) {
+      out.push_back("sense drained a full battery in 1 ms");
+    }
+    if (!(radio->battery().remaining_joules() < before)) {
+      out.push_back("sense charged nothing for a carrier-sense window");
+    }
   } else {
     try {
       radio->cca_clear(util::Dbm(-90.0));
       out.push_back("cca_clear accepted despite can_cca=false");
+    } catch (const std::logic_error&) {
+    }
+    try {
+      radio->sense(util::Seconds(1e-3));
+      out.push_back("sense accepted despite can_cca=false");
     } catch (const std::logic_error&) {
     }
   }

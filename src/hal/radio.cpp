@@ -146,6 +146,33 @@ void StandardRadio::go_idle() {
   role_.reset();
 }
 
+bool StandardRadio::sense(util::Seconds window) {
+  if (!caps_.can_cca) {
+    throw std::logic_error("hal::StandardRadio::sense: driver declares no CCA");
+  }
+  const double seconds = window.value();
+  if (seconds < 0.0) {
+    throw std::invalid_argument("hal::StandardRadio::sense: negative window");
+  }
+  const double want = caps_.cca_sense_power.value() * seconds;
+  const double taken = battery_.drain(util::Joules(want)).value();
+  clock_s_ += seconds;
+  {
+    BRAIDIO_ENERGY_SPAN(device_span, name_.c_str());
+    BRAIDIO_ENERGY_SPAN(sense_span, "cca");
+    ledger_.charge(energy::EnergyCategory::PassiveRx, util::Joules(taken),
+                   util::Seconds(clock_s_));
+  }
+  if (taken < want) {
+    obs::count(obs::Counter::BatteryDeaths);
+    BRAIDIO_TRACE_EVENT(obs::EventType::BatteryDeath, name_.c_str(),
+                        clock_s_, battery_.remaining_joules());
+    go_idle();
+    return false;
+  }
+  return true;
+}
+
 bool StandardRadio::advance(util::Seconds elapsed) {
   const double seconds = elapsed.value();
   if (seconds < 0.0) {

@@ -77,6 +77,9 @@ struct Capabilities {
   bool can_cca = false;
   /// Ambient power above which cca() reports the channel busy [dBm].
   double cca_threshold_dbm = -60.0;
+  /// Draw while the envelope detector + comparator sample the channel for
+  /// one CCA window (sense()). Far below any decode-path rx power.
+  util::Watts cca_sense_power{240e-6};
   /// Sleep-state floor draw (MCU retention + RTC).
   util::Watts sleep_power{2e-6};
   /// Supported (mode, bitrate) operating points with per-end powers.
@@ -154,7 +157,15 @@ class IRadio {
 
   /// CCA-style carrier sense: channel clear at the given ambient power?
   /// Throws std::logic_error when the hardware declares no CCA support.
+  /// Verdict only — the listen window itself is charged via sense().
   bool cca_clear(util::Dbm ambient) const;
+
+  /// Spend one carrier-sense window: drains cca_sense_power x window and
+  /// advances the clock without leaving the current state (the sense path
+  /// is a detector in front of the demodulator, not a mode switch).
+  /// Returns false when the battery empties. Throws std::logic_error when
+  /// the hardware declares no CCA support.
+  virtual bool sense(util::Seconds window) = 0;
 };
 
 /// Generic driver endpoint: the full battery/ledger/span bookkeeping for
@@ -187,6 +198,7 @@ class StandardRadio : public IRadio {
   bool switch_to(const OperatingPoint& point, Role role) override;
   void go_idle() override;
   bool advance(util::Seconds elapsed) override;
+  bool sense(util::Seconds window) override;
   double clock_s() const override { return clock_s_; }
   std::uint64_t mode_switches() const override { return switches_; }
 

@@ -16,6 +16,11 @@ CsmaCa::CsmaCa(CsmaConfig config) : config_(config), be_(config.min_be) {
     throw std::invalid_argument(
         "net::CsmaCa: unit_backoff_s must be finite and > 0");
   }
+  if (!(config_.cca_window_s > 0.0) ||
+      !std::isfinite(config_.cca_window_s)) {
+    throw std::invalid_argument(
+        "net::CsmaCa: cca_window_s must be finite and > 0");
+  }
 }
 
 void CsmaCa::begin() {

@@ -9,6 +9,15 @@
 // knobs of 802.15.4. The random draws come from the owning node's private
 // deterministic stream, so contention resolution is byte-identical for
 // any sweep thread count.
+//
+// BE reset semantics (audited against the 802.15.4 SubMAC reference,
+// pinned in net_scheduler_test): begin() is the per-access-attempt reset
+// — callers invoke it once per new frame AND once per ARQ retransmission,
+// so both start over at (min_be, zero busy budget). BE persists only
+// across busy() calls *within* one access attempt; a busy-CCA streak that
+// eventually clears does NOT re-lower BE mid-attempt, because the attempt
+// is already over once the frame hits the air. That is the standard's
+// NB/BE lifecycle, not a leak.
 #pragma once
 
 #include "util/rng.hpp"
@@ -22,6 +31,9 @@ struct CsmaConfig {
   /// aUnitBackoffPeriod: one backoff slot [s] (20 symbols at 62.5 ksym/s
   /// in 802.15.4; kept as a knob so topologies can scale it to airtime).
   double unit_backoff_s = 320e-6;
+  /// aCCATime: one carrier-sense listen window [s] (8 symbols in
+  /// 802.15.4). Charged to the sensing node's ledger per CCA sample.
+  double cca_window_s = 128e-6;
 };
 
 class CsmaCa {
@@ -41,6 +53,8 @@ class CsmaCa {
   bool busy();
 
   unsigned backoffs() const { return backoffs_; }
+  /// Current backoff exponent (min_be after begin(), raised by busy()).
+  unsigned be() const { return be_; }
   const CsmaConfig& config() const { return config_; }
 
  private:

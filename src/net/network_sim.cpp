@@ -16,9 +16,10 @@ namespace braidio::net {
 namespace {
 
 // Event kinds on the queue.
-constexpr std::uint32_t kKick = 0;     // pop the relay queue, arm CSMA
-constexpr std::uint32_t kAttempt = 1;  // backoff expired: CCA + transmit
+constexpr std::uint32_t kKick = 0;     // pop the relay queue, ask the MAC
+constexpr std::uint32_t kAttempt = 1;  // attempt fires: MAC rules, then tx
 constexpr std::uint32_t kTxEnd = 2;    // airtime over: resolve delivery
+constexpr std::uint32_t kPolicy = 3;   // MAC-planted (TDMA rounds, reg)
 
 mac::Frame make_data_frame(std::uint32_t source, std::uint32_t dest,
                            std::uint16_t sequence,
@@ -74,6 +75,7 @@ NetworkSimulator::NetworkSimulator(NetConfig config)
   busy_until_s_.assign(total, 0.0);
   next_sequence_.assign(total, 0);
   medium_.emplace(config_.medium, topo_.positions);
+  policy_ = make_mac_policy(config_.mac, config_.tdma, total);
   plan_links();
 }
 
@@ -137,13 +139,86 @@ void NetworkSimulator::note_death(Node& node) {
 
 void NetworkSimulator::charge_window(Node& node, double from_s,
                                      double to_s) {
-  if (!node.alive()) return;
+  BRAIDIO_REQUIRE(node.alive(), "node", node.index());
   double& busy = busy_until_s_[node.index()];
   const double start = std::max(from_s, busy);
   if (to_s > start && !node.radio().advance(util::Seconds(to_s - start))) {
     note_death(node);
   }
   busy = std::max(busy, to_s);
+}
+
+Node& NetworkSimulator::mac_node(std::uint32_t i) {
+  BRAIDIO_REQUIRE(i < nodes_.size(), "i", i, "nodes", nodes_.size());
+  return nodes_[i];
+}
+
+bool NetworkSimulator::uplink_usable(std::uint32_t i) const {
+  BRAIDIO_REQUIRE(i < links_.size(), "i", i, "nodes", links_.size());
+  return links_[i].usable;
+}
+
+double NetworkSimulator::data_airtime_s(std::uint32_t i) const {
+  BRAIDIO_REQUIRE(i < links_.size() && links_[i].usable, "i", i);
+  const mac::Frame frame = make_data_frame(
+      i, topo_.next_hop[i], 0, config_.payload_bytes);
+  return mac::PacketChannel::airtime_s(frame, links_[i].point.rate);
+}
+
+double NetworkSimulator::control_airtime_s(std::uint32_t i) const {
+  BRAIDIO_REQUIRE(i < links_.size() && links_[i].usable, "i", i);
+  mac::Frame ack;
+  ack.type = mac::FrameType::Ack;
+  return mac::PacketChannel::airtime_s(ack, links_[i].point.rate);
+}
+
+bool NetworkSimulator::sense_clear(std::uint32_t i) {
+  Node& node = nodes_[i];
+  // Sampled before the (charged) listen so the verdict reflects the
+  // medium at the attempt instant, as before the listen was billed.
+  const double ambient = medium_->ambient_dbm(i, i);
+  if (!node.radio().sense(util::Seconds(config_.csma.cca_window_s))) {
+    note_death(node);
+    return false;
+  }
+  return node.radio().cca_clear(util::Dbm(ambient));
+}
+
+bool NetworkSimulator::register_exchange(std::uint32_t i) {
+  // One bare control frame each way along i's uplink: the member
+  // announces itself, the slot grant comes back after a turnaround. The
+  // tag pays at its (cheap) transmit point; the uplink receiver — the
+  // hub in a star — listens for the whole exchange at its own draw,
+  // which is where the coordination cost lands by design.
+  Node& node = nodes_[i];
+  const LinkPlan& plan = links_[i];
+  if (!node.alive() || !plan.usable) return false;
+  Node& dest = nodes_[topo_.next_hop[i]];
+  const double now = queue_.now_s();
+  const double air = control_airtime_s(i);
+  const double span = 2.0 * air + config_.turnaround_s;
+  if (!node.radio().switch_to(plan.point, hal::Role::DataTransmitter)) {
+    note_death(node);
+    return false;
+  }
+  if (dest.alive() &&
+      !dest.radio().switch_to(plan.point, hal::Role::DataReceiver)) {
+    note_death(dest);
+  }
+  if (!node.radio().advance(util::Seconds(span))) note_death(node);
+  if (dest.alive()) charge_window(dest, now, now + span);
+  bool dropout = false;
+  fault_loss_db(now, i, dest.index(), dropout);
+  return node.alive() && dest.alive() && !dropout;
+}
+
+void NetworkSimulator::schedule_attempt(double at_s, std::uint32_t i) {
+  queue_.schedule(at_s, i, kAttempt);
+}
+
+void NetworkSimulator::schedule_policy(double at_s, std::uint32_t i,
+                                       std::uint64_t payload) {
+  queue_.schedule(at_s, i, kPolicy, payload);
 }
 
 double NetworkSimulator::fault_loss_db(double now_s, std::uint32_t tx,
@@ -172,9 +247,7 @@ void NetworkSimulator::handle_kick(const Event& ev) {
   t.attempts = 0;
   t.frame = make_data_frame(ev.node, t.dest, next_sequence_[ev.node]++,
                             config_.payload_bytes);
-  node.csma().begin();
-  queue_.schedule(queue_.now_s() + node.csma().backoff_s(node.rng()),
-                  ev.node, kAttempt);
+  policy_->on_kick(*this, ev.node);
 }
 
 void NetworkSimulator::handle_attempt(const Event& ev) {
@@ -185,26 +258,30 @@ void NetworkSimulator::handle_attempt(const Event& ev) {
     t.active = false;
     return;
   }
+  // A TDMA slot granted before this node's kick fired arrives with no
+  // frame in flight; the next planned round serves it.
+  if (!t.active) return;
   const LinkPlan& plan = links_[ev.node];
   Node& dest = nodes_[t.dest];
 
-  if (node.radio().caps().can_cca) {
-    const double ambient = medium_->ambient_dbm(ev.node, ev.node);
-    if (!node.radio().cca_clear(util::Dbm(ambient))) {
-      if (node.csma().busy()) {
-        queue_.schedule(now + node.csma().backoff_s(node.rng()), ev.node,
-                        kAttempt);
-      } else {
-        // Channel-access failure: the CSMA budget is gone, the frame
-        // never made it onto the air.
-        ++stats_.csma_failures;
-        ++node.stats().csma_failures;
-        obs::count(obs::Counter::PacketsDropped);
-        t.active = false;
-        queue_.schedule(now + config_.turnaround_s, ev.node, kKick);
-      }
+  switch (policy_->on_attempt(*this, ev.node)) {
+    case AttemptDecision::Deferred:
       return;
-    }
+    case AttemptDecision::Drop:
+      // Channel-access failure: the policy's budget is gone, the frame
+      // never made it onto the air.
+      ++stats_.csma_failures;
+      ++node.stats().csma_failures;
+      obs::count(obs::Counter::PacketsDropped);
+      t.active = false;
+      queue_.schedule(now + config_.turnaround_s, ev.node, kKick);
+      return;
+    case AttemptDecision::Transmit:
+      break;
+  }
+  if (!node.alive()) {  // the charged CCA listen emptied the battery
+    t.active = false;
+    return;
   }
 
   if (!node.radio().switch_to(plan.point, hal::Role::DataTransmitter)) {
@@ -227,7 +304,9 @@ void NetworkSimulator::handle_attempt(const Event& ev) {
                       static_cast<double>(ev.node));
 
   if (!node.radio().advance(util::Seconds(airtime))) note_death(node);
-  charge_window(dest, now, now + airtime);
+  // A dead destination accrues no receive-window charge; the carrier is
+  // physically on-air either way, so the medium occupancy stays.
+  if (dest.alive()) charge_window(dest, now, now + airtime);
   medium_->begin(ev.node, t.dest, now + airtime, plan.interferer_dbm);
   // Interference is sampled here and again at tx-end; the worse sample
   // decides the SNR penalty (captures transmissions that start mid-air).
@@ -306,10 +385,7 @@ void NetworkSimulator::handle_tx_end(const Event& ev) {
   obs::count(obs::Counter::ArqRetries);
   BRAIDIO_TRACE_EVENT(obs::EventType::ArqRetry, "net", now,
                       static_cast<double>(ev.node));
-  node.csma().begin();
-  queue_.schedule(done + config_.turnaround_s +
-                      node.csma().backoff_s(node.rng()),
-                  ev.node, kAttempt);
+  policy_->on_tx_done(*this, ev.node, done);
 }
 
 void NetworkSimulator::finish_transfer(Node& node, bool acked,
@@ -363,6 +439,7 @@ NetStats NetworkSimulator::run() {
       case kKick: handle_kick(ev); break;
       case kAttempt: handle_attempt(ev); break;
       case kTxEnd: handle_tx_end(ev); break;
+      case kPolicy: policy_->on_policy_event(*this, ev); break;
       default:
         BRAIDIO_INVARIANT(false, "kind", ev.kind);
     }
@@ -385,6 +462,7 @@ NetStats NetworkSimulator::run() {
   stats_.hub_joules = stats_.node_joules.empty() ? 0.0
                                                  : stats_.node_joules[0];
   stats_.events = queue_.processed();
+  policy_->finalize(stats_.mac);
   obs::count(obs::Counter::NetEvents, stats_.events);
   return stats_;
 }

@@ -9,15 +9,21 @@
 // receiver) come from SharedMedium.
 //
 // Protocol, per frame and hop:
-//   kick    — the node pops its relay queue, arms CSMA-CA, and schedules
-//             an attempt after the random backoff;
-//   attempt — CCA against the medium's ambient power (when the hardware
-//             declares can_cca; pure-backscatter tags have no receiver
-//             to sense with and rely on the backoff jitter alone). Busy
-//             raises BE and retries; an exhausted budget drops the frame
-//             as a channel-access failure. Clear puts the frame on the
-//             air: both endpoint radios switch to the link's operating
-//             point and are charged the airtime;
+//   kick    — the node pops its relay queue and hands the frame to the
+//             MAC policy, which decides when the first attempt fires
+//             (CSMA backoff, next assigned TDMA slot — see
+//             net/mac_policy.hpp);
+//   attempt — the policy rules on channel access. Under CSMA-CA that is
+//             a *charged* CCA sample against the medium's ambient power
+//             (when the hardware declares can_cca; pure-backscatter tags
+//             have no receiver to sense with and rely on the backoff
+//             jitter alone): busy raises BE and retries, an exhausted
+//             budget drops the frame as a channel-access failure. Under
+//             TDMA the slot is the node's by assignment. A transmit
+//             verdict puts the frame on the air: both endpoint radios
+//             switch to the link's operating point and are charged the
+//             airtime (a dead destination accrues nothing — the carrier
+//             still occupies the medium);
 //   tx-end  — delivery is Bernoulli with p = (1 - BER)^wire_bits, where
 //             the BER comes from the link SNR minus node-targeted fault
 //             losses and the interference penalty (sampled at both the
@@ -49,10 +55,14 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "hal/backend.hpp"
 #include "net/event_queue.hpp"
+#include "net/mac_policy.hpp"
 #include "net/medium.hpp"
 #include "net/node.hpp"
+#include "net/tdma.hpp"
 #include "net/topology.hpp"
 #include "sim/faults/impairment.hpp"
 
@@ -63,7 +73,10 @@ struct NetConfig {
   const hal::RadioBackend* backend = nullptr;
   TopologyConfig topology;
   MediumConfig medium;
+  /// Channel-access policy and its knobs (net/mac_policy.hpp).
+  MacKind mac = MacKind::Csma;
   CsmaConfig csma;
+  TdmaConfig tdma;
   std::uint64_t seed = 1;
   /// Frames each reachable tag originates toward the hub.
   std::uint32_t packets_per_node = 4;
@@ -102,16 +115,17 @@ struct NetStats {
   double total_joules = 0.0;   // index-ordered sum of per-node ledgers
   std::vector<double> node_joules;  // per node; [0] is the hub
   double delivered_payload_bits = 0.0;
+  MacPolicyStats mac;  // policy counters (zeros under plain CSMA)
 
   double bits_per_joule() const {
     return total_joules > 0.0 ? delivered_payload_bits / total_joules : 0.0;
   }
 };
 
-class NetworkSimulator {
+class NetworkSimulator final : public MacContext {
  public:
   /// Builds the topology and the node population. Throws
-  /// std::invalid_argument when `backend` is null or the topology/CSMA
+  /// std::invalid_argument when `backend` is null or the topology/MAC
   /// configuration is invalid.
   explicit NetworkSimulator(NetConfig config);
 
@@ -119,13 +133,28 @@ class NetworkSimulator {
   NetStats run();
 
   const Topology& topology() const { return topo_; }
-  std::size_t node_count() const { return nodes_.size(); }
   /// Post-run inspection: per-node stats, radio ledger/battery, CSMA
   /// state. Index 0 is the hub.
   const Node& node(std::uint32_t i) const;
   /// The (mode, rate) chosen for node i's uplink hop; nullopt when no
   /// lattice point reaches i's next hop (or i is the hub / stranded).
   std::optional<hal::OperatingPoint> link_point(std::uint32_t i) const;
+  /// The policy driving channel access (post-run introspection).
+  const MacPolicy& mac_policy() const { return *policy_; }
+
+  // ---- MacContext: the surface the MAC policy drives (mac_policy.hpp).
+  double now_s() const override { return queue_.now_s(); }
+  std::size_t node_count() const override { return nodes_.size(); }
+  Node& mac_node(std::uint32_t i) override;
+  bool uplink_usable(std::uint32_t i) const override;
+  double turnaround_s() const override { return config_.turnaround_s; }
+  double data_airtime_s(std::uint32_t i) const override;
+  double control_airtime_s(std::uint32_t i) const override;
+  bool sense_clear(std::uint32_t i) override;
+  bool register_exchange(std::uint32_t i) override;
+  void schedule_attempt(double at_s, std::uint32_t i) override;
+  void schedule_policy(double at_s, std::uint32_t i,
+                       std::uint64_t payload) override;
 
  private:
   struct LinkPlan {
@@ -138,7 +167,9 @@ class NetworkSimulator {
   void plan_links();
   void note_death(Node& node);
   /// Charge `node`'s radio for occupying [from_s, to_s] of air, clamped
-  /// against its busy-until mark (shared receivers pay once).
+  /// against its busy-until mark (shared receivers pay once). The node
+  /// must be alive: post-death spend would hide in a drained battery's
+  /// clamp, so callers guard and the contract here is loud.
   void charge_window(Node& node, double from_s, double to_s);
   double fault_loss_db(double now_s, std::uint32_t tx, std::uint32_t rx,
                        bool& dropout) const;
@@ -155,6 +186,7 @@ class NetworkSimulator {
   std::vector<double> busy_until_s_;
   std::vector<std::uint16_t> next_sequence_;
   std::optional<SharedMedium> medium_;
+  std::unique_ptr<MacPolicy> policy_;
   EventQueue queue_;
   NetStats stats_;
   bool ran_ = false;

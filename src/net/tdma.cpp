@@ -1,0 +1,131 @@
+#include "net/tdma.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/contract.hpp"
+
+namespace braidio::net {
+
+ScheduledSlotMac::ScheduledSlotMac(TdmaConfig config, std::size_t nodes)
+    : config_(config),
+      registered_(nodes, 0),
+      reg_attempts_(nodes, 0),
+      next_reg_s_(nodes, 0.0) {
+  const auto bad = [](double v) { return !(v > 0.0) || !std::isfinite(v); };
+  if (bad(config_.guard_s) || bad(config_.reg_guard_s) ||
+      bad(config_.reg_retry_s)) {
+    throw std::invalid_argument(
+        "net::ScheduledSlotMac: guard/retry times must be finite and > 0");
+  }
+  if (config_.max_registration_attempts == 0) {
+    throw std::invalid_argument(
+        "net::ScheduledSlotMac: need max_registration_attempts > 0");
+  }
+}
+
+bool ScheduledSlotMac::wants_service(MacContext& ctx,
+                                     std::uint32_t i) const {
+  Node& node = ctx.mac_node(i);
+  if (!node.alive() || !ctx.uplink_usable(i)) return false;
+  return node.transfer().active || node.backlog() > 0;
+}
+
+void ScheduledSlotMac::on_kick(MacContext& ctx, std::uint32_t node) {
+  (void)node;
+  // The frame waits for its assigned slot; all this kick may do is wake
+  // the planner when the population had gone quiet.
+  if (armed_) return;
+  armed_ = true;
+  ctx.schedule_policy(ctx.now_s(), 0, kRoundPlan);
+}
+
+AttemptDecision ScheduledSlotMac::on_attempt(MacContext&, std::uint32_t) {
+  // The slot is this node's by assignment: no sensing, no contention.
+  return AttemptDecision::Transmit;
+}
+
+void ScheduledSlotMac::on_tx_done(MacContext&, std::uint32_t, double) {
+  // The transfer stays active; the next planned round retries it.
+}
+
+void ScheduledSlotMac::on_policy_event(MacContext& ctx, const Event& ev) {
+  switch (ev.a) {
+    case kRoundPlan:
+      plan_round(ctx);
+      return;
+    case kRegister: {
+      const std::uint32_t i = ev.node;
+      // The node may have died or drained since the round was planned.
+      if (registered_[i] != 0 || !wants_service(ctx, i)) return;
+      ++reg_attempts_[i];
+      if (ctx.register_exchange(i)) {
+        registered_[i] = 1;
+        ++registrations_;
+      } else {
+        next_reg_s_[i] = ctx.now_s() + config_.reg_retry_s;
+      }
+      return;
+    }
+    default:
+      BRAIDIO_INVARIANT(false, "tdma payload", ev.a);
+  }
+}
+
+void ScheduledSlotMac::plan_round(MacContext& ctx) {
+  double t = ctx.now_s();
+  bool any = false;
+  double deferred = std::numeric_limits<double>::infinity();
+  const auto n = static_cast<std::uint32_t>(ctx.node_count());
+
+  // Registration mini-slots: unregistered nodes with traffic, in index
+  // order. An exchange is one control frame each way plus turnaround.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (registered_[i] != 0 || !wants_service(ctx, i)) continue;
+    if (reg_attempts_[i] >= config_.max_registration_attempts) continue;
+    if (next_reg_s_[i] > t) {
+      deferred = std::min(deferred, next_reg_s_[i]);
+      continue;
+    }
+    ctx.schedule_policy(t, i, kRegister);
+    t += 2.0 * ctx.control_airtime_s(i) + ctx.turnaround_s() +
+         config_.reg_guard_s;
+    any = true;
+  }
+
+  // Data slots: registered members with traffic, in index order, each
+  // slot sized from that member's own planned operating point.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (registered_[i] == 0) continue;
+    if (!ctx.mac_node(i).alive()) {
+      registered_[i] = 0;
+      ++slots_reclaimed_;
+      continue;
+    }
+    if (!wants_service(ctx, i)) continue;
+    ctx.schedule_attempt(t, i);
+    t += ctx.data_airtime_s(i) + ctx.turnaround_s() +
+         ctx.control_airtime_s(i) + config_.guard_s;
+    any = true;
+  }
+
+  if (any) {
+    ++rounds_;
+    ctx.schedule_policy(t, 0, kRoundPlan);
+  } else if (deferred < std::numeric_limits<double>::infinity()) {
+    // Only deferred registrations remain: idle until the earliest retry.
+    ctx.schedule_policy(std::max(t, deferred), 0, kRoundPlan);
+  } else {
+    armed_ = false;
+  }
+}
+
+void ScheduledSlotMac::finalize(MacPolicyStats& stats) const {
+  stats.rounds = rounds_;
+  stats.registrations = registrations_;
+  stats.slots_reclaimed = slots_reclaimed_;
+}
+
+}  // namespace braidio::net

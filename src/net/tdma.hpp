@@ -1,0 +1,90 @@
+// Hub-assigned TDMA slots for the network simulator — the CarrierHub
+// convention ported into net/ (DESIGN.md §16).
+//
+// Braidio's asymmetric-energy argument puts coordination cost on the
+// energy-rich end: the hub holds the carrier, polls, and *assigns* air
+// time, so tags never contend. This policy reproduces that shape over
+// the simulator's calendar queue:
+//
+//   registration — each round opens with mini-slots in which nodes that
+//       have traffic but no slot yet exchange one bare control frame
+//       with their uplink neighbor (hub in a star). A targeted dropout
+//       swallows the exchange; the node retries after reg_retry_s, up
+//       to max_registration_attempts before it is given up on (bounded,
+//       so a permanently faulted node cannot keep rounds alive forever);
+//   data slots — registered members with pending traffic get one slot
+//       each, in index order, sized from the member's own planned
+//       operating point: data airtime + turnaround + ack airtime +
+//       guard_s. One transmission is ever on the air, so CCA-deaf
+//       passive backends are served exactly as well as active ones;
+//   re-assignment — the planner re-scans every round: dead members are
+//       dropped (their slots reclaimed), drained members are skipped
+//       until they queue again, newly registered members join. Rounds
+//       chain while any slot was planned and stop when the population
+//       goes quiet (re-armed by the next kick).
+//
+// No randomness: the schedule is a pure function of the event order, so
+// serial and parallel sweeps stay byte-identical trivially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/mac_policy.hpp"
+
+namespace braidio::net {
+
+struct TdmaConfig {
+  /// Per-slot guard time [s]. Keep >= the simulator's turnaround so a
+  /// finished member's next kick lands before the next round is planned.
+  double guard_s = 200e-6;
+  /// Guard after each registration mini-slot [s].
+  double reg_guard_s = 100e-6;
+  /// Wait between one node's registration attempts [s] (rides out
+  /// transient dropout faults without spinning mini-slots).
+  double reg_retry_s = 50e-3;
+  /// Registration attempts before a node is abandoned (bounds the run
+  /// when a targeted fault never lifts).
+  unsigned max_registration_attempts = 16;
+};
+
+class ScheduledSlotMac final : public MacPolicy {
+ public:
+  /// Throws std::invalid_argument on non-positive/non-finite times or a
+  /// zero attempt budget.
+  ScheduledSlotMac(TdmaConfig config, std::size_t nodes);
+
+  const char* name() const override { return "tdma"; }
+  void on_kick(MacContext& ctx, std::uint32_t node) override;
+  AttemptDecision on_attempt(MacContext& ctx, std::uint32_t node) override;
+  void on_tx_done(MacContext& ctx, std::uint32_t node,
+                  double done_s) override;
+  void on_policy_event(MacContext& ctx, const Event& ev) override;
+  void finalize(MacPolicyStats& stats) const override;
+
+  // Post-run introspection (tests).
+  bool is_registered(std::uint32_t i) const { return registered_[i] != 0; }
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t registrations() const { return registrations_; }
+  std::uint64_t slots_reclaimed() const { return slots_reclaimed_; }
+
+ private:
+  // Payloads on the policy-event channel.
+  static constexpr std::uint64_t kRoundPlan = 0;  // plan the next round
+  static constexpr std::uint64_t kRegister = 1;   // one registration slot
+
+  /// Alive, routable, and holding traffic (in flight or queued).
+  bool wants_service(MacContext& ctx, std::uint32_t i) const;
+  void plan_round(MacContext& ctx);
+
+  TdmaConfig config_;
+  std::vector<std::uint8_t> registered_;
+  std::vector<std::uint16_t> reg_attempts_;
+  std::vector<double> next_reg_s_;
+  bool armed_ = false;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t slots_reclaimed_ = 0;
+};
+
+}  // namespace braidio::net

@@ -169,6 +169,37 @@ TEST(CsmaCa, RejectsBadConfig) {
   CsmaConfig zero_unit;
   zero_unit.unit_backoff_s = 0.0;
   EXPECT_THROW(CsmaCa{zero_unit}, std::invalid_argument);
+  CsmaConfig zero_window;
+  zero_window.cca_window_s = 0.0;
+  EXPECT_THROW(CsmaCa{zero_window}, std::invalid_argument);
+}
+
+TEST(CsmaCa, BeResetSemanticsMatchTheSubMacLifecycle) {
+  // Audit pin for the 802.15.4 NB/BE lifecycle (see csma.hpp): begin()
+  // is the per-access-attempt reset, called by the MAC for every new
+  // frame AND every ARQ retransmission. BE rises only through busy()
+  // *within* one attempt, and a clear CCA mid-attempt does NOT re-lower
+  // it — the attempt is over once the frame hits the air, and the next
+  // attempt's begin() is what restores min_be.
+  CsmaCa csma;
+  csma.begin();
+  EXPECT_EQ(csma.be(), csma.config().min_be);
+  EXPECT_EQ(csma.backoffs(), 0u);
+  // Busy CCAs raise BE toward the cap, one budget unit each.
+  EXPECT_TRUE(csma.busy());
+  EXPECT_EQ(csma.be(), csma.config().min_be + 1);
+  EXPECT_TRUE(csma.busy());
+  EXPECT_TRUE(csma.busy());
+  EXPECT_EQ(csma.be(), csma.config().max_be);  // capped at macMaxBE
+  EXPECT_TRUE(csma.busy());
+  EXPECT_EQ(csma.be(), csma.config().max_be);  // stays capped
+  EXPECT_EQ(csma.backoffs(), 4u);
+  // The frame now clears CCA and transmits: nothing in the state machine
+  // moves, and the *next* access attempt (new frame or retransmission)
+  // starts over from min_be via begin().
+  csma.begin();
+  EXPECT_EQ(csma.be(), csma.config().min_be);
+  EXPECT_EQ(csma.backoffs(), 0u);
 }
 
 TEST(CsmaCa, BackoffsGrowWithBusyChannelAndExhaust) {

@@ -55,8 +55,21 @@ _REQUIRE_RE = re.compile(r"\bBRAIDIO_(?:REQUIRE|ENSURE)\b")
 
 # --- A5: layering ----------------------------------------------------
 
-_A5_DIR = "src/mac/"
-_A5_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"((phy|core)/[^"]*)"')
+# Directory -> (banned-layer regex, why). mac/ sits below the radio HAL;
+# net/ MAC policies *port* core/ conventions (CarrierHub slots) but must
+# not include them — both talk to drivers only through hal/.
+_A5_LAYERS = {
+    "src/mac/": (
+        re.compile(r'^\s*#\s*include\s*"((phy|core)/[^"]*)"'),
+        "the MAC sits below the radio HAL and must not depend on "
+        "{layer}/; take LinkMode/Bitrate/ChannelModel from hal/ instead",
+    ),
+    "src/net/": (
+        re.compile(r'^\s*#\s*include\s*"((core)/[^"]*)"'),
+        "net/ MAC policies port the {layer}/ conventions (CarrierHub "
+        "slots) rather than include them; depend on hal/ and mac/ only",
+    ),
+}
 
 _NUMERIC_LITERAL_RE = re.compile(
     r"^[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?[fF]?$")
@@ -188,18 +201,22 @@ def check_units_discipline(model: SourceModel) -> list[Finding]:
 
 
 def check_layering(model: SourceModel) -> list[Finding]:
-    """A5: mac/ may not reach across the HAL boundary into phy/ or core/.
+    """A5: layer boundaries — mac/ may not include phy/ or core/, and
+    net/ may not include core/.
 
     Include paths live inside string literals, which the blanker erases,
     so the directive is matched on the raw line; the blanked line is
     consulted only to skip includes that are commented out.
     """
-    if not model.rel.startswith(_A5_DIR):
+    rule = next((entry for prefix, entry in _A5_LAYERS.items()
+                 if model.rel.startswith(prefix)), None)
+    if rule is None:
         return []
+    include_re, why = rule
     findings = []
     blanked_lines = model.blanked.split("\n")
     for lineno, raw in enumerate(model.lines, 1):
-        match = _A5_INCLUDE_RE.match(raw)
+        match = include_re.match(raw)
         if not match:
             continue
         if lineno <= len(blanked_lines) and "#" not in blanked_lines[lineno - 1]:
@@ -207,11 +224,11 @@ def check_layering(model: SourceModel) -> list[Finding]:
         if model.suppressed("layering", lineno):
             continue
         header, layer = match.group(1), match.group(2)
+        directory = model.rel[:model.rel.index("/", 4) + 1]
         findings.append(Finding(
             "A5-layering", model.rel, lineno,
-            f"#include \"{header}\" in src/mac/ — the MAC sits below the "
-            f"radio HAL and must not depend on {layer}/; take LinkMode/"
-            "Bitrate/ChannelModel from hal/ instead"))
+            f"#include \"{header}\" in {directory} — "
+            + why.format(layer=layer)))
     return findings
 
 
