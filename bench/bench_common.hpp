@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <string>
 
 #include "sim/bench_telemetry.hpp"
@@ -61,9 +62,11 @@ inline sim::SweepOptions sweep_options(int argc, char** argv) {
 inline bool export_bench_telemetry(
     sim::RunReport& report, const std::string& name,
     const sim::ResultTable& results,
-    double bits_per_joule = std::numeric_limits<double>::quiet_NaN()) {
+    double bits_per_joule = std::numeric_limits<double>::quiet_NaN(),
+    const std::map<std::string, double>& soft = {}) {
   auto telemetry = sim::BenchTelemetry::from_table(name, results);
   telemetry.delivered_bits_per_joule = bits_per_joule;
+  telemetry.soft = soft;
   const bool profile_ok =
       report.export_profile(name, results.energy_profile());
   return report.export_bench(telemetry) && profile_ok;

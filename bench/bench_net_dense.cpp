@@ -21,6 +21,7 @@
 // with the sweep's child seed for flat index r, so the per-replica event
 // counts, delivery counts, and joules in the BENCH json are
 // byte-identical for any --threads value.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -94,7 +95,10 @@ int main(int argc, char** argv) {
         record.numbers = {static_cast<double>(stats.events),
                           stats.delivered_payload_bits, stats.total_joules,
                           static_cast<double>(stats.generated),
-                          static_cast<double>(stats.delivered)};
+                          static_cast<double>(stats.delivered),
+                          static_cast<double>(stats.sched_retunes),
+                          static_cast<double>(stats.sched_grows),
+                          static_cast<double>(stats.sched_peak_depth)};
         return record;
       });
 
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
 
   double events = 0.0, bits = 0.0, joules = 0.0;
   double generated = 0.0, delivered = 0.0;
+  double retunes = 0.0, grows = 0.0, peak_depth = 0.0;
   for (std::size_t row = 0; row < out.row_count(); ++row) {
     const auto& numbers = out.record(row).numbers;
     events += numbers[0];
@@ -114,6 +119,9 @@ int main(int argc, char** argv) {
     joules += numbers[2];
     generated += numbers[3];
     delivered += numbers[4];
+    retunes += numbers[5];
+    grows += numbers[6];
+    peak_depth = std::max(peak_depth, numbers[7]);
   }
   const double wall = out.total_wall_seconds();
   const double events_per_second = wall > 0.0 ? events / wall : 0.0;
@@ -121,7 +129,14 @@ int main(int argc, char** argv) {
   const double delivery_pct =
       generated > 0.0 ? 100.0 * delivered / generated : 0.0;
 
-  bench::export_bench_telemetry(report, name, out, bits_per_joule);
+  // Scheduler introspection rides the telemetry as soft (report-only)
+  // fields: bench_compare.py prints drifts but never gates on them.
+  bench::export_bench_telemetry(
+      report, name, out, bits_per_joule,
+      {{"events_per_second", events_per_second},
+       {"sched_retunes", retunes},
+       {"sched_grows", grows},
+       {"sched_peak_depth", peak_depth}});
 
   report.check("scheduler throughput",
                tdma ? ">= 100k events/sec" : ">= 1M events/sec",

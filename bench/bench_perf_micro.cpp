@@ -4,10 +4,12 @@
 // observability overhead contract.
 #include <benchmark/benchmark.h>
 
+#include "backends/backends.hpp"
 #include "core/lifetime_sim.hpp"
 #include "core/offload.hpp"
 #include "circuits/charge_pump.hpp"
 #include "mac/crc.hpp"
+#include "net/network_sim.hpp"
 #include "obs/obs.hpp"
 #include "phy/ber.hpp"
 #include "phy/link_budget.hpp"
@@ -142,5 +144,49 @@ void BM_Fig15SweepObs(benchmark::State& state) {
 #endif
 }
 BENCHMARK(BM_Fig15SweepObs)->Arg(0)->Arg(1)->Arg(2);
+
+// Network flight-recorder overhead contract (DESIGN.md §17): one dense
+// star run per iteration. Arg(0) runs with the recorder and tracer OFF
+// — the instrumented hot paths pay only a null-pointer check per
+// counter site and a relaxed load per flow-stage site, which is where
+// the <2% disabled-overhead ceiling is priced. Arg(1) arms the
+// per-node/per-link/scheduler stats planes; Arg(2) additionally turns
+// on packet-lifecycle tracing into a bounded ring.
+void BM_NetFlightRecorder(benchmark::State& state) {
+  const bool stats = state.range(0) >= 1;
+  const bool trace = state.range(0) >= 2;
+#if BRAIDIO_OBS_COMPILED
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_lane_capacity(std::size_t{1} << 12);
+  tracer.clear();
+  tracer.set_enabled(trace);
+#else
+  (void)trace;
+#endif
+  backends::register_all();
+  const hal::RadioBackend& backend =
+      hal::BackendRegistry::instance().get(backends::kBraidio);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    net::NetConfig cfg;
+    cfg.backend = &backend;
+    cfg.topology.kind = net::TopologyKind::Star;
+    cfg.topology.nodes = 256;
+    cfg.packets_per_node = 2;
+    cfg.seed = ++seed;
+    cfg.flight_recorder = stats;
+    net::NetworkSimulator sim(cfg);
+    const auto stats_out = sim.run();
+    benchmark::DoNotOptimize(stats_out.events);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(stats_out.events));
+  }
+#if BRAIDIO_OBS_COMPILED
+  tracer.set_enabled(false);
+  tracer.set_lane_capacity(std::size_t{1} << 14);
+  tracer.clear();
+#endif
+}
+BENCHMARK(BM_NetFlightRecorder)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace

@@ -72,6 +72,7 @@ int usage() {
       " [--packets=<n>]\n"
       "                  [--extent=<m>] [--range=<m>] [--seed=<n>]"
       " [--mac=<csma|tdma>]\n"
+      "                  [--net-stats-out=<file>] [--stats-bucket=<s>]\n"
       "  braidio_cli regimes\n"
       "  braidio_cli devices\n"
       "  braidio_cli backends\n"
@@ -395,6 +396,30 @@ int cmd_ber(const hal::RadioBackend& backend,
   return 0;
 }
 
+/// Replace a trailing ".json" with `ext`, or append `ext` when the stats
+/// path has some other suffix — "run.json" -> "run.csv", "run" ->
+/// "run.csv".
+std::string stats_sibling(const std::string& path, const char* ext) {
+  const std::string json_ext = ".json";
+  if (path.size() > json_ext.size() &&
+      path.compare(path.size() - json_ext.size(), json_ext.size(),
+                   json_ext) == 0) {
+    return path.substr(0, path.size() - json_ext.size()) + ext;
+  }
+  return path + ext;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "failed to write " << path << '\n';
+    return false;
+  }
+  return true;
+}
+
 // Many-node discrete-event network run: build the topology, drain the
 // scheduler, and report delivery + energy. Global --backend and --faults
 // plug straight into the NetConfig.
@@ -404,6 +429,7 @@ int cmd_net(const hal::RadioBackend& backend,
   net::NetConfig cfg;
   cfg.backend = &backend;
   if (options.faults) cfg.impairments = &*options.faults;
+  std::string stats_out;
   for (const auto& arg : args) {
     if (arg.rfind("--topology=", 0) == 0) {
       const auto kind = net::parse_topology(arg.substr(11));
@@ -430,6 +456,20 @@ int cmd_net(const hal::RadioBackend& backend,
       } catch (const std::invalid_argument&) {
         std::cerr << "bad --mac value: " << arg.substr(6)
                   << " (want csma|tdma)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--net-stats-out=", 0) == 0) {
+      stats_out = arg.substr(16);
+      if (stats_out.empty()) {
+        std::cerr << "--net-stats-out needs a file path\n";
+        return 2;
+      }
+      cfg.flight_recorder = true;
+    } else if (arg.rfind("--stats-bucket=", 0) == 0) {
+      cfg.stats_bucket_s = std::stod(arg.substr(15));
+      if (!(cfg.stats_bucket_s > 0.0)) {
+        std::cerr << "bad --stats-bucket value: " << arg.substr(15)
+                  << " (want seconds > 0)\n";
         return 2;
       }
     } else {
@@ -472,6 +512,24 @@ int cmd_net(const hal::RadioBackend& backend,
   out.add_row({"goodput", util::format_engineering(
                               stats.bits_per_joule(), 4) + "bits/J"});
   out.print(std::cout);
+
+  if (!stats_out.empty()) {
+    const auto& record = sim.flight_record();
+    if (!record.enabled) {
+      std::cerr << "--net-stats-out: flight recorder unavailable "
+                   "(built with BRAIDIO_OBS=OFF)\n";
+      return 1;
+    }
+    const std::string csv_path = stats_sibling(stats_out, ".csv");
+    const std::string sched_path = stats_sibling(stats_out, ".sched.json");
+    if (!write_text_file(stats_out, record.to_json()) ||
+        !write_text_file(csv_path, record.to_csv()) ||
+        !write_text_file(sched_path, record.sched_chrome_counters())) {
+      return 1;
+    }
+    std::cout << "net stats: " << stats_out << " (+ " << csv_path
+              << ", " << sched_path << ")\n";
+  }
   return 0;
 }
 

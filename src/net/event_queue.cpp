@@ -88,11 +88,14 @@ void EventQueue::maybe_grow() {
       cand = std::max(cand, max_sched_s_ / kWidthFloorDays);
       if (cand > 0.0 && cand < 0.5 * width_) new_width = cand;
     }
+    scan_total_ += probe_scan_steps_;
     probe_inserts_ = 0;
     probe_scan_steps_ = 0;
   }
   const bool retune = new_width != width_;
   if (!crowded && !retune) return;
+  if (crowded) ++grows_;
+  if (retune) ++retunes_;
   // Collect every live event, resize/re-tune the calendar, re-bucket.
   // Collection walks buckets in index order and re-inserts sorted, so the
   // rebuild is a pure function of the queue contents.
@@ -112,7 +115,9 @@ void EventQueue::maybe_grow() {
     day_ = day_of(now_s_);  // same clock, new day units
   }
   for (const EventId id : live) insert(id);
-  // The rebuild's own inserts must not count toward the next probe.
+  // The rebuild's own inserts must not count toward the next probe
+  // (they do count toward the cumulative scan-cost telemetry).
+  scan_total_ += probe_scan_steps_;
   probe_inserts_ = 0;
   probe_scan_steps_ = 0;
 }
@@ -137,6 +142,7 @@ EventId EventQueue::schedule(double time_s, std::uint32_t node,
   ++probe_inserts_;
   insert(id);
   ++size_;
+  peak_size_ = std::max<std::uint64_t>(peak_size_, size_);
   maybe_grow();
   return id;
 }
@@ -192,6 +198,9 @@ void EventQueue::reset() {
   day_ = 0;
   now_s_ = 0.0;
   next_seq_ = 0;
+  // Introspection counters (retunes/grows/peak/scan) are lifetime-
+  // cumulative like processed_; only the open probe window closes.
+  scan_total_ += probe_scan_steps_;
   probe_inserts_ = 0;
   probe_scan_steps_ = 0;
   max_sched_s_ = 0.0;

@@ -91,6 +91,21 @@ class EventQueue {
   double bucket_width_s() const { return width_; }
   std::size_t bucket_count() const { return heads_.size(); }
 
+  // --- introspection (flight-recorder scheduler plane) ---------------
+  // Lifetime-cumulative like processed(): reset() rewinds the clock but
+  // keeps these, so a queue's telemetry survives arena reuse.
+  /// Width re-tunes triggered by the insert-scan probe.
+  std::uint64_t retunes() const { return retunes_; }
+  /// Calendar doublings triggered by occupancy.
+  std::uint64_t grows() const { return grows_; }
+  /// Largest simultaneous event population ever held.
+  std::uint64_t peak_size() const { return peak_size_; }
+  /// Cumulative sorted-insert scan steps (the re-tune probe's cost
+  /// signal, accumulated across probe windows).
+  std::uint64_t scan_steps() const {
+    return scan_total_ + probe_scan_steps_;
+  }
+
  private:
   EventId acquire();
   void release(EventId id);
@@ -114,6 +129,11 @@ class EventQueue {
   // Insert-scan probe driving the width re-tune (reset every rebuild).
   std::uint64_t probe_inserts_ = 0;
   std::uint64_t probe_scan_steps_ = 0;
+  // Introspection counters (see the accessors above).
+  std::uint64_t retunes_ = 0;
+  std::uint64_t grows_ = 0;
+  std::uint64_t peak_size_ = 0;
+  std::uint64_t scan_total_ = 0;  // scan steps from closed probe windows
   /// Latest time ever scheduled: with pops in time order, live events
   /// always sit in [now_s_, max_sched_s_], which bounds the live span
   /// O(1) for the width re-tune.

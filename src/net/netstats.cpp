@@ -1,0 +1,272 @@
+#include "net/netstats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace braidio::net {
+
+const char* to_string(NodeCounter counter) {
+  switch (counter) {
+    case NodeCounter::TxAttempts: return "tx_attempts";
+    case NodeCounter::CcaBusy: return "cca_busy";
+    case NodeCounter::BackoffDraws: return "backoff_draws";
+    case NodeCounter::Collisions: return "collisions";
+    case NodeCounter::FaultLosses: return "fault_losses";
+    case NodeCounter::Delivered: return "delivered";
+    case NodeCounter::Relayed: return "relayed";
+    case NodeCounter::DropsAccess: return "drops_access";
+    case NodeCounter::DropsArq: return "drops_arq";
+    case NodeCounter::SlotRegistrations: return "slot_registrations";
+    case NodeCounter::SlotsReclaimed: return "slots_reclaimed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fixed-decimal rendering: no exponents, no locale surprises, stable
+/// bytes for the serial-vs-parallel identity.
+std::string plain_number(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+void SchedulerSeries::sample(double sim_s, std::uint64_t depth,
+                             std::uint64_t retune_delta,
+                             std::uint64_t scan_delta) {
+  BRAIDIO_REQUIRE(bucket_s > 0.0, "bucket_s", bucket_s);
+  const auto index = static_cast<std::size_t>(sim_s / bucket_s);
+  if (index >= kMaxBuckets) {
+    ++skipped;
+    return;
+  }
+  if (index >= events.size()) {
+    events.resize(index + 1, 0);
+    peak_depth.resize(index + 1, 0);
+    retunes.resize(index + 1, 0);
+    scan_steps.resize(index + 1, 0);
+  }
+  ++events[index];
+  peak_depth[index] = std::max(peak_depth[index], depth);
+  retunes[index] += retune_delta;
+  scan_steps[index] += scan_delta;
+}
+
+void SchedulerSeries::merge(const SchedulerSeries& other) {
+  BRAIDIO_REQUIRE(bucket_s == other.bucket_s, "bucket_s", bucket_s,
+                  "other", other.bucket_s);
+  if (other.events.size() > events.size()) {
+    events.resize(other.events.size(), 0);
+    peak_depth.resize(other.events.size(), 0);
+    retunes.resize(other.events.size(), 0);
+    scan_steps.resize(other.events.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.events.size(); ++i) {
+    events[i] += other.events[i];
+    peak_depth[i] = std::max(peak_depth[i], other.peak_depth[i]);
+    retunes[i] += other.retunes[i];
+    scan_steps[i] += other.scan_steps[i];
+  }
+  skipped += other.skipped;
+}
+
+void NetFlightRecord::arm(const Topology& topo, double sched_bucket_s) {
+#if BRAIDIO_OBS_COMPILED
+  BRAIDIO_REQUIRE(sched_bucket_s > 0.0, "sched_bucket_s", sched_bucket_s);
+  enabled = true;
+  nodes.assign(topo.size(), NodeCounterBlock{});
+  links.assign(topo.size(), LinkRecord{});
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    links[i].dst = topo.next_hop[i];
+  }
+  latency = obs::HistogramData(
+      obs::bucket_bounds(obs::Histogram::NetLatencySeconds));
+  sched = SchedulerSeries{};
+  sched.bucket_s = sched_bucket_s;
+#else
+  (void)topo;
+  (void)sched_bucket_s;
+#endif
+}
+
+void NetFlightRecord::merge(const NetFlightRecord& other) {
+  if (!other.enabled) return;
+  if (!enabled) {
+    *this = other;
+    return;
+  }
+  BRAIDIO_REQUIRE(nodes.size() == other.nodes.size(), "nodes",
+                  nodes.size(), "other", other.nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t c = 0; c < kNodeCounterCount; ++c) {
+      nodes[i].values[c] += other.nodes[i].values[c];
+    }
+    BRAIDIO_REQUIRE(links[i].dst == other.links[i].dst, "node", i,
+                    "dst", links[i].dst, "other", other.links[i].dst);
+    links[i].attempts += other.links[i].attempts;
+    links[i].acked += other.links[i].acked;
+    links[i].data_lost += other.links[i].data_lost;
+    links[i].ack_lost += other.links[i].ack_lost;
+  }
+  latency.merge(other.latency);
+  sched.merge(other.sched);
+  events += other.events;
+  sched_retunes += other.sched_retunes;
+  sched_grows += other.sched_grows;
+  sched_peak_depth = std::max(sched_peak_depth, other.sched_peak_depth);
+  sched_scan_steps += other.sched_scan_steps;
+  sched_buckets = std::max(sched_buckets, other.sched_buckets);
+  sched_width_s = std::max(sched_width_s, other.sched_width_s);
+  elapsed_s = std::max(elapsed_s, other.elapsed_s);
+}
+
+namespace {
+
+void write_u64_array(std::ostringstream& os, const char* key,
+                     const std::vector<std::uint64_t>& values) {
+  os << "    \"" << key << "\": [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << values[i];
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string NetFlightRecord::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"braidio-netstats/v1\",\n";
+  os << "  \"enabled\": " << (enabled ? "true" : "false") << ",\n";
+  os << "  \"nodes\": " << nodes.size() << ",\n";
+  os << "  \"events\": " << events << ",\n";
+  os << "  \"elapsed_s\": " << plain_number(elapsed_s, 6) << ",\n";
+
+  os << "  \"node_counters\": {\n";
+  for (std::size_t c = 0; c < kNodeCounterCount; ++c) {
+    std::vector<std::uint64_t> column(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      column[i] = nodes[i].values[c];
+    }
+    write_u64_array(os, to_string(static_cast<NodeCounter>(c)), column);
+    os << (c + 1 < kNodeCounterCount ? ",\n" : "\n");
+  }
+  os << "  },\n";
+
+  os << "  \"links\": {\n";
+  {
+    // kNoRoute renders as -1: stranded nodes have no uplink row.
+    os << "    \"dst\": [";
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (i != 0) os << ", ";
+      if (links[i].dst == kNoRoute) {
+        os << -1;
+      } else {
+        os << links[i].dst;
+      }
+    }
+    os << "],\n";
+    std::vector<std::uint64_t> column(links.size());
+    const auto emit = [&](const char* key, auto member, bool last) {
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        column[i] = links[i].*member;
+      }
+      write_u64_array(os, key, column);
+      os << (last ? "\n" : ",\n");
+    };
+    emit("attempts", &LinkRecord::attempts, false);
+    emit("acked", &LinkRecord::acked, false);
+    emit("data_lost", &LinkRecord::data_lost, false);
+    emit("ack_lost", &LinkRecord::ack_lost, true);
+  }
+  os << "  },\n";
+
+  os << "  \"latency\": {\n";
+  os << "    \"count\": " << latency.count() << ",\n";
+  os << "    \"sum_s\": " << plain_number(latency.sum(), 9) << ",\n";
+  os << "    \"min_s\": " << plain_number(latency.min(), 9) << ",\n";
+  os << "    \"max_s\": " << plain_number(latency.max(), 9) << ",\n";
+  os << "    \"p50_s\": " << plain_number(latency.p50(), 9) << ",\n";
+  os << "    \"p95_s\": " << plain_number(latency.p95(), 9) << ",\n";
+  os << "    \"p99_s\": " << plain_number(latency.p99(), 9) << ",\n";
+  os << "    \"bounds_s\": [";
+  for (std::size_t i = 0; i < latency.bounds().size(); ++i) {
+    if (i != 0) os << ", ";
+    os << plain_number(latency.bounds()[i], 6);
+  }
+  os << "],\n    \"buckets\": [";
+  for (std::size_t i = 0; i < latency.bucket_count(); ++i) {
+    if (i != 0) os << ", ";
+    os << latency.bucket(i);
+  }
+  os << "]\n  },\n";
+
+  os << "  \"scheduler\": {\n";
+  os << "    \"retunes\": " << sched_retunes << ",\n";
+  os << "    \"grows\": " << sched_grows << ",\n";
+  os << "    \"peak_depth\": " << sched_peak_depth << ",\n";
+  os << "    \"scan_steps\": " << sched_scan_steps << ",\n";
+  os << "    \"buckets\": " << sched_buckets << ",\n";
+  os << "    \"width_s\": " << plain_number(sched_width_s, 9) << ",\n";
+  os << "    \"series_bucket_s\": " << plain_number(sched.bucket_s, 6)
+     << ",\n";
+  os << "    \"series_skipped\": " << sched.skipped << ",\n";
+  write_u64_array(os, "series_events", sched.events);
+  os << ",\n";
+  write_u64_array(os, "series_peak_depth", sched.peak_depth);
+  os << ",\n";
+  write_u64_array(os, "series_retunes", sched.retunes);
+  os << ",\n";
+  write_u64_array(os, "series_scan_steps", sched.scan_steps);
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string NetFlightRecord::to_csv() const {
+  std::ostringstream os;
+  os << "node,dst";
+  for (std::size_t c = 0; c < kNodeCounterCount; ++c) {
+    os << ',' << to_string(static_cast<NodeCounter>(c));
+  }
+  os << ",link_attempts,link_acked,link_data_lost,link_ack_lost\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    os << i << ',';
+    if (links[i].dst == kNoRoute) {
+      os << -1;
+    } else {
+      os << links[i].dst;
+    }
+    for (std::size_t c = 0; c < kNodeCounterCount; ++c) {
+      os << ',' << nodes[i].values[c];
+    }
+    os << ',' << links[i].attempts << ',' << links[i].acked << ','
+       << links[i].data_lost << ',' << links[i].ack_lost << '\n';
+  }
+  return os.str();
+}
+
+std::string NetFlightRecord::sched_chrome_counters() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < sched.events.size(); ++i) {
+    if (i != 0) os << ",\n";
+    const double t_us = static_cast<double>(i) * sched.bucket_s * 1e6;
+    os << "{\"name\": \"net.sched\", \"ph\": \"C\", \"ts\": "
+       << plain_number(t_us, 3) << ", \"pid\": 1, \"tid\": 0, "
+       << "\"args\": {\"events\": " << sched.events[i]
+       << ", \"peak_depth\": " << sched.peak_depth[i]
+       << ", \"retunes\": " << sched.retunes[i]
+       << ", \"scan_steps\": " << sched.scan_steps[i] << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace braidio::net

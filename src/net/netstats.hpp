@@ -1,0 +1,154 @@
+// Network flight recorder: per-node counters, a per-link delivery/loss
+// matrix, end-to-end latency, and scheduler introspection for src/net/.
+//
+// Three planes (DESIGN.md §17):
+//   * per-node counters — flat index-addressed blocks, one array slot
+//     per NodeCounter, no string hashing on the hot path (analyzer rule
+//     A7 enforces this for src/net/);
+//   * per-link matrix — every node has exactly one uplink hop toward
+//     the hub, so the matrix is one LinkRecord row per source node;
+//   * scheduler series — time-bucketed calendar-queue depth, events,
+//     width re-tunes, and insert scan cost, exported in the same
+//     Chrome counter-track shape as the energy power tracks.
+//
+// A NetFlightRecord is a plain value owned by one simulator run.
+// merge() is element-wise and associative-in-order: SweepRunner-style
+// callers collect one record per sweep point and fold them in
+// flat-index order, which makes the merged record byte-identical for
+// any thread count. Everything is inert (enabled == false, all hooks
+// no-ops) unless arm() ran, and arm() itself is a no-op when the
+// BRAIDIO_OBS compile-time switch is off.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs_config.hpp"
+
+namespace braidio::net {
+
+/// Per-node counter taxonomy. Closed and index-addressed: hot-path
+/// posts are one array increment, never a named-metric lookup.
+enum class NodeCounter : std::uint8_t {
+  TxAttempts,         // physical transmissions started
+  CcaBusy,            // CCA windows that sampled the medium busy
+  BackoffDraws,       // CSMA backoff delays drawn
+  Collisions,         // attempts lost with interference present
+  FaultLosses,        // attempts lost under an active dropout fault
+  Delivered,          // originated frames that reached the hub
+  Relayed,            // frames this node forwarded one hop onward
+  DropsAccess,        // frames dropped: channel-access budget exhausted
+  DropsArq,           // frames dropped: retry budget exhausted
+  SlotRegistrations,  // TDMA registration exchanges completed
+  SlotsReclaimed,     // TDMA slots reclaimed from this node
+};
+
+inline constexpr std::size_t kNodeCounterCount = 11;
+
+/// Snake-case counter name (JSON key / CSV column).
+const char* to_string(NodeCounter counter);
+
+/// One node's flat counter block. POD-sized, zero-initialized.
+struct NodeCounterBlock {
+  std::array<std::uint64_t, kNodeCounterCount> values{};
+
+  void bump(NodeCounter counter, std::uint64_t n = 1) {
+    values[static_cast<std::size_t>(counter)] += n;
+  }
+  std::uint64_t value(NodeCounter counter) const {
+    return values[static_cast<std::size_t>(counter)];
+  }
+};
+
+/// One uplink hop (src -> next_hop[src]) of the delivery/loss matrix.
+/// `attempts` counts resolved transmissions; each failed one is
+/// attributed to exactly one of data_lost / ack_lost.
+struct LinkRecord {
+  std::uint32_t dst = kNoRoute;
+  std::uint64_t attempts = 0;   // transmissions resolved on this hop
+  std::uint64_t acked = 0;      // hop completed (data and ACK survived)
+  std::uint64_t data_lost = 0;  // data leg corrupted or unheard
+  std::uint64_t ack_lost = 0;   // data survived, ACK leg lost
+};
+
+/// Time-bucketed scheduler telemetry sampled once per popped event.
+/// Buckets are capped; samples past the cap land in `skipped` so the
+/// accounting identity sum(events) + skipped == pops always holds.
+struct SchedulerSeries {
+  static constexpr std::size_t kMaxBuckets = 1u << 16;
+
+  double bucket_s = 0.25;
+  std::vector<std::uint64_t> events;      // pops per bucket
+  std::vector<std::uint64_t> peak_depth;  // max queue size seen
+  std::vector<std::uint64_t> retunes;     // width re-tunes per bucket
+  std::vector<std::uint64_t> scan_steps;  // insert scan steps per bucket
+  std::uint64_t skipped = 0;              // samples past kMaxBuckets
+
+  void sample(double sim_s, std::uint64_t depth, std::uint64_t retune_delta,
+              std::uint64_t scan_delta);
+  /// Element-wise fold; bucket widths must match. peak_depth takes the
+  /// per-bucket max, everything else adds.
+  void merge(const SchedulerSeries& other);
+};
+
+/// The full flight record for one simulator run (or a merged sweep).
+struct NetFlightRecord {
+  bool enabled = false;
+  std::vector<NodeCounterBlock> nodes;
+  std::vector<LinkRecord> links;
+  obs::HistogramData latency;  // end-to-end origin->hub seconds
+  SchedulerSeries sched;
+
+  // End-of-run scheduler summary (always cheap to collect; also echoed
+  // into NetStats so benches can export it without the record).
+  std::uint64_t events = 0;            // queue pops
+  std::uint64_t sched_retunes = 0;     // bucket-width re-tunes
+  std::uint64_t sched_grows = 0;       // bucket-array doublings
+  std::uint64_t sched_peak_depth = 0;  // max simultaneous events
+  std::uint64_t sched_scan_steps = 0;  // cumulative insert scan steps
+  std::uint64_t sched_buckets = 0;     // calendar buckets at end of run
+  double sched_width_s = 0.0;          // bucket width at end of run
+  double elapsed_s = 0.0;              // simulated span covered
+
+  /// Size the per-node blocks and link rows for `topo` and mark the
+  /// record live. No-op (record stays disabled) when BRAIDIO_OBS is
+  /// compiled out.
+  void arm(const Topology& topo, double sched_bucket_s);
+
+  /// Attribute one resolved transmission to src's uplink row.
+  void link_attempt(std::uint32_t src, bool data_ok, bool acked) {
+    if (!enabled) return;
+    LinkRecord& link = links[src];
+    ++link.attempts;
+    if (acked) {
+      ++link.acked;
+    } else if (!data_ok) {
+      ++link.data_lost;
+    } else {
+      ++link.ack_lost;
+    }
+  }
+
+  void note_delivery(double latency_s) {
+    if (!enabled) return;
+    latency.record(latency_s);
+  }
+
+  /// Fold another run's record in (node/link shapes must match).
+  void merge(const NetFlightRecord& other);
+
+  /// Deterministic JSON document (schema "braidio-netstats/v1").
+  std::string to_json() const;
+  /// Per-node CSV: one row per node with counters + uplink columns.
+  std::string to_csv() const;
+  /// Scheduler series as a Chrome trace of "ph":"C" counter tracks —
+  /// the same shape the energy power-track export uses.
+  std::string sched_chrome_counters() const;
+};
+
+}  // namespace braidio::net

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -31,6 +33,28 @@ mac::Frame make_data_frame(std::uint32_t source, std::uint32_t dest,
   frame.sequence = sequence;
   frame.payload.assign(payload_bytes, 0);
   return frame;
+}
+
+/// Packet-lifecycle stage into the trace rings. The packet id rides
+/// Event::value and becomes the Chrome flow "id", so begin -> step ->
+/// end chain into one arrow per packet; the label carries the stage
+/// and the node it happened at. Near-free when tracing is off (one
+/// relaxed load), compiled out entirely without BRAIDIO_OBS.
+void trace_flow(obs::EventType type, const char* stage, std::uint32_t node,
+                double sim_s, std::uint64_t packet_id) {
+#if BRAIDIO_OBS_COMPILED
+  if (!obs::Tracer::enabled()) return;
+  char label[obs::kEventLabelCapacity + 1];
+  std::snprintf(label, sizeof label, "%s n%u", stage, node);
+  obs::Tracer::instance().record(type, label, sim_s,
+                                 static_cast<double>(packet_id));
+#else
+  (void)type;
+  (void)stage;
+  (void)node;
+  (void)sim_s;
+  (void)packet_id;
+#endif
 }
 
 }  // namespace
@@ -77,6 +101,18 @@ NetworkSimulator::NetworkSimulator(NetConfig config)
   medium_.emplace(config_.medium, topo_.positions);
   policy_ = make_mac_policy(config_.mac, config_.tdma, total);
   plan_links();
+
+  if (config_.flight_recorder) {
+    record_.arm(topo_, config_.stats_bucket_s);
+    if (record_.enabled) {
+      // Wire each node to its flat counter block. record_ lives as long
+      // as the simulator and never resizes after arm(), so the pointers
+      // stay valid; the recorder reads nothing back until export.
+      for (std::size_t i = 0; i < total; ++i) {
+        nodes_[i].set_counters(&record_.nodes[i]);
+      }
+    }
+  }
 }
 
 void NetworkSimulator::plan_links() {
@@ -239,12 +275,25 @@ double NetworkSimulator::fault_loss_db(double now_s, std::uint32_t tx,
 void NetworkSimulator::handle_kick(const Event& ev) {
   Node& node = nodes_[ev.node];
   if (!node.alive() || node.transfer().active || node.queue_empty()) return;
-  const std::uint32_t origin = node.dequeue();
+  const QueuedPacket packet = node.dequeue();
   Node::Transfer& t = node.transfer();
+  const double now = queue_.now_s();
   t.active = true;
-  t.origin = origin;
+  t.origin = packet.origin;
   t.dest = topo_.next_hop[ev.node];
   t.attempts = 0;
+  t.packet_id = packet.packet_id;
+  // A packet is born the first time its origin pops it off the queue;
+  // relays inherit the birth stamp so latency is end-to-end.
+  if (packet.birth_s < 0.0) {
+    t.birth_s = now;
+    trace_flow(obs::EventType::PacketFlowBegin, "enq", ev.node, now,
+               t.packet_id);
+  } else {
+    t.birth_s = packet.birth_s;
+    trace_flow(obs::EventType::PacketFlowStep, "enq", ev.node, now,
+               t.packet_id);
+  }
   t.frame = make_data_frame(ev.node, t.dest, next_sequence_[ev.node]++,
                             config_.payload_bytes);
   policy_->on_kick(*this, ev.node);
@@ -263,6 +312,8 @@ void NetworkSimulator::handle_attempt(const Event& ev) {
   if (!t.active) return;
   const LinkPlan& plan = links_[ev.node];
   Node& dest = nodes_[t.dest];
+  trace_flow(obs::EventType::PacketFlowStep, "att", ev.node, now,
+             t.packet_id);
 
   switch (policy_->on_attempt(*this, ev.node)) {
     case AttemptDecision::Deferred:
@@ -272,7 +323,10 @@ void NetworkSimulator::handle_attempt(const Event& ev) {
       // never made it onto the air.
       ++stats_.csma_failures;
       ++node.stats().csma_failures;
+      node.count(NodeCounter::DropsAccess);
       obs::count(obs::Counter::PacketsDropped);
+      trace_flow(obs::EventType::PacketFlowEnd, "drop:access", ev.node,
+                 now, t.packet_id);
       t.active = false;
       queue_.schedule(now + config_.turnaround_s, ev.node, kKick);
       return;
@@ -299,9 +353,12 @@ void NetworkSimulator::handle_attempt(const Event& ev) {
   ++t.attempts;
   ++stats_.tx_attempts;
   ++node.stats().tx_attempts;
+  node.count(NodeCounter::TxAttempts);
   obs::count(obs::Counter::PacketsTx);
   BRAIDIO_TRACE_EVENT(obs::EventType::PacketTx, "net", now,
                       static_cast<double>(ev.node));
+  trace_flow(obs::EventType::PacketFlowStep, "air", ev.node, now,
+             t.packet_id);
 
   if (!node.radio().advance(util::Seconds(airtime))) note_death(node);
   // A dead destination accrues no receive-window charge; the carrier is
@@ -371,6 +428,18 @@ void NetworkSimulator::handle_tx_end(const Event& ev) {
                         static_cast<double>(t.dest));
   }
 
+  // Flight recorder: the resolved attempt lands in the sender's uplink
+  // row, and a failed one is attributed to dropout or interference when
+  // either was present (read-only bookkeeping; no RNG, no schedule).
+  record_.link_attempt(ev.node, data_ok, acked);
+  if (!acked) {
+    if (dropout) {
+      node.count(NodeCounter::FaultLosses);
+    } else if (penalty > 0.0) {
+      node.count(NodeCounter::Collisions);
+    }
+  }
+
   if (acked) {
     finish_transfer(node, true, done);
     return;
@@ -378,7 +447,10 @@ void NetworkSimulator::handle_tx_end(const Event& ev) {
   if (t.attempts > config_.max_retransmissions) {
     ++stats_.arq_drops;
     ++node.stats().arq_drops;
+    node.count(NodeCounter::DropsArq);
     obs::count(obs::Counter::ArqDrops);
+    trace_flow(obs::EventType::PacketFlowEnd, "drop:arq", ev.node, now,
+               t.packet_id);
     finish_transfer(node, false, done);
     return;
   }
@@ -399,10 +471,22 @@ void NetworkSimulator::finish_transfer(Node& node, bool acked,
       ++nodes_[t.origin].stats().delivered;
       stats_.delivered_payload_bits +=
           static_cast<double>(t.frame.payload.size()) * 8.0;
+      // Delivery is attributed to the ORIGIN node's counter block and
+      // closes the packet's flow chain at the hub.
+      nodes_[t.origin].count(NodeCounter::Delivered);
+      const double latency_s = done_s - t.birth_s;
+      record_.note_delivery(latency_s);
+      obs::observe(obs::Histogram::NetLatencySeconds, latency_s);
+      trace_flow(obs::EventType::PacketFlowEnd, "ack hub", node.index(),
+                 done_s, t.packet_id);
     } else {
       ++stats_.forwarded;
       ++node.stats().forwarded;
-      nodes_[t.dest].enqueue(t.origin);
+      node.count(NodeCounter::Relayed);
+      trace_flow(obs::EventType::PacketFlowStep, "relay", t.dest, done_s,
+                 t.packet_id);
+      nodes_[t.dest].enqueue(
+          QueuedPacket{t.origin, t.packet_id, t.birth_s});
       queue_.schedule(next, t.dest, kKick);
     }
   }
@@ -417,12 +501,15 @@ NetStats NetworkSimulator::run() {
 
   BRAIDIO_ENERGY_SPAN(run_span, "net");
 
+  // Packet ids are assigned here, in index order, so they are a pure
+  // function of (config, seed) like everything else in the schedule.
   for (std::size_t i = 1; i < nodes_.size(); ++i) {
     if (topo_.hops[i] == kNoRoute || !links_[i].usable) continue;
     ++stats_.planned;
     Node& node = nodes_[i];
     for (std::uint32_t p = 0; p < config_.packets_per_node; ++p) {
-      node.enqueue(static_cast<std::uint32_t>(i));
+      node.enqueue(QueuedPacket{static_cast<std::uint32_t>(i),
+                                ++next_packet_id_, -1.0});
     }
     stats_.generated += config_.packets_per_node;
     node.stats().generated += config_.packets_per_node;
@@ -433,8 +520,29 @@ NetStats NetworkSimulator::run() {
     queue_.schedule(start, static_cast<std::uint32_t>(i), kKick);
   }
 
+  // Precompute scripted fault activation edges once; the event loop
+  // walks a cursor over them to emit FaultActive trace events exactly
+  // when each fault toggles on (O(1) amortized, no RNG impact).
+  if (config_.impairments != nullptr && !config_.impairments->empty()) {
+    fault_edges_ = config_.impairments->activations_in(
+        -1.0, std::numeric_limits<double>::max());
+  }
+
+  const bool recording = record_.enabled;
   Event ev;
   while (queue_.pop(ev)) {
+    if (fault_cursor_ < fault_edges_.size()) {
+      emit_fault_activations(ev.time_s);
+    }
+    if (recording) {
+      const std::uint64_t retunes = queue_.retunes();
+      const std::uint64_t scans = queue_.scan_steps();
+      record_.sched.sample(ev.time_s, queue_.size(),
+                           retunes - last_retunes_,
+                           scans - last_scan_steps_);
+      last_retunes_ = retunes;
+      last_scan_steps_ = scans;
+    }
     switch (ev.kind) {
       case kKick: handle_kick(ev); break;
       case kAttempt: handle_attempt(ev); break;
@@ -462,9 +570,48 @@ NetStats NetworkSimulator::run() {
   stats_.hub_joules = stats_.node_joules.empty() ? 0.0
                                                  : stats_.node_joules[0];
   stats_.events = queue_.processed();
+  stats_.sched_retunes = queue_.retunes();
+  stats_.sched_grows = queue_.grows();
+  stats_.sched_peak_depth = queue_.peak_size();
+  stats_.sched_scan_steps = queue_.scan_steps();
+  stats_.sched_width_s = queue_.bucket_width_s();
+  if (record_.enabled) {
+    record_.events = stats_.events;
+    record_.sched_retunes = stats_.sched_retunes;
+    record_.sched_grows = stats_.sched_grows;
+    record_.sched_peak_depth = stats_.sched_peak_depth;
+    record_.sched_scan_steps = stats_.sched_scan_steps;
+    record_.sched_buckets = queue_.bucket_count();
+    record_.sched_width_s = stats_.sched_width_s;
+    record_.elapsed_s = stats_.elapsed_s;
+  }
   policy_->finalize(stats_.mac);
   obs::count(obs::Counter::NetEvents, stats_.events);
   return stats_;
+}
+
+void NetworkSimulator::emit_fault_activations(double now_s) {
+  while (fault_cursor_ < fault_edges_.size() &&
+         fault_edges_[fault_cursor_].start_s <= now_s) {
+    const sim::faults::FaultEvent& edge = fault_edges_[fault_cursor_];
+    ++fault_cursor_;
+    obs::count(obs::Counter::FaultActivations);
+#if BRAIDIO_OBS_COMPILED
+    if (obs::Tracer::enabled()) {
+      char label[obs::kEventLabelCapacity + 1];
+      if (edge.node >= 0) {
+        std::snprintf(label, sizeof label, "%s@%d",
+                      sim::faults::to_string(edge.kind), edge.node);
+      } else {
+        std::snprintf(label, sizeof label, "%s",
+                      sim::faults::to_string(edge.kind));
+      }
+      obs::Tracer::instance().record(
+          obs::EventType::FaultActive, label, edge.start_s,
+          static_cast<double>(edge.node));
+    }
+#endif
+  }
 }
 
 }  // namespace braidio::net

@@ -96,6 +96,12 @@ struct NetConfig {
   /// Scripted faults (not owned; must outlive the run). Node-targeted
   /// events (`@<id>`) hit only that node's links.
   const sim::faults::ImpairmentSchedule* impairments = nullptr;
+  /// Arm the flight recorder (net/netstats.hpp): per-node counter
+  /// blocks, the per-link matrix, latency, and the scheduler series.
+  /// Ignored (stays off) when BRAIDIO_OBS is compiled out.
+  bool flight_recorder = false;
+  /// Sim-time bucket for the recorder's scheduler series [s].
+  double stats_bucket_s = 0.25;
 };
 
 struct NetStats {
@@ -116,6 +122,14 @@ struct NetStats {
   std::vector<double> node_joules;  // per node; [0] is the hub
   double delivered_payload_bits = 0.0;
   MacPolicyStats mac;  // policy counters (zeros under plain CSMA)
+  // Scheduler introspection (always collected — the queue's counters
+  // are one compare/add each; the time-bucketed series needs the
+  // flight recorder).
+  std::uint64_t sched_retunes = 0;     // calendar width re-tunes
+  std::uint64_t sched_grows = 0;       // calendar doublings
+  std::uint64_t sched_peak_depth = 0;  // max simultaneous events
+  std::uint64_t sched_scan_steps = 0;  // cumulative insert scan steps
+  double sched_width_s = 0.0;          // final calendar day length
 
   double bits_per_joule() const {
     return total_joules > 0.0 ? delivered_payload_bits / total_joules : 0.0;
@@ -141,6 +155,10 @@ class NetworkSimulator final : public MacContext {
   std::optional<hal::OperatingPoint> link_point(std::uint32_t i) const;
   /// The policy driving channel access (post-run introspection).
   const MacPolicy& mac_policy() const { return *policy_; }
+  /// The flight recorder's record (inert/empty unless
+  /// NetConfig::flight_recorder armed it). Stable across the
+  /// simulator's lifetime, so sweeps can copy it out per point.
+  const NetFlightRecord& flight_record() const { return record_; }
 
   // ---- MacContext: the surface the MAC policy drives (mac_policy.hpp).
   double now_s() const override { return queue_.now_s(); }
@@ -178,6 +196,9 @@ class NetworkSimulator final : public MacContext {
   void handle_attempt(const Event& ev);
   void handle_tx_end(const Event& ev);
   void finish_transfer(Node& node, bool acked, double now_s);
+  /// Emit FaultActive trace events for scripted faults whose start time
+  /// has been reached (cursor walk; O(1) amortized per event).
+  void emit_fault_activations(double now_s);
 
   NetConfig config_;
   Topology topo_;
@@ -189,6 +210,14 @@ class NetworkSimulator final : public MacContext {
   std::unique_ptr<MacPolicy> policy_;
   EventQueue queue_;
   NetStats stats_;
+  NetFlightRecord record_;
+  std::uint64_t next_packet_id_ = 0;
+  // Scripted fault activations in start order + the emit cursor.
+  std::vector<sim::faults::FaultEvent> fault_edges_;
+  std::size_t fault_cursor_ = 0;
+  // Scheduler-series delta cursors (last sampled cumulative values).
+  std::uint64_t last_retunes_ = 0;
+  std::uint64_t last_scan_steps_ = 0;
   bool ran_ = false;
 };
 

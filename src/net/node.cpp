@@ -15,7 +15,7 @@ Node::Node(std::uint32_t index, std::unique_ptr<hal::IRadio> radio,
   BRAIDIO_REQUIRE(radio_ != nullptr, "index", index);
 }
 
-void Node::enqueue(std::uint32_t origin) {
+void Node::enqueue(const QueuedPacket& packet) {
   // Compact the consumed prefix once it dominates the buffer, so a
   // long-lived relay queue stays O(backlog) in memory with amortized
   // O(1) push/pop and no deque allocation churn on the hot path.
@@ -24,10 +24,10 @@ void Node::enqueue(std::uint32_t origin) {
                  queue_.begin() + static_cast<std::ptrdiff_t>(head_));
     head_ = 0;
   }
-  queue_.push_back(origin);
+  queue_.push_back(packet);
 }
 
-std::uint32_t Node::dequeue() {
+QueuedPacket Node::dequeue() {
   BRAIDIO_REQUIRE(!queue_empty(), "index", index_);
   return queue_[head_++];
 }

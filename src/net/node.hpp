@@ -18,6 +18,8 @@
 #include "hal/radio.hpp"
 #include "mac/frame.hpp"
 #include "net/csma.hpp"
+#include "net/netstats.hpp"
+#include "obs/obs_config.hpp"
 #include "util/rng.hpp"
 
 namespace braidio::net {
@@ -31,16 +33,29 @@ struct NodeStats {
   std::uint64_t arq_drops = 0;      // retry budget exhausted
 };
 
+/// A frame waiting in a relay queue, carrying the identity the flight
+/// recorder threads from origin to hub: the originating node, a
+/// run-unique packet id, and the simulated time the packet was first
+/// dequeued at its origin (< 0 until then).
+struct QueuedPacket {
+  std::uint32_t origin = 0;
+  std::uint64_t packet_id = 0;
+  double birth_s = -1.0;
+};
+
 class Node {
  public:
   /// A frame making its way toward the hub: which node originated it,
   /// which neighbor this hop is addressed to, and how many times this
-  /// hop has been attempted.
+  /// hop has been attempted. packet_id/birth_s thread the flight
+  /// recorder's lifecycle identity across hops.
   struct Transfer {
     bool active = false;
     std::uint32_t origin = 0;
     std::uint32_t dest = 0;
     unsigned attempts = 0;
+    std::uint64_t packet_id = 0;
+    double birth_s = -1.0;
     mac::Frame frame;
   };
 
@@ -60,12 +75,29 @@ class Node {
   bool alive() const { return alive_; }
   void set_alive(bool alive) { alive_ = alive; }
 
-  /// FIFO of frame origins waiting at this node for their next hop.
-  void enqueue(std::uint32_t origin);
+  /// Point this node's flight-recorder counter block (nullptr = off).
+  /// The block must outlive the node's use of it; the simulator wires
+  /// blocks from its own NetFlightRecord after arming it.
+  void set_counters(NodeCounterBlock* block) { counters_ = block; }
+
+  /// Flight-recorder per-node counter post: one array increment when a
+  /// block is wired, a null check otherwise. Compiled out entirely when
+  /// BRAIDIO_OBS is off.
+  void count(NodeCounter counter, std::uint64_t n = 1) {
+#if BRAIDIO_OBS_COMPILED
+    if (counters_ != nullptr) counters_->bump(counter, n);
+#else
+    (void)counter;
+    (void)n;
+#endif
+  }
+
+  /// FIFO of frames waiting at this node for their next hop.
+  void enqueue(const QueuedPacket& packet);
   bool queue_empty() const { return head_ == queue_.size(); }
   std::size_t backlog() const { return queue_.size() - head_; }
-  /// Pop the oldest origin; precondition !queue_empty().
-  std::uint32_t dequeue();
+  /// Pop the oldest queued frame; precondition !queue_empty().
+  QueuedPacket dequeue();
 
  private:
   std::uint32_t index_;
@@ -74,8 +106,9 @@ class Node {
   CsmaCa csma_;
   NodeStats stats_;
   Transfer transfer_;
-  std::vector<std::uint32_t> queue_;
+  std::vector<QueuedPacket> queue_;
   std::size_t head_ = 0;
+  NodeCounterBlock* counters_ = nullptr;
   bool alive_ = true;
 };
 

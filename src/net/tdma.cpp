@@ -64,6 +64,7 @@ void ScheduledSlotMac::on_policy_event(MacContext& ctx, const Event& ev) {
       if (ctx.register_exchange(i)) {
         registered_[i] = 1;
         ++registrations_;
+        ctx.mac_node(i).count(NodeCounter::SlotRegistrations);
       } else {
         next_reg_s_[i] = ctx.now_s() + config_.reg_retry_s;
       }
@@ -102,6 +103,7 @@ void ScheduledSlotMac::plan_round(MacContext& ctx) {
     if (!ctx.mac_node(i).alive()) {
       registered_[i] = 0;
       ++slots_reclaimed_;
+      ctx.mac_node(i).count(NodeCounter::SlotsReclaimed);
       continue;
     }
     if (!wants_service(ctx, i)) continue;

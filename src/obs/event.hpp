@@ -16,6 +16,8 @@ namespace braidio::obs {
 
 /// The closed event taxonomy. Span-like pairs (DwellStart/DwellEnd,
 /// SweepPointStart/SweepPointEnd) export as Chrome trace "B"/"E" phases;
+/// the PacketFlow* lifecycle stages export as flow phases ("s"/"t"/"f")
+/// keyed by packet id so a multi-hop journey renders as one arrow chain;
 /// everything else is an instant ("i") event.
 enum class EventType : std::uint8_t {
   ModeSwitch,       // a radio (or plan) changed operating mode
@@ -30,15 +32,23 @@ enum class EventType : std::uint8_t {
   SweepPointStart,  // sweep engine began evaluating a grid point
   SweepPointEnd,    // sweep engine finished a grid point
   FaultActive,      // a scripted fault event fired (sim/faults)
+  PacketFlowBegin,  // packet born at its origin node (value = packet id)
+  PacketFlowStep,   // lifecycle stage: attempt/on-air/relay hop
+  PacketFlowEnd,    // terminal stage: delivered to hub or dropped
 };
 
-inline constexpr std::size_t kEventTypeCount = 12;
+inline constexpr std::size_t kEventTypeCount = 15;
 
 /// Human-readable event-type name (also the CSV `type` column).
 const char* to_string(EventType type);
 
-/// Chrome trace_event phase for the type: 'B', 'E', or 'i'.
+/// Chrome trace_event phase for the type: 'B', 'E', 'i', or a flow
+/// phase 's'/'t'/'f' for the PacketFlow* lifecycle stages.
 char chrome_phase(EventType type);
+
+/// True for the PacketFlow* stages, whose `value` carries the packet id
+/// that ties the flow arrows together in the Chrome viewer.
+bool is_flow_event(EventType type);
 
 /// Sentinel "no simulation timestamp" (events from layers that do not
 /// track simulated time, e.g. the packet channel).

@@ -37,6 +37,7 @@ const char* to_string(Histogram histogram) {
   switch (histogram) {
     case Histogram::EnergyPostJoules: return "energy_post_joules";
     case Histogram::DwellSeconds: return "dwell_seconds";
+    case Histogram::NetLatencySeconds: return "net_latency_seconds";
   }
   return "?";
 }
@@ -50,9 +51,15 @@ const std::vector<double>& bucket_bounds(Histogram histogram) {
   static const std::vector<double> seconds{1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
                                            1e-1, 1.0,  1e1,  1e2,  1e3,
                                            1e4};
+  // Half-decade resolution where multi-hop delivery latency actually
+  // lives (sub-ms airtime up to backoff-dominated tens of seconds).
+  static const std::vector<double> latency{
+      1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1,
+      3e-1, 1.0,  3.0,  1e1,  3e1,  1e2,  3e2};
   switch (histogram) {
     case Histogram::EnergyPostJoules: return energy;
     case Histogram::DwellSeconds: return seconds;
+    case Histogram::NetLatencySeconds: return latency;
   }
   return seconds;
 }

@@ -58,11 +58,12 @@ const char* to_string(Counter counter);
 
 /// Built-in fixed-bucket histograms.
 enum class Histogram : std::uint8_t {
-  EnergyPostJoules,  // magnitude of individual energy postings
-  DwellSeconds,      // lengths of mode dwells / replan intervals
+  EnergyPostJoules,   // magnitude of individual energy postings
+  DwellSeconds,       // lengths of mode dwells / replan intervals
+  NetLatencySeconds,  // end-to-end origin->hub packet latency (src/net)
 };
 
-inline constexpr std::size_t kHistogramCount = 2;
+inline constexpr std::size_t kHistogramCount = 3;
 
 const char* to_string(Histogram histogram);
 

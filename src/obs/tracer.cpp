@@ -24,6 +24,9 @@ const char* to_string(EventType type) {
     case EventType::SweepPointStart: return "SweepPointStart";
     case EventType::SweepPointEnd: return "SweepPointEnd";
     case EventType::FaultActive: return "FaultActive";
+    case EventType::PacketFlowBegin: return "PacketFlowBegin";
+    case EventType::PacketFlowStep: return "PacketFlowStep";
+    case EventType::PacketFlowEnd: return "PacketFlowEnd";
   }
   return "?";
 }
@@ -36,9 +39,21 @@ char chrome_phase(EventType type) {
     case EventType::DwellEnd:
     case EventType::SweepPointEnd:
       return 'E';
+    case EventType::PacketFlowBegin:
+      return 's';
+    case EventType::PacketFlowStep:
+      return 't';
+    case EventType::PacketFlowEnd:
+      return 'f';
     default:
       return 'i';
   }
+}
+
+bool is_flow_event(EventType type) {
+  return type == EventType::PacketFlowBegin ||
+         type == EventType::PacketFlowStep ||
+         type == EventType::PacketFlowEnd;
 }
 
 // One lane: a fixed ring plus its bookkeeping. `released` lanes belonged
@@ -250,16 +265,26 @@ std::string chrome_trace_json(const Tracer::Snapshot& snapshot) {
       if (!first) os << ",\n";
       first = false;
       const char phase = chrome_phase(ev.type);
+      const bool flow = is_flow_event(ev.type);
       os << "{\"name\": \"";
-      // Spans are named by their label so B/E pairs match and instants
-      // by their type so event classes group in the viewer.
+      // Spans are named by their label so B/E pairs match, flow stages
+      // share one name so the viewer chains them by id, and instants
+      // are named by their type so event classes group in the viewer.
       if ((phase == 'B' || phase == 'E') && ev.label[0] != '\0') {
         json_escape_into(os, ev.label);
+      } else if (flow) {
+        os << "packet";
       } else {
         os << to_string(ev.type);
       }
       os << "\", \"cat\": \"braidio\", \"ph\": \"" << phase << "\"";
       if (phase == 'i') os << ", \"s\": \"t\"";
+      if (flow) {
+        // The packet id rides `value`; matching ids + name + cat make
+        // begin -> step -> end render as one connected arrow chain.
+        os << ", \"id\": " << plain_number(ev.value, 0);
+        if (phase == 'f') os << ", \"bp\": \"e\"";
+      }
       os << ", \"ts\": " << plain_number(ev.wall_s * 1e6, 3)
          << ", \"pid\": 1, \"tid\": " << lane.lane << ", \"args\": {";
       os << "\"type\": \"" << to_string(ev.type) << "\"";

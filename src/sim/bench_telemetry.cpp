@@ -102,7 +102,20 @@ std::string BenchTelemetry::to_json() const {
        << "\": " << v;
     first = false;
   }
-  os << "}\n}\n";
+  os << "}";
+  // Soft fields are optional so benches without them keep their exact
+  // historical record bytes.
+  if (!soft.empty()) {
+    os << ",\n  \"soft\": {";
+    first = true;
+    for (const auto& [name_, v] : soft) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name_)
+         << "\": " << number(v);
+      first = false;
+    }
+    os << "}";
+  }
+  os << "\n}\n";
   return os.str();
 }
 

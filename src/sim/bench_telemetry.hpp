@@ -44,6 +44,11 @@ struct BenchTelemetry {
   std::vector<std::pair<std::string, double>> top_attributions;
   /// Non-zero built-in obs counters from the merged registry.
   std::map<std::string, std::uint64_t> counters;
+  /// Soft (report-only) fields a bench may attach — e.g. the network
+  /// benches' scheduler introspection (events/sec, calendar re-tunes,
+  /// peak queue depth). bench_compare.py prints drifts but never fails
+  /// on them, so benches can grow telemetry without baseline churn.
+  std::map<std::string, double> soft;
 
   BenchTelemetry();
 

@@ -1,0 +1,338 @@
+// Network flight recorder (DESIGN.md §17): per-node counter planes,
+// the per-link loss matrix, packet-lifecycle flow tracing, scheduler
+// introspection, and the serial-vs-parallel merge determinism pin.
+#include "net/netstats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backends/backends.hpp"
+#include "net/network_sim.hpp"
+#include "obs/obs.hpp"
+#include "sim/faults/fault_timeline.hpp"
+#include "sim/faults/impairment.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace braidio::net {
+namespace {
+
+const hal::RadioBackend& backend() {
+  backends::register_all();
+  return hal::BackendRegistry::instance().get(backends::kBraidio);
+}
+
+#if BRAIDIO_OBS_COMPILED
+
+/// RAII guard: every test that touches the process-wide tracer restores
+/// it (disabled, default capacity, empty) so test order never matters.
+struct TracerGuard {
+  ~TracerGuard() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().set_lane_capacity(std::size_t{1} << 14);
+    obs::Tracer::instance().clear();
+  }
+};
+
+std::uint64_t node_sum(const NetFlightRecord& record, NodeCounter counter) {
+  std::uint64_t sum = 0;
+  for (const auto& block : record.nodes) sum += block.value(counter);
+  return sum;
+}
+
+TEST(NetFlightRecorder, DisabledByDefaultAndInert) {
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.nodes = 8;
+  cfg.packets_per_node = 1;
+  NetworkSimulator sim(cfg);
+  sim.run();
+  const NetFlightRecord& record = sim.flight_record();
+  EXPECT_FALSE(record.enabled);
+  EXPECT_TRUE(record.nodes.empty());
+  EXPECT_TRUE(record.links.empty());
+  EXPECT_EQ(record.latency.count(), 0u);
+}
+
+TEST(NetFlightRecorder, CountersReconcileWithNetStats) {
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.kind = TopologyKind::Grid;
+  cfg.topology.nodes = 48;
+  cfg.topology.extent_m = 4.0;
+  cfg.packets_per_node = 2;
+  cfg.flight_recorder = true;
+  NetworkSimulator sim(cfg);
+  const NetStats stats = sim.run();
+  const NetFlightRecord& record = sim.flight_record();
+
+  ASSERT_TRUE(record.enabled);
+  ASSERT_EQ(record.nodes.size(), cfg.topology.nodes + 1);
+  ASSERT_EQ(record.links.size(), cfg.topology.nodes + 1);
+
+  // The counter planes must agree with the simulator's own summary.
+  EXPECT_EQ(node_sum(record, NodeCounter::TxAttempts), stats.tx_attempts);
+  EXPECT_EQ(node_sum(record, NodeCounter::Delivered), stats.delivered);
+  EXPECT_EQ(node_sum(record, NodeCounter::Relayed), stats.forwarded);
+  EXPECT_EQ(node_sum(record, NodeCounter::DropsArq), stats.arq_drops);
+  EXPECT_EQ(record.latency.count(), stats.delivered);
+
+  // Every resolved transmission lands in exactly one uplink row, and
+  // every failure is attributed to exactly one loss leg.
+  std::uint64_t attempts = 0, acked = 0, lost = 0;
+  for (const auto& link : record.links) {
+    attempts += link.attempts;
+    acked += link.acked;
+    lost += link.data_lost + link.ack_lost;
+    EXPECT_EQ(link.attempts, link.acked + link.data_lost + link.ack_lost);
+  }
+  EXPECT_EQ(attempts, stats.tx_attempts);
+  EXPECT_EQ(acked + lost, attempts);
+
+  // Scheduler plane: the series covers every pop (or counts it skipped),
+  // and the end-of-run summary mirrors NetStats.
+  std::uint64_t series_events = 0;
+  for (const std::uint64_t e : record.sched.events) series_events += e;
+  EXPECT_EQ(series_events + record.sched.skipped, stats.events);
+  EXPECT_EQ(record.events, stats.events);
+  EXPECT_EQ(record.sched_retunes, stats.sched_retunes);
+  EXPECT_EQ(record.sched_peak_depth, stats.sched_peak_depth);
+  EXPECT_GT(record.sched_peak_depth, 0u);
+
+  // Exports parse-back at the smoke level: schema line, one CSV row per
+  // node plus the header.
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("\"schema\": \"braidio-netstats/v1\""),
+            std::string::npos);
+  const std::string csv = record.to_csv();
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), record.nodes.size() + 1);
+}
+
+// ISSUE 10 pin: per-node stats merged in flat-index order are
+// byte-identical serial vs parallel. Eight 128-tag replicas ≈ 1k nodes.
+TEST(NetFlightRecorder, MergedSweepStatsByteIdenticalSerialVsParallel) {
+  const auto run_with_threads = [&](unsigned threads) {
+    constexpr std::size_t kReplicas = 8;
+    std::vector<NetFlightRecord> records(kReplicas);
+    sim::Scenario scenario(
+        "net_stats_determinism",
+        {sim::Axis::indexed("replica", kReplicas)}, {"events"},
+        [&](sim::SweepPoint& p) {
+          NetConfig cfg;
+          cfg.backend = &backend();
+          cfg.topology.nodes = 128;  // star: same link shape per seed
+          cfg.packets_per_node = 2;
+          cfg.seed = p.seed();
+          cfg.flight_recorder = true;
+          NetworkSimulator sim(cfg);
+          const NetStats stats = sim.run();
+          records[p.flat_index()] = sim.flight_record();
+          sim::RunRecord record;
+          record.cells = {std::to_string(stats.events)};
+          return record;
+        });
+    sim::SweepOptions options;
+    options.threads = threads;
+    sim::SweepRunner(options).run(scenario);
+    NetFlightRecord merged;
+    for (const auto& record : records) merged.merge(record);
+    return merged.to_json() + merged.to_csv();
+  };
+  const std::string serial = run_with_threads(1);
+  const std::string parallel = run_with_threads(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(NetFlightRecorder, MergeAddsCountersAndLatency) {
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.nodes = 32;
+  cfg.packets_per_node = 2;
+  cfg.flight_recorder = true;
+
+  cfg.seed = 1;
+  NetworkSimulator a(cfg);
+  a.run();
+  cfg.seed = 2;
+  NetworkSimulator b(cfg);
+  b.run();
+
+  NetFlightRecord merged;
+  merged.merge(a.flight_record());
+  merged.merge(b.flight_record());
+  EXPECT_EQ(node_sum(merged, NodeCounter::TxAttempts),
+            node_sum(a.flight_record(), NodeCounter::TxAttempts) +
+                node_sum(b.flight_record(), NodeCounter::TxAttempts));
+  EXPECT_EQ(merged.latency.count(), a.flight_record().latency.count() +
+                                        b.flight_record().latency.count());
+  EXPECT_EQ(merged.events,
+            a.flight_record().events + b.flight_record().events);
+}
+
+// ISSUE 10 pin: Chrome flow-event export parses back — every packet id
+// opens with "s", advances with "t", closes with "f"/"bp":"e", and a
+// multi-hop grid shows at least one relay chain.
+TEST(NetFlightRecorder, ChromeFlowEventsParseBack) {
+  TracerGuard guard;
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_lane_capacity(std::size_t{1} << 16);
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.kind = TopologyKind::Grid;
+  cfg.topology.nodes = 48;
+  cfg.topology.extent_m = 4.0;
+  cfg.packets_per_node = 2;
+  NetworkSimulator sim(cfg);
+  const NetStats stats = sim.run();
+  ASSERT_GT(stats.forwarded, 0u) << "grid run should relay";
+
+  const auto snapshot = tracer.snapshot();
+  tracer.set_enabled(false);
+
+  std::size_t begins = 0, steps = 0, ends = 0, relays = 0;
+  for (const auto& lane : snapshot.lanes) {
+    for (const auto& ev : lane.events) {
+      if (!obs::is_flow_event(ev.type)) continue;
+      switch (ev.type) {
+        case obs::EventType::PacketFlowBegin: ++begins; break;
+        case obs::EventType::PacketFlowStep:
+          ++steps;
+          if (std::strncmp(ev.label, "relay", 5) == 0) ++relays;
+          break;
+        case obs::EventType::PacketFlowEnd: ++ends; break;
+        default: break;
+      }
+    }
+  }
+  EXPECT_EQ(begins, stats.generated);
+  EXPECT_EQ(ends, stats.delivered + stats.arq_drops + stats.csma_failures);
+  EXPECT_GE(relays, 1u) << "need >= 1 multi-hop chain in the trace";
+  EXPECT_GT(steps, begins);
+
+  const std::string json = obs::chrome_trace_json(snapshot);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"packet\""), std::string::npos);
+  // Flow arrows carry the packet id that threads the chain together.
+  EXPECT_NE(json.find("\"id\": 1"), std::string::npos);
+}
+
+// ISSUE 10 pin: ring-overflow drop accounting under a dense 10k-node
+// run with a deliberately tiny ring: recorded = kept + dropped.
+TEST(NetFlightRecorder, RingOverflowDropAccountingAt10kNodes) {
+  TracerGuard guard;
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_lane_capacity(256);  // tiny: the dense run must wrap
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.nodes = 10000;
+  cfg.packets_per_node = 1;
+  cfg.flight_recorder = true;
+  NetworkSimulator sim(cfg);
+  const NetStats stats = sim.run();
+  EXPECT_GT(stats.events, 10000u);
+
+  const auto snapshot = tracer.snapshot();
+  tracer.set_enabled(false);
+  EXPECT_GT(snapshot.total_dropped(), 0u);
+  std::uint64_t kept = 0, recorded = 0, dropped = 0;
+  for (const auto& lane : snapshot.lanes) {
+    kept += lane.events.size();
+    recorded += lane.recorded;
+    dropped += lane.dropped;
+  }
+  EXPECT_EQ(recorded, kept + dropped);
+
+  // The stats plane is ring-independent: nothing the ring dropped is
+  // missing from the counters.
+  const NetFlightRecord& record = sim.flight_record();
+  EXPECT_EQ(node_sum(record, NodeCounter::TxAttempts), stats.tx_attempts);
+  EXPECT_EQ(record.events, stats.events);
+}
+
+TEST(NetFlightRecorder, FaultActiveEventNamesTargetedNode) {
+  TracerGuard guard;
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_lane_capacity(std::size_t{1} << 12);
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  std::istringstream script("dropout 0 1e6 @1\n");
+  std::string error;
+  const auto timeline = sim::faults::FaultTimeline::parse(script, &error);
+  ASSERT_TRUE(timeline.has_value()) << error;
+  const sim::faults::ImpairmentSchedule schedule(*timeline);
+
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.nodes = 2;
+  cfg.topology.extent_m = 0.3;
+  cfg.packets_per_node = 1;
+  cfg.impairments = &schedule;
+  NetworkSimulator sim(cfg);
+  sim.run();
+
+  const auto snapshot = tracer.snapshot();
+  tracer.set_enabled(false);
+  bool found = false;
+  for (const auto& lane : snapshot.lanes) {
+    for (const auto& ev : lane.events) {
+      if (ev.type == obs::EventType::FaultActive &&
+          std::strcmp(ev.label, "dropout@1") == 0) {
+        found = true;
+        EXPECT_EQ(ev.value, 1.0);  // value carries the target node
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "expected a FaultActive event labeled dropout@1";
+}
+
+TEST(NetFlightRecorder, SchedChromeCountersExport) {
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.nodes = 64;
+  cfg.packets_per_node = 2;
+  cfg.flight_recorder = true;
+  cfg.stats_bucket_s = 0.01;
+  NetworkSimulator sim(cfg);
+  sim.run();
+  const std::string doc = sim.flight_record().sched_chrome_counters();
+  EXPECT_NE(doc.find("\"name\": \"net.sched\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"events\""), std::string::npos);
+  EXPECT_NE(doc.find("\"peak_depth\""), std::string::npos);
+}
+
+#else  // !BRAIDIO_OBS_COMPILED
+
+TEST(NetFlightRecorder, ArmIsNoOpWhenObsCompiledOut) {
+  NetConfig cfg;
+  cfg.backend = &backend();
+  cfg.topology.nodes = 8;
+  cfg.packets_per_node = 1;
+  cfg.flight_recorder = true;  // requested but compiled out
+  NetworkSimulator sim(cfg);
+  sim.run();
+  EXPECT_FALSE(sim.flight_record().enabled);
+  EXPECT_TRUE(sim.flight_record().nodes.empty());
+}
+
+#endif  // BRAIDIO_OBS_COMPILED
+
+}  // namespace
+}  // namespace braidio::net

@@ -1,4 +1,4 @@
-"""Rule implementations A1-A6 over the SourceModel (DESIGN.md §13)."""
+"""Rule implementations A1-A7 over the SourceModel (DESIGN.md §13)."""
 
 from __future__ import annotations
 
@@ -281,6 +281,44 @@ def check_net_event_order(model: SourceModel) -> list[Finding]:
     return findings
 
 
+# --- A7: net hot-path counters ----------------------------------------
+
+# A string-keyed metric lookup: `registry.counter("...")` /
+# `.gauge("...")` / `.histogram("...")`. The blanker erases literal
+# *contents* but keeps the quotes, so the opening `("` survives.
+_NAMED_METRIC_RE = re.compile(
+    r'[.>]\s*(counter|gauge|histogram)\s*\(\s*"')
+
+
+def check_net_hot_counters(model: SourceModel) -> list[Finding]:
+    """A7: src/net/ per-node accounting must be array-indexed.
+
+    The flight recorder's contract (DESIGN.md §17) is that per-node
+    stats cost one bounds-free array bump per event. A string-keyed
+    named-metric lookup (`registry.counter("tx")`) hashes/compares the
+    key on every event — per-node, that is O(nodes * events) map
+    traffic on the exact path the recorder exists to measure. Named
+    metrics stay fine for one-shot summaries; hot paths must use the
+    NodeCounter / obs::Counter enum builtins.
+    """
+    if not model.rel.startswith(_A6_DIR):
+        return []
+    findings = []
+    for lineno, line in enumerate(model.blanked.split("\n"), 1):
+        match = _NAMED_METRIC_RE.search(line)
+        if not match:
+            continue
+        if model.suppressed("net-hot-counter", lineno):
+            continue
+        findings.append(Finding(
+            "A7-net-hot-counter", model.rel, lineno,
+            f"string-keyed {match.group(1)}(\"...\") lookup in src/net/ "
+            "— per-node hot-path accounting must use the array-indexed "
+            "builtins (net::NodeCounter / obs::Counter); a map lookup "
+            "per event taxes the scheduler under test"))
+    return findings
+
+
 def _bare(name: str) -> str:
     return name.split("::")[-1].lstrip("~")
 
@@ -337,6 +375,7 @@ def run_all(models: list[SourceModel]) -> list[Finding]:
         findings.extend(check_units_discipline(model))
         findings.extend(check_layering(model))
         findings.extend(check_net_event_order(model))
+        findings.extend(check_net_hot_counters(model))
         stem = re.sub(r"\.(?:hpp|cpp)$", "", model.rel)
         pairs.setdefault(stem, []).append(model)
     for stem in sorted(pairs):

@@ -21,6 +21,12 @@ Each (BASELINE, CURRENT) pair is a schema "braidio-bench/v1" record
   locally to hunt regressions). `threads` is machine-dependent and only
   reported, never compared.
 
+* Soft fields — the optional "soft" object (e.g. the network benches'
+  scheduler introspection: events/sec, calendar re-tunes, peak queue
+  depth) — are report-only telemetry. Drifts are printed as notes but
+  never fail the comparison, so benches can grow instrumentation
+  without baseline churn.
+
 Exit code 1 on any mismatch unless --soft is given, which reports all
 findings but exits 0 (CI's report-only mode while a baseline beds in).
 """
@@ -55,9 +61,13 @@ class Comparison:
     def __init__(self, name: str) -> None:
         self.name = name
         self.findings: list[str] = []
+        self.notes: list[str] = []
 
     def fail(self, message: str) -> None:
         self.findings.append(message)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
 
     def check_equal(self, field: str, base, cur) -> None:
         if base != cur:
@@ -112,6 +122,20 @@ def compare(base: dict, cur: dict, args) -> Comparison:
     for field in ("wall_seconds", "points_per_second"):
         c.check_ratio(field, base.get(field, 0.0), cur.get(field, 0.0),
                       args.tol_perf)
+
+    # Soft fields: report-only. Print what moved (or appeared/vanished)
+    # so a reviewer sees scheduler drift, but never fail on it.
+    base_soft = base.get("soft", {})
+    cur_soft = cur.get("soft", {})
+    for key in sorted(set(base_soft) | set(cur_soft)):
+        b, k = base_soft.get(key), cur_soft.get(key)
+        if b is None:
+            c.note(f"soft.{key}: new field (current {k})")
+        elif k is None:
+            c.note(f"soft.{key}: dropped (baseline {b})")
+        elif not rel_close(float(b), float(k), args.tol_rel):
+            c.note(f"soft.{key}: baseline {b} vs current {k} "
+                   f"(report-only)")
     return c
 
 
@@ -147,6 +171,8 @@ def main() -> int:
         else:
             print(f"[bench_compare] {c.name}: OK "
                   f"({base_path} vs {cur_path})")
+        for note in c.notes:
+            print(f"  ~ {note}")
 
     if failed and args.soft:
         print("[bench_compare] --soft: reporting only, exiting 0")
